@@ -1,0 +1,70 @@
+"""Ablation — fuzzy goal-based aggregation versus a plain weighted sum.
+
+The paper motivates the fuzzy goal-directed cost for the multi-objective
+placement problem.  This ablation runs the same parallel search with the
+fuzzy aggregation and with a normalised weighted sum, then compares the crisp
+objectives (wirelength, delay, area) of the final solutions.  The expected
+observation is that both cost models steer the search to solutions that
+improve every crisp objective relative to the initial placement, i.e. the
+parallel-search machinery is not tied to the fuzzy cost — while the fuzzy
+model balances the three objectives rather than letting one dominate.
+"""
+
+from __future__ import annotations
+
+from _utils import RESULTS_DIR, run_once
+
+from repro.experiments import current_scale, params_for_circuit
+from repro.metrics import format_table
+from repro.parallel import build_problem, run_parallel_search
+from repro.placement import CostModelParams, load_benchmark
+
+CIRCUIT = "c532"
+
+
+def sweep_cost_model():
+    scale = current_scale()
+    netlist = load_benchmark(CIRCUIT)
+    rows = []
+    outcomes = {}
+    for label, aggregation in (("fuzzy", "fuzzy"), ("weighted sum", "weighted_sum")):
+        base = params_for_circuit(CIRCUIT, scale, num_tsws=4, clws_per_tsw=2)
+        params = base.with_(cost=CostModelParams(aggregation=aggregation))
+        problem = build_problem(netlist, params)
+        run = run_parallel_search(netlist, params, problem=problem)
+        reference = problem.reference
+        objectives = run.best_objectives
+        outcomes[label] = (run, reference)
+        rows.append(
+            (
+                label,
+                objectives.wirelength / reference.wirelength,
+                objectives.delay / reference.delay,
+                objectives.area / reference.area,
+            )
+        )
+    table = format_table(
+        ["cost model", "wirelength ratio", "delay ratio", "area ratio"],
+        rows,
+        title=(
+            f"{CIRCUIT}: final crisp objectives relative to the initial solution "
+            "(lower is better)"
+        ),
+    )
+    return outcomes, table
+
+
+def test_ablation_cost_model(benchmark):
+    outcomes, table = run_once(benchmark, sweep_cost_model)
+    print()
+    print(table)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "ablation_cost_model.txt").write_text(table + "\n", encoding="utf-8")
+
+    for label, (run, reference) in outcomes.items():
+        objectives = run.best_objectives
+        # both cost models reduce wirelength clearly and never blow up the
+        # other two objectives
+        assert objectives.wirelength < reference.wirelength, label
+        assert objectives.delay < reference.delay * 1.1, label
+        assert objectives.area <= reference.area * 1.1, label

@@ -1,0 +1,55 @@
+"""Ablation — the early-report threshold of the heterogeneous synchronisation.
+
+The paper fixes the threshold at one half ("once half of them complete all
+assigned iterations").  This ablation sweeps the fraction and reports virtual
+runtime and final quality, showing the trade-off the choice embodies: lower
+fractions interrupt earlier (faster, potentially less exploration), a fraction
+of 1.0 degenerates into the homogeneous strategy.
+"""
+
+from __future__ import annotations
+
+from _utils import RESULTS_DIR, run_once
+
+from repro.experiments import current_scale, params_for_circuit, run_configuration
+from repro.metrics import format_table
+from repro.parallel import build_problem
+from repro.placement import load_benchmark
+from repro.pvm import paper_cluster
+
+CIRCUIT = "c532"
+FRACTIONS = (0.25, 0.5, 0.75, 1.0)
+
+
+def sweep_report_fraction():
+    scale = current_scale()
+    cluster = paper_cluster()
+    base = params_for_circuit(CIRCUIT, scale, num_tsws=4, clws_per_tsw=4)
+    problem = build_problem(load_benchmark(CIRCUIT), base)
+    rows = []
+    outcomes = {}
+    for fraction in FRACTIONS:
+        params = base.with_(report_fraction=fraction)
+        run = run_configuration(CIRCUIT, params, cluster=cluster, problem=problem)
+        outcomes[fraction] = run
+        rows.append((fraction, run.virtual_runtime, run.best_cost, run.improvement))
+    table = format_table(
+        ["report fraction", "virtual runtime (s)", "best cost", "improvement"],
+        rows,
+        title=f"{CIRCUIT}: early-report threshold sweep (4 TSWs x 4 CLWs, paper cluster)",
+    )
+    return outcomes, table
+
+
+def test_ablation_sync_fraction(benchmark):
+    outcomes, table = run_once(benchmark, sweep_report_fraction)
+    print()
+    print(table)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "ablation_sync_fraction.txt").write_text(table + "\n", encoding="utf-8")
+
+    # interrupting earlier can only shorten (or keep) the virtual runtime
+    assert outcomes[0.25].virtual_runtime <= outcomes[1.0].virtual_runtime + 1e-9
+    # quality stays within a narrow band across the sweep
+    costs = [run.best_cost for run in outcomes.values()]
+    assert max(costs) - min(costs) < 0.15

@@ -1,0 +1,33 @@
+"""Figure 5 — effect of the number of CLWs on solution quality.
+
+Paper setup: 4 TSWs, 1–4 CLWs per TSW, all four ISCAS-89 circuits, twelve
+machines.  Expected shape: more CLWs give equal or better best cost for the
+larger circuits; the tiny ``highway`` circuit saturates after about 2 CLWs.
+"""
+
+from __future__ import annotations
+
+from _utils import run_once
+
+from repro.experiments import fig5_clw_quality
+
+
+def test_fig5_clw_quality(benchmark, figure_reporter):
+    result = run_once(benchmark, fig5_clw_quality)
+    figure_reporter(result)
+
+    quality = result.data["quality"]
+    clw_counts = result.data["clw_counts"]
+    lowest, highest = min(clw_counts), max(clw_counts)
+    for circuit, per_clw in quality.items():
+        # every configuration produced a meaningful (fuzzy) cost
+        assert all(0.0 < cost < 1.0 for cost in per_clw.values()), circuit
+        # the headline claim: for the non-trivial circuits the best
+        # parallelised configuration is at least as good as the 1-CLW run
+        if circuit != "highway":
+            assert min(per_clw.values()) <= per_clw[lowest] + 0.02, circuit
+    # at least half of the circuits strictly improve when going 1 -> max CLWs
+    improved = sum(
+        1 for per_clw in quality.values() if per_clw[highest] <= per_clw[lowest] + 1e-9
+    )
+    assert improved >= len(quality) / 2

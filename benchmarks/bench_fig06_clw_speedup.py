@@ -1,0 +1,32 @@
+"""Figure 6 — speedup in reaching a quality target versus the number of CLWs.
+
+Paper setup: 4 TSWs, 1–4 CLWs per TSW, speedup defined as t(1, x) / t(n, x)
+with x a solution quality every configuration reaches.  Expected shape: the
+multi-CLW configurations reach the target at least as fast as the single-CLW
+baseline for at least one of the two circuits, and the best observed speedup
+exceeds 1.
+"""
+
+from __future__ import annotations
+
+from _utils import run_once
+
+from repro.experiments import fig6_clw_speedup
+
+
+def test_fig6_clw_speedup(benchmark, figure_reporter):
+    result = run_once(benchmark, fig6_clw_speedup)
+    figure_reporter(result)
+
+    curves = result.data["curves"]
+    assert curves, "no speedup curves produced"
+    best_speedups = []
+    for circuit, points in curves.items():
+        by_workers = {p.workers: p for p in points}
+        baseline = by_workers[min(by_workers)]
+        assert baseline.speedup == 1.0
+        # every configuration reached the common quality target
+        assert all(p.time is not None for p in points), circuit
+        best_speedups.append(max(p.speedup for p in points if p.speedup is not None))
+    # parallel candidate-list construction pays off somewhere
+    assert max(best_speedups) > 1.0

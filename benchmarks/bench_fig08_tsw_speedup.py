@@ -1,0 +1,29 @@
+"""Figure 8 — speedup in reaching a quality target versus the number of TSWs.
+
+Paper setup: 1–8 TSWs, one CLW each; the paper observes the speedup peaking
+around 4 TSWs and degrading beyond.  Expected shape here: some multi-TSW
+configuration beats the single-TSW baseline, and the largest configuration is
+not the unambiguous best (diminishing or negative returns past the knee).
+"""
+
+from __future__ import annotations
+
+from _utils import run_once
+
+from repro.experiments import fig8_tsw_speedup
+
+
+def test_fig8_tsw_speedup(benchmark, figure_reporter):
+    result = run_once(benchmark, fig8_tsw_speedup)
+    figure_reporter(result)
+
+    curves = result.data["curves"]
+    assert curves
+    best_overall = 0.0
+    for circuit, points in curves.items():
+        by_workers = {p.workers: p for p in points}
+        assert by_workers[min(by_workers)].speedup == 1.0
+        reached = [p for p in points if p.speedup is not None]
+        assert reached, circuit
+        best_overall = max(best_overall, max(p.speedup for p in reached))
+    assert best_overall > 1.0

@@ -1,0 +1,28 @@
+"""Figure 9 — effect of the TSW diversification step.
+
+Paper setup: 4 TSWs, 1 CLW each, identical runs except that one performs the
+range-restricted diversification at the start of every global iteration and
+the other does not.  Expected shape: the diversified run ends with a better
+(or at worst equal) cost on most circuits.
+"""
+
+from __future__ import annotations
+
+from _utils import run_once
+
+from repro.experiments import fig9_diversification
+
+
+def test_fig9_diversification(benchmark, figure_reporter):
+    result = run_once(benchmark, fig9_diversification)
+    figure_reporter(result)
+
+    per_circuit = result.data["per_circuit"]
+    wins = 0
+    for circuit, data in per_circuit.items():
+        costs = data["best_costs"]
+        assert set(costs) == {"diversified", "non-diversified"}
+        if costs["diversified"] <= costs["non-diversified"] + 1e-9:
+            wins += 1
+    # the diversified run wins (or ties) on the majority of circuits
+    assert wins >= (len(per_circuit) + 1) // 2

@@ -1,0 +1,37 @@
+"""Figure 10 — trade-off between global and local iterations.
+
+Paper setup: total work (global x local iterations) held constant while the
+split varies.  The paper's conclusion is that *no general rule* exists — the
+best split depends on the circuit.  Expected shape here: every configuration
+produces a valid result, the spread across splits is modest compared to the
+overall improvement, and the winning split is not the same for all circuits
+(or the spread is small enough to be circuit noise).
+"""
+
+from __future__ import annotations
+
+from _utils import run_once
+
+from repro.experiments import fig10_local_vs_global
+
+
+def test_fig10_local_vs_global(benchmark, figure_reporter):
+    result = run_once(benchmark, fig10_local_vs_global)
+    figure_reporter(result)
+
+    per_circuit = result.data["per_circuit"]
+    winners = set()
+    for circuit, outcomes in per_circuit.items():
+        assert all(0.0 < cost < 1.0 for cost in outcomes.values()), circuit
+        # constant total work per combination (up to the rounding of the split)
+        totals = {g * l for (g, l) in outcomes}
+        assert max(totals) <= 1.15 * min(totals)
+        winners.add(min(outcomes, key=outcomes.get))
+        spread = max(outcomes.values()) - min(outcomes.values())
+        assert spread < 0.25, f"{circuit}: split changes outcome implausibly much"
+    # "no general conclusion can be made": the best split is not universal,
+    # unless the costs are so close that every split is effectively tied
+    all_spreads = [
+        max(outcomes.values()) - min(outcomes.values()) for outcomes in per_circuit.values()
+    ]
+    assert len(winners) > 1 or max(all_spreads) < 0.05

@@ -1,0 +1,33 @@
+"""Figure 11 — accounting for heterogeneity (best cost versus runtime).
+
+Paper setup: 4 TSWs x 4 CLWs on twelve machines (7 fast / 3 medium / 2 slow);
+the heterogeneous run lets a parent interrupt its slower children once half
+have reported, the homogeneous run waits for everyone.  Expected shape: the
+heterogeneous run finishes in less (virtual) time while the final solution
+quality shows "no noticeable difference" — it is never much worse.
+"""
+
+from __future__ import annotations
+
+from _utils import run_once
+
+from repro.experiments import fig11_heterogeneity
+
+
+def test_fig11_heterogeneity(benchmark, figure_reporter):
+    result = run_once(benchmark, fig11_heterogeneity)
+    figure_reporter(result)
+
+    per_circuit = result.data["per_circuit"]
+    assert per_circuit
+    faster = 0
+    for circuit, data in per_circuit.items():
+        runtimes = data["runtimes"]
+        costs = data["best_costs"]
+        if runtimes["heterogeneous"] <= runtimes["homogeneous"]:
+            faster += 1
+        # "no noticeable differences in solution quality": allow a small band
+        assert costs["heterogeneous"] <= costs["homogeneous"] + 0.05, circuit
+    # the heterogeneity-aware synchronisation is faster on (at least) the
+    # majority of circuits
+    assert faster >= (len(per_circuit) + 1) // 2

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Heterogeneous versus homogeneous synchronisation (the Figure 11 experiment).
+
+Runs the same 4 TSW x 4 CLW parallel search twice on the paper's
+twelve-machine cluster (7 fast, 3 medium, 2 slow workstations):
+
+* once with the *heterogeneous* strategy — a parent asks its remaining
+  children to report as soon as half of them are done, and
+* once with the *homogeneous* strategy — every parent waits for all children.
+
+It then prints virtual runtime, final quality and the best-cost-versus-time
+trace of both runs, which is exactly the comparison of Figure 11.
+
+Run it with::
+
+    python examples/heterogeneous_cluster.py [circuit]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    ParallelSearchParams,
+    TabuSearchParams,
+    build_problem,
+    load_benchmark,
+    paper_cluster,
+    run_parallel_search,
+)
+from repro.metrics import CostTrace, format_table
+
+
+def main(circuit: str = "c532") -> None:
+    netlist = load_benchmark(circuit)
+    cluster = paper_cluster()
+    print(f"Circuit: {circuit} ({netlist.num_cells} cells)")
+    print(f"Cluster: {cluster.num_machines} machines {cluster.speed_summary()}")
+
+    shared = dict(
+        num_tsws=4,
+        clws_per_tsw=4,
+        global_iterations=4,
+        tabu=TabuSearchParams(local_iterations=8, pairs_per_step=5, move_depth=3),
+        seed=2003,
+    )
+    base_params = ParallelSearchParams(sync_mode="heterogeneous", **shared)
+    problem = build_problem(netlist, base_params)
+
+    results = {}
+    for mode in ("heterogeneous", "homogeneous"):
+        params = ParallelSearchParams(sync_mode=mode, **shared)
+        print(f"\nRunning {mode} synchronisation ...")
+        results[mode] = run_parallel_search(netlist, params, cluster=cluster, problem=problem)
+
+    print()
+    print(
+        format_table(
+            ["sync mode", "virtual runtime (s)", "best cost", "improvement"],
+            [
+                (mode, run.virtual_runtime, run.best_cost, run.improvement)
+                for mode, run in results.items()
+            ],
+            title="Figure 11 style comparison",
+        )
+    )
+
+    # sample both traces on a common time grid for a side-by-side view
+    longest = max(run.virtual_runtime for run in results.values())
+    grid = [round(longest * step / 8.0, 4) for step in range(1, 9)]
+    rows = []
+    traces = {
+        mode: CostTrace.from_pairs(run.trace, label=mode) for mode, run in results.items()
+    }
+    for moment in grid:
+        rows.append(
+            (
+                moment,
+                traces["heterogeneous"].cost_at(moment),
+                traces["homogeneous"].cost_at(moment),
+            )
+        )
+    print()
+    print(
+        format_table(
+            ["virtual time (s)", "heterogeneous best cost", "homogeneous best cost"],
+            rows,
+            title="Best cost versus runtime",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "c532")

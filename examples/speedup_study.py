@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Speedup study: time-to-quality versus the degree of parallelisation.
+
+Reproduces a small version of Figures 6 and 8: it sweeps the number of CLWs
+(low-level parallelisation) and the number of TSWs (high-level
+parallelisation) on one circuit, computes the paper's non-deterministic
+speedup ``t(1, x) / t(n, x)`` for a quality target every configuration
+reaches, and prints both curves.
+
+Run it with::
+
+    python examples/speedup_study.py [circuit]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    CostTrace,
+    ParallelSearchParams,
+    TabuSearchParams,
+    build_problem,
+    load_benchmark,
+    paper_cluster,
+    run_parallel_search,
+    speedup_curve,
+)
+from repro.metrics import format_table
+
+
+def sweep(netlist, *, vary: str, counts, seed: int = 2003):
+    """Run the search for every worker count and return traces keyed by count."""
+    cluster = paper_cluster()
+    shared = dict(
+        global_iterations=4,
+        tabu=TabuSearchParams(local_iterations=8, pairs_per_step=5, move_depth=3),
+        seed=seed,
+    )
+    reference_params = ParallelSearchParams(num_tsws=4, clws_per_tsw=1, **shared)
+    problem = build_problem(netlist, reference_params)
+    traces = {}
+    for count in counts:
+        if vary == "clws":
+            params = ParallelSearchParams(num_tsws=4, clws_per_tsw=count, **shared)
+        else:
+            params = ParallelSearchParams(num_tsws=count, clws_per_tsw=1, **shared)
+        run = run_parallel_search(netlist, params, cluster=cluster, problem=problem)
+        traces[count] = CostTrace.from_pairs(run.trace, label=f"{vary}={count}")
+        print(f"  {vary}={count}: best cost {run.best_cost:.4f}, "
+              f"virtual runtime {run.virtual_runtime:.3f}s")
+    return traces
+
+
+def print_curve(title: str, traces) -> None:
+    points = speedup_curve(traces, baseline_workers=min(traces))
+    print()
+    print(
+        format_table(
+            ["workers", "time to target (s)", "speedup"],
+            [(p.workers, p.time, p.speedup) for p in points],
+            title=f"{title} (target cost <= {points[0].threshold:.4f})",
+        )
+    )
+
+
+def main(circuit: str = "c532") -> None:
+    netlist = load_benchmark(circuit)
+    print(f"Circuit {circuit}: {netlist.num_cells} cells\n")
+
+    print("Sweeping the number of CLWs per TSW (low-level parallelisation):")
+    clw_traces = sweep(netlist, vary="clws", counts=(1, 2, 3, 4))
+    print_curve("Speedup vs number of CLWs (4 TSWs)", clw_traces)
+
+    print("\nSweeping the number of TSWs (high-level parallelisation):")
+    tsw_traces = sweep(netlist, vary="tsws", counts=(1, 2, 4, 6, 8))
+    print_curve("Speedup vs number of TSWs (1 CLW per TSW)", tsw_traces)
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "c532")

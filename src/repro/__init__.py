@@ -1,0 +1,117 @@
+"""repro — reproduction of "Parallel Tabu Search in a Heterogeneous Environment".
+
+The package implements, from scratch, everything the IPDPS 2003 paper by
+Al-Yamani, Sait, Barada and Youssef builds on:
+
+* a VLSI standard-cell placement substrate with a fuzzy multi-objective cost
+  (:mod:`repro.placement`, :mod:`repro.fuzzy`),
+* a serial tabu-search engine with compound moves, aspiration and
+  diversification (:mod:`repro.tabu`),
+* a PVM-like message-passing layer over a simulated heterogeneous cluster
+  (:mod:`repro.pvm`),
+* the paper's parallel tabu search — master / TSW / CLW processes with
+  heterogeneity-aware synchronisation (:mod:`repro.parallel`), and
+* the experiment harness that regenerates every figure of the evaluation
+  (:mod:`repro.experiments`, driven by the ``benchmarks/`` directory).
+
+Quickstart
+----------
+
+>>> from repro import load_benchmark, ParallelSearchParams, run_parallel_search
+>>> netlist = load_benchmark("c532")
+>>> params = ParallelSearchParams(num_tsws=4, clws_per_tsw=2, global_iterations=4)
+>>> result = run_parallel_search(netlist, params)
+>>> result.best_cost < result.initial_cost
+True
+"""
+
+from .errors import (
+    ClusterError,
+    CostModelError,
+    ExperimentError,
+    LayoutError,
+    MessageError,
+    NetlistError,
+    ParallelSearchError,
+    PlacementError,
+    ProcessError,
+    ReproError,
+    SimulationError,
+    TabuSearchError,
+)
+from .metrics import CostTrace, speedup_curve, speedup_to_quality
+from .parallel import (
+    ParallelSearchParams,
+    ParallelSearchResult,
+    PlacementProblem,
+    SyncPolicy,
+    build_problem,
+    classify,
+    run_parallel_search,
+)
+from .placement import (
+    CostEvaluator,
+    CostModelParams,
+    Layout,
+    Netlist,
+    NetlistBuilder,
+    ObjectiveVector,
+    Placement,
+    load_benchmark,
+    paper_benchmarks,
+    random_placement,
+)
+from .pvm import ClusterSpec, SimKernel, ThreadKernel, homogeneous_cluster, paper_cluster
+from .tabu import TabuSearch, TabuSearchParams, TerminationCriteria
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "NetlistError",
+    "LayoutError",
+    "PlacementError",
+    "CostModelError",
+    "TabuSearchError",
+    "ClusterError",
+    "MessageError",
+    "ProcessError",
+    "SimulationError",
+    "ParallelSearchError",
+    "ExperimentError",
+    # placement
+    "Netlist",
+    "NetlistBuilder",
+    "Layout",
+    "Placement",
+    "random_placement",
+    "CostEvaluator",
+    "CostModelParams",
+    "ObjectiveVector",
+    "load_benchmark",
+    "paper_benchmarks",
+    # tabu
+    "TabuSearch",
+    "TabuSearchParams",
+    "TerminationCriteria",
+    # pvm
+    "ClusterSpec",
+    "SimKernel",
+    "ThreadKernel",
+    "paper_cluster",
+    "homogeneous_cluster",
+    # parallel
+    "ParallelSearchParams",
+    "ParallelSearchResult",
+    "PlacementProblem",
+    "SyncPolicy",
+    "build_problem",
+    "classify",
+    "run_parallel_search",
+    # metrics
+    "CostTrace",
+    "speedup_curve",
+    "speedup_to_quality",
+]

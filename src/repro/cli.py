@@ -1,0 +1,219 @@
+"""Command-line interface.
+
+The CLI wraps the most common workflows so the system can be driven without
+writing Python::
+
+    python -m repro circuits                      # list benchmark circuits
+    python -m repro run --circuit c532 --tsws 4 --clws 2
+    python -m repro run --circuit c1355 --sync homogeneous --save-placement out.pl
+    python -m repro figure fig9 --circuits c532
+    python -m repro classify --tsws 4 --clws 4
+
+Every subcommand prints plain text (the same tables the benchmark harness
+writes) and returns a conventional exit code, so it composes with shell
+scripts; :func:`main` accepts an ``argv`` list which is what the unit tests
+use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .errors import ReproError
+from .experiments import ALL_FIGURES, current_scale
+from .metrics import format_mapping, format_table
+from .parallel import ParallelSearchParams, classify, run_parallel_search
+from .placement import Layout, Placement, benchmark_names, load_benchmark
+from .placement.io import write_placement
+from .pvm import homogeneous_cluster, paper_cluster
+from .tabu import TabuSearchParams
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Parallel tabu search for VLSI cell placement on a simulated "
+            "heterogeneous cluster (reproduction of Al-Yamani et al., IPDPS 2003)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    # circuits ---------------------------------------------------------------
+    subparsers.add_parser("circuits", help="list the available benchmark circuits")
+
+    # run ---------------------------------------------------------------------
+    run_parser = subparsers.add_parser("run", help="run the parallel tabu search once")
+    run_parser.add_argument("--circuit", default="c532", help="benchmark circuit name")
+    run_parser.add_argument("--tsws", type=int, default=4, help="number of Tabu Search Workers")
+    run_parser.add_argument("--clws", type=int, default=1, help="CLWs per TSW")
+    run_parser.add_argument("--global-iterations", type=int, default=4)
+    run_parser.add_argument("--local-iterations", type=int, default=8)
+    run_parser.add_argument("--pairs-per-step", type=int, default=5, help="m: pairs tried per step")
+    run_parser.add_argument("--move-depth", type=int, default=3, help="d: compound move depth")
+    run_parser.add_argument(
+        "--sync", choices=["heterogeneous", "homogeneous"], default="heterogeneous"
+    )
+    run_parser.add_argument("--no-diversify", action="store_true",
+                            help="disable the TSW diversification step")
+    run_parser.add_argument("--seed", type=int, default=2003)
+    run_parser.add_argument(
+        "--cluster", default="paper",
+        help="'paper' (12 heterogeneous machines) or 'homogeneous:<N>'",
+    )
+    run_parser.add_argument(
+        "--backend", choices=["simulated", "threads"], default="simulated"
+    )
+    run_parser.add_argument(
+        "--save-placement", metavar="FILE", default=None,
+        help="write the best placement to FILE in the .pl text format",
+    )
+    run_parser.add_argument("--trace", action="store_true",
+                            help="also print the best-cost-vs-time trace")
+
+    # figure -------------------------------------------------------------------
+    figure_parser = subparsers.add_parser(
+        "figure", help="regenerate one of the paper's figures (5-11)"
+    )
+    figure_parser.add_argument("figure_id", choices=sorted(ALL_FIGURES))
+    figure_parser.add_argument(
+        "--circuits", nargs="+", default=None, help="restrict to these circuits"
+    )
+
+    # classify -------------------------------------------------------------------
+    classify_parser = subparsers.add_parser(
+        "classify", help="print the Crainic-taxonomy classification of a configuration"
+    )
+    classify_parser.add_argument("--tsws", type=int, default=4)
+    classify_parser.add_argument("--clws", type=int, default=1)
+    classify_parser.add_argument("--no-diversify", action="store_true")
+
+    return parser
+
+
+def _make_cluster(spec: str):
+    if spec == "paper":
+        return paper_cluster()
+    if spec.startswith("homogeneous:"):
+        count = int(spec.split(":", 1)[1])
+        return homogeneous_cluster(count)
+    raise ReproError(
+        f"unknown cluster spec {spec!r}; use 'paper' or 'homogeneous:<N>'"
+    )
+
+
+def _command_circuits(_: argparse.Namespace) -> int:
+    rows = []
+    for name in benchmark_names():
+        stats = load_benchmark(name).stats()
+        rows.append(
+            (name, stats.num_cells, stats.num_nets, stats.num_pins,
+             round(stats.avg_net_degree, 2))
+        )
+    print(
+        format_table(
+            ["circuit", "cells", "nets", "pins", "avg net degree"],
+            rows,
+            title="Available benchmark circuits (paper circuits: highway, c532, c1355, c3540)",
+        )
+    )
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    netlist = load_benchmark(args.circuit)
+    tabu = TabuSearchParams(
+        local_iterations=args.local_iterations,
+        pairs_per_step=args.pairs_per_step,
+        move_depth=args.move_depth,
+    ).scaled_for_circuit(netlist.num_cells)
+    params = ParallelSearchParams(
+        num_tsws=args.tsws,
+        clws_per_tsw=args.clws,
+        global_iterations=args.global_iterations,
+        sync_mode=args.sync,
+        diversify=not args.no_diversify,
+        tabu=tabu,
+        seed=args.seed,
+    )
+    cluster = _make_cluster(args.cluster)
+    print(f"Running {args.circuit} with {args.tsws} TSWs x {args.clws} CLWs "
+          f"({args.sync} sync) on {cluster.num_machines} machines ...")
+    result = run_parallel_search(netlist, params, cluster=cluster, backend=args.backend)
+    print(
+        format_mapping(
+            {
+                "initial cost": result.initial_cost,
+                "best cost": result.best_cost,
+                "improvement": f"{result.improvement * 100:.1f} %",
+                "wirelength": result.best_objectives.wirelength,
+                "delay": result.best_objectives.delay,
+                "area": result.best_objectives.area,
+                "virtual runtime (s)": result.virtual_runtime,
+                "wall clock (s)": result.wall_clock_seconds,
+            },
+            title="Result",
+        )
+    )
+    if args.trace:
+        print()
+        print(
+            format_table(
+                ["virtual time (s)", "best cost"],
+                result.trace,
+                title="Best cost vs time",
+            )
+        )
+    if args.save_placement:
+        placement = Placement(Layout(netlist), result.best_solution)
+        write_placement(placement, args.save_placement)
+        print(f"\nBest placement written to {args.save_placement}")
+    return 0
+
+
+def _command_figure(args: argparse.Namespace) -> int:
+    generator = ALL_FIGURES[args.figure_id]
+    scale = current_scale()
+    kwargs = {}
+    if args.circuits:
+        kwargs["circuits"] = args.circuits
+    result = generator(scale=scale, **kwargs)
+    print(result.format())
+    return 0
+
+
+def _command_classify(args: argparse.Namespace) -> int:
+    params = ParallelSearchParams(
+        num_tsws=args.tsws, clws_per_tsw=args.clws, diversify=not args.no_diversify
+    )
+    classification = classify(params)
+    print(classification.describe())
+    return 0
+
+
+_COMMANDS = {
+    "circuits": _command_circuits,
+    "run": _command_run,
+    "figure": _command_figure,
+    "classify": _command_classify,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""Experiment harness: one generator per figure of the paper's evaluation."""
+
+from .figures import (
+    ALL_FIGURES,
+    FigureResult,
+    fig5_clw_quality,
+    fig6_clw_speedup,
+    fig7_tsw_quality,
+    fig8_tsw_speedup,
+    fig9_diversification,
+    fig10_local_vs_global,
+    fig11_heterogeneity,
+)
+from .harness import (
+    FULL_SCALE,
+    QUICK_SCALE,
+    ExperimentScale,
+    circuits_for_scale,
+    current_scale,
+    params_for_circuit,
+    run_configuration,
+    trace_of,
+)
+
+__all__ = [
+    "ALL_FIGURES",
+    "FigureResult",
+    "fig5_clw_quality",
+    "fig6_clw_speedup",
+    "fig7_tsw_quality",
+    "fig8_tsw_speedup",
+    "fig9_diversification",
+    "fig10_local_vs_global",
+    "fig11_heterogeneity",
+    "ExperimentScale",
+    "QUICK_SCALE",
+    "FULL_SCALE",
+    "circuits_for_scale",
+    "current_scale",
+    "params_for_circuit",
+    "run_configuration",
+    "trace_of",
+]

@@ -1,0 +1,50 @@
+"""Small fuzzy-logic substrate used by the multi-objective placement cost.
+
+Public surface:
+
+* membership functions — :class:`~repro.fuzzy.membership.DecreasingLinear`,
+  :class:`~repro.fuzzy.membership.IncreasingLinear`,
+  :class:`~repro.fuzzy.membership.Triangular`,
+  :class:`~repro.fuzzy.membership.Trapezoidal`;
+* aggregation operators — :func:`~repro.fuzzy.operators.andlike_owa` and
+  friends;
+* goal-directed aggregation — :class:`~repro.fuzzy.goals.FuzzyGoal`,
+  :class:`~repro.fuzzy.goals.FuzzyGoalAggregator`.
+"""
+
+from .goals import FuzzyGoal, FuzzyGoalAggregator
+from .membership import (
+    DecreasingLinear,
+    IncreasingLinear,
+    MembershipFunction,
+    Trapezoidal,
+    Triangular,
+)
+from .operators import (
+    OwaAndLike,
+    OwaOrLike,
+    andlike_owa,
+    fuzzy_and_min,
+    fuzzy_or_max,
+    orlike_owa,
+    probabilistic_sum,
+    product_tnorm,
+)
+
+__all__ = [
+    "FuzzyGoal",
+    "FuzzyGoalAggregator",
+    "MembershipFunction",
+    "DecreasingLinear",
+    "IncreasingLinear",
+    "Triangular",
+    "Trapezoidal",
+    "OwaAndLike",
+    "OwaOrLike",
+    "andlike_owa",
+    "orlike_owa",
+    "fuzzy_and_min",
+    "fuzzy_or_max",
+    "product_tnorm",
+    "probabilistic_sum",
+]

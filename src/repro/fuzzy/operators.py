@@ -1,0 +1,107 @@
+"""Fuzzy aggregation operators.
+
+The fuzzy goal-directed placement cost combines per-objective memberships with
+an *ordered-weighted-averaging* (OWA)–style operator, following Sait &
+Youssef's "fuzzy and-like" operator:
+
+    mu = beta * min(mu_i) + (1 - beta) * mean(mu_i)
+
+with ``beta`` close to 1 the aggregation behaves like a strict fuzzy AND
+(the worst objective dominates); with ``beta`` close to 0 it behaves like an
+arithmetic mean (compensatory).  The dual "or-like" operator is also provided
+for completeness, together with the classical t-norm / s-norm pairs, so the
+fuzzy substrate is usable beyond the placement cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import CostModelError
+
+__all__ = [
+    "andlike_owa",
+    "orlike_owa",
+    "fuzzy_and_min",
+    "fuzzy_or_max",
+    "product_tnorm",
+    "probabilistic_sum",
+    "OwaAndLike",
+    "OwaOrLike",
+]
+
+
+def _validate_memberships(values: Sequence[float] | np.ndarray) -> np.ndarray:
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise CostModelError("fuzzy aggregation requires at least one membership value")
+    if np.any(arr < -1e-12) or np.any(arr > 1.0 + 1e-12):
+        raise CostModelError(f"membership values must lie in [0, 1], got {arr}")
+    return np.clip(arr, 0.0, 1.0)
+
+
+def andlike_owa(values: Sequence[float] | np.ndarray, beta: float) -> float:
+    """And-like OWA: ``beta * min + (1 - beta) * mean``."""
+    if not (0.0 <= beta <= 1.0):
+        raise CostModelError(f"beta must be in [0, 1], got {beta}")
+    arr = _validate_memberships(values)
+    return float(beta * arr.min() + (1.0 - beta) * arr.mean())
+
+
+def orlike_owa(values: Sequence[float] | np.ndarray, beta: float) -> float:
+    """Or-like OWA: ``beta * max + (1 - beta) * mean``."""
+    if not (0.0 <= beta <= 1.0):
+        raise CostModelError(f"beta must be in [0, 1], got {beta}")
+    arr = _validate_memberships(values)
+    return float(beta * arr.max() + (1.0 - beta) * arr.mean())
+
+
+def fuzzy_and_min(values: Sequence[float] | np.ndarray) -> float:
+    """Zadeh fuzzy AND (minimum t-norm)."""
+    return float(_validate_memberships(values).min())
+
+
+def fuzzy_or_max(values: Sequence[float] | np.ndarray) -> float:
+    """Zadeh fuzzy OR (maximum s-norm)."""
+    return float(_validate_memberships(values).max())
+
+
+def product_tnorm(values: Sequence[float] | np.ndarray) -> float:
+    """Product t-norm (probabilistic AND)."""
+    return float(np.prod(_validate_memberships(values)))
+
+
+def probabilistic_sum(values: Sequence[float] | np.ndarray) -> float:
+    """Probabilistic sum s-norm (``1 - prod(1 - mu_i)``)."""
+    return float(1.0 - np.prod(1.0 - _validate_memberships(values)))
+
+
+@dataclass(frozen=True, slots=True)
+class OwaAndLike:
+    """Callable and-like OWA operator with a fixed ``beta``."""
+
+    beta: float = 0.7
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.beta <= 1.0):
+            raise CostModelError(f"beta must be in [0, 1], got {self.beta}")
+
+    def __call__(self, values: Sequence[float] | np.ndarray) -> float:
+        return andlike_owa(values, self.beta)
+
+
+@dataclass(frozen=True, slots=True)
+class OwaOrLike:
+    """Callable or-like OWA operator with a fixed ``beta``."""
+
+    beta: float = 0.7
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.beta <= 1.0):
+            raise CostModelError(f"beta must be in [0, 1], got {self.beta}")
+
+    def __call__(self, values: Sequence[float] | np.ndarray) -> float:
+        return orlike_owa(values, self.beta)

@@ -1,0 +1,23 @@
+"""Measurement utilities: traces, time-to-quality speedup and text reports."""
+
+from .report import format_mapping, format_series, format_table
+from .speedup import (
+    SpeedupPoint,
+    common_quality_threshold,
+    speedup_curve,
+    speedup_to_quality,
+    time_to_quality,
+)
+from .trace import CostTrace
+
+__all__ = [
+    "CostTrace",
+    "SpeedupPoint",
+    "common_quality_threshold",
+    "speedup_curve",
+    "speedup_to_quality",
+    "time_to_quality",
+    "format_mapping",
+    "format_series",
+    "format_table",
+]

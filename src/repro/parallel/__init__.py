@@ -1,0 +1,62 @@
+"""Parallel tabu search: the paper's primary contribution.
+
+The package provides the three process types of the paper (master, Tabu
+Search Workers, Candidate List Workers), the synchronisation policies for
+heterogeneous clusters, and :func:`~repro.parallel.runner.run_parallel_search`
+— the one-call entry point used by the examples and the benchmark harness.
+"""
+
+from .clw import clw_process
+from .config import ParallelSearchParams, SyncMode
+from .master import GlobalIterationRecord, MasterResult, master_process
+from .messages import (
+    ClwResult,
+    ClwSummary,
+    ClwTask,
+    GlobalStart,
+    ReportNow,
+    Tags,
+    TswResult,
+    TswSummary,
+)
+from .problem import PlacementProblem
+from .runner import ParallelSearchResult, build_problem, run_parallel_search
+from .sync import SyncPolicy
+from .taxonomy import (
+    CommunicationType,
+    ControlCardinality,
+    ParallelisationStrategy,
+    SearchDifferentiation,
+    TaxonomyClassification,
+    classify,
+)
+from .tsw import tsw_process
+
+__all__ = [
+    "ParallelSearchParams",
+    "SyncMode",
+    "SyncPolicy",
+    "PlacementProblem",
+    "ParallelSearchResult",
+    "build_problem",
+    "run_parallel_search",
+    "master_process",
+    "tsw_process",
+    "clw_process",
+    "MasterResult",
+    "GlobalIterationRecord",
+    "Tags",
+    "GlobalStart",
+    "ReportNow",
+    "TswResult",
+    "TswSummary",
+    "ClwTask",
+    "ClwResult",
+    "ClwSummary",
+    "CommunicationType",
+    "ControlCardinality",
+    "ParallelisationStrategy",
+    "SearchDifferentiation",
+    "TaxonomyClassification",
+    "classify",
+]

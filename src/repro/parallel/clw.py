@@ -1,0 +1,114 @@
+"""Candidate List Worker (CLW) process — Figure 4 of the paper.
+
+A CLW serves its parent TSW: for every task it receives it installs the
+TSW's current solution, explores the neighbourhood restricted to its private
+cell range by building a compound move of configurable depth, and sends the
+best (sub-)move back.  Between depth steps it polls for an early-report
+request (:class:`~repro.parallel.messages.ReportNow`) from the parent — the
+mechanism the heterogeneous synchronisation uses to keep slow machines from
+stalling the whole search.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .._rng import derive_seed, make_rng
+from ..tabu.candidate import CellRange
+from ..tabu.moves import CompoundMoveBuilder
+from ..tabu.params import TabuSearchParams
+from .messages import ClwResult, ClwSummary, ClwTask, ReportNow, Tags
+from .problem import PlacementProblem
+
+__all__ = ["clw_process"]
+
+
+def clw_process(
+    ctx,
+    problem: PlacementProblem,
+    tabu_params: TabuSearchParams,
+    cell_range: CellRange,
+    clw_index: int,
+    seed: int,
+):
+    """Generator body of a CLW process (run it under a PVM kernel).
+
+    Parameters
+    ----------
+    problem:
+        Shared immutable problem description.
+    tabu_params:
+        ``pairs_per_step`` (m), ``move_depth`` (d) and the early-accept flag
+        are the relevant fields here.
+    cell_range:
+        The private range this CLW draws the first cell of every candidate
+        pair from.
+    clw_index:
+        Index of this CLW within its parent TSW (used in results and seeds).
+    seed:
+        Seed of this worker's private random stream.
+    """
+    rng = make_rng(derive_seed(seed, "clw", clw_index), ctx.name)
+    evaluator = None
+    tasks_done = 0
+    total_trials = 0
+    interruptions = 0
+
+    while True:
+        message = yield ctx.recv()  # task, stop, or stale report_now
+        if message.tag == Tags.STOP:
+            break
+        if message.tag == Tags.REPORT_NOW:
+            # Stale interrupt from a round whose result we already sent.
+            continue
+        if message.tag != Tags.CLW_TASK:
+            continue
+        task: ClwTask = message.payload
+
+        if evaluator is None:
+            evaluator = problem.make_evaluator(task.solution)
+        else:
+            evaluator.install_solution(task.solution)
+        yield ctx.compute(problem.install_work_units(), label="install")
+
+        builder = CompoundMoveBuilder(
+            evaluator,
+            cell_range,
+            pairs_per_step=tabu_params.pairs_per_step,
+            depth=tabu_params.move_depth,
+            early_accept=tabu_params.early_accept,
+        )
+        interrupted = False
+        while builder.wants_more_steps():
+            interrupt = yield ctx.probe(tag=Tags.REPORT_NOW)
+            if interrupt is not None:
+                request: ReportNow = interrupt.payload
+                if request.round_id == task.round_id:
+                    interrupted = True
+                    interruptions += 1
+                    break
+                continue  # stale interrupt for an earlier round: ignore
+            trials = builder.step(rng)
+            # one commit accompanies the trials of each step
+            yield ctx.compute(trials + 1, label="explore")
+
+        move = builder.finalize()
+        total_trials += move.trials
+        tasks_done += 1
+        result = ClwResult(
+            clw_index=clw_index,
+            round_id=task.round_id,
+            pairs=tuple(move.pairs()),
+            cost_before=move.cost_before,
+            cost_after=move.cost_after,
+            trials=move.trials,
+            interrupted=interrupted,
+        )
+        yield ctx.send(ctx.parent, Tags.CLW_RESULT, result)
+
+    return ClwSummary(
+        clw_index=clw_index,
+        tasks_done=tasks_done,
+        trials=total_trials,
+        interruptions=interruptions,
+    )

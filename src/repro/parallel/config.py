@@ -1,0 +1,88 @@
+"""Configuration of the parallel tabu search (PTS)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Literal, Optional
+
+from ..errors import ParallelSearchError
+from ..placement.cost import CostModelParams
+from ..tabu.params import TabuSearchParams
+
+__all__ = ["SyncMode", "ParallelSearchParams"]
+
+#: Synchronisation strategy between a parent and its children.
+SyncMode = Literal["heterogeneous", "homogeneous"]
+
+
+@dataclass(frozen=True, slots=True)
+class ParallelSearchParams:
+    """All knobs of a parallel-tabu-search run.
+
+    Attributes
+    ----------
+    num_tsws:
+        High-level parallelisation degree (number of Tabu Search Workers).
+    clws_per_tsw:
+        Low-level parallelisation degree (Candidate List Workers per TSW).
+    global_iterations:
+        Number of master-coordinated rounds; in every round each TSW runs
+        ``tabu.local_iterations`` TS iterations.
+    sync_mode:
+        ``"heterogeneous"`` — a parent asks the remaining children to report
+        as soon as ``report_fraction`` of them have reported (the paper's
+        speed/load-aware strategy); ``"homogeneous"`` — wait for everyone.
+    report_fraction:
+        Fraction of children that must report before the early-report request
+        is broadcast (the paper uses one half).
+    diversify:
+        Whether TSWs perform the diversification step at the start of every
+        global iteration (Figure 9 compares on/off).
+    tsw_partition_scheme / clw_partition_scheme:
+        How cell ranges are carved up between TSWs (for diversification) and
+        between the CLWs of one TSW (for candidate construction).
+    tabu:
+        Per-worker tabu-search parameters.
+    cost:
+        Cost-model parameters shared by every worker.
+    seed:
+        Root seed; every process derives its own independent stream from it.
+    """
+
+    num_tsws: int = 4
+    clws_per_tsw: int = 1
+    global_iterations: int = 4
+    sync_mode: SyncMode = "heterogeneous"
+    report_fraction: float = 0.5
+    diversify: bool = True
+    tsw_partition_scheme: str = "contiguous"
+    clw_partition_scheme: str = "strided"
+    tabu: TabuSearchParams = field(default_factory=TabuSearchParams)
+    cost: CostModelParams = field(default_factory=CostModelParams)
+    seed: int = 2003
+    initial_placement_seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.num_tsws < 1:
+            raise ParallelSearchError(f"num_tsws must be >= 1, got {self.num_tsws}")
+        if self.clws_per_tsw < 1:
+            raise ParallelSearchError(f"clws_per_tsw must be >= 1, got {self.clws_per_tsw}")
+        if self.global_iterations < 1:
+            raise ParallelSearchError(
+                f"global_iterations must be >= 1, got {self.global_iterations}"
+            )
+        if self.sync_mode not in ("heterogeneous", "homogeneous"):
+            raise ParallelSearchError(f"unknown sync_mode {self.sync_mode!r}")
+        if not (0.0 < self.report_fraction <= 1.0):
+            raise ParallelSearchError(
+                f"report_fraction must be in (0, 1], got {self.report_fraction}"
+            )
+
+    @property
+    def total_workers(self) -> int:
+        """Total number of worker processes (TSWs + CLWs), excluding the master."""
+        return self.num_tsws + self.num_tsws * self.clws_per_tsw
+
+    def with_(self, **changes) -> "ParallelSearchParams":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)

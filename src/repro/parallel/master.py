@@ -1,0 +1,204 @@
+"""Master process of the parallel tabu search — Figure 2 of the paper.
+
+The master
+
+1. creates the initial solution and the reference objective vector,
+2. spawns the TSWs and hands every one the *same* initial solution,
+3. runs ``global_iterations`` rounds: broadcast the incumbent best solution
+   (plus its tabu list), collect one result per TSW — interrupting the slow
+   ones according to the synchronisation policy — and adopt the best,
+4. finally stops all workers and returns the best solution, its exact
+   objectives, and the best-cost-versus-virtual-time trace the heterogeneity
+   experiment (Figure 11) plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+import numpy as np
+
+from .._rng import derive_seed
+from ..placement.cost import ObjectiveVector
+from ..tabu.candidate import partition_cells
+from .config import ParallelSearchParams
+from .messages import GlobalStart, ReportNow, Tags, TswResult
+from .problem import PlacementProblem
+from .sync import SyncPolicy
+from .tsw import tsw_process
+
+__all__ = ["GlobalIterationRecord", "MasterResult", "master_process"]
+
+
+@dataclass
+class GlobalIterationRecord:
+    """What happened during one global iteration (for analysis and tests)."""
+
+    index: int
+    best_cost_after: float
+    received_costs: Tuple[float, ...]
+    interrupted_tsws: int
+    finish_time: float
+
+
+@dataclass
+class MasterResult:
+    """Return value of the master process."""
+
+    best_cost: float
+    best_objectives: ObjectiveVector
+    best_solution: np.ndarray
+    initial_cost: float
+    #: Fine-grained (virtual time, best cost) series: the master's own points
+    #: (initial evaluation and every global iteration) merged with the
+    #: per-local-iteration points reported by all TSWs, sorted by time and
+    #: reduced to the best-so-far envelope.  This is the series Figure 11
+    #: plots and the speedup experiments query for time-to-quality.
+    trace: List[Tuple[float, float]] = field(default_factory=list)
+    #: Coarse (virtual time, best cost) series with one point per global
+    #: iteration, as seen by the master alone.
+    master_trace: List[Tuple[float, float]] = field(default_factory=list)
+    global_records: List[GlobalIterationRecord] = field(default_factory=list)
+    total_tsw_evaluations: int = 0
+
+
+def master_process(ctx, problem: PlacementProblem, params: ParallelSearchParams):
+    """Generator body of the master process (run it under a PVM kernel)."""
+    sync = SyncPolicy(mode=params.sync_mode, report_fraction=params.report_fraction)
+    num_cells = problem.num_cells
+
+    # ---- initial solution and reference cost ------------------------------
+    init_seed = (
+        params.initial_placement_seed
+        if params.initial_placement_seed is not None
+        else derive_seed(params.seed, "initial")
+    )
+    initial_solution = problem.random_solution(init_seed)
+    evaluator = problem.make_evaluator(initial_solution)
+    yield ctx.compute(problem.install_work_units(), label="initial-eval")
+    best_cost = evaluator.cost()
+    initial_cost = best_cost
+    best_solution = initial_solution.copy()
+    best_tabu_payload: Optional[tuple] = None
+    start_time = yield ctx.now()
+    master_trace: List[Tuple[float, float]] = [(start_time, best_cost)]
+    worker_points: List[Tuple[float, float]] = []
+    global_records: List[GlobalIterationRecord] = []
+
+    # ---- worker topology ---------------------------------------------------
+    tsw_ranges = partition_cells(
+        num_cells, params.num_tsws, scheme=params.tsw_partition_scheme, label_prefix="tsw"
+    )
+    clw_ranges = partition_cells(
+        num_cells, params.clws_per_tsw, scheme=params.clw_partition_scheme, label_prefix="clw"
+    )
+    tsw_pids: List[int] = []
+    for tsw_index in range(params.num_tsws):
+        pid = yield ctx.spawn(
+            tsw_process,
+            problem,
+            params,
+            tsw_index,
+            tsw_ranges[tsw_index],
+            list(clw_ranges),
+            derive_seed(params.seed, "tsw", tsw_index),
+            name=f"tsw{tsw_index}",
+        )
+        tsw_pids.append(pid)
+
+    total_tsw_evaluations = 0
+
+    # ---- global iterations --------------------------------------------------
+    for global_iteration in range(params.global_iterations):
+        start = GlobalStart(
+            global_iteration=global_iteration,
+            solution=best_solution.copy(),
+            tabu_payload=best_tabu_payload,
+        )
+        for pid in tsw_pids:
+            yield ctx.send(pid, Tags.GLOBAL_START, start)
+
+        pending: Set[int] = set(tsw_pids)
+        results: List[TswResult] = []
+        interrupt_sent = False
+        while pending:
+            reply = yield ctx.recv(tag=Tags.TSW_RESULT)
+            result: TswResult = reply.payload
+            if result.global_iteration != global_iteration:
+                continue  # defensive: one result per TSW per iteration
+            pending.discard(reply.src)
+            results.append(result)
+            worker_points.extend(result.trace)
+            if (
+                sync.is_heterogeneous
+                and not interrupt_sent
+                and pending
+                and sync.should_interrupt(len(results), len(tsw_pids))
+            ):
+                for pid in pending:
+                    yield ctx.send(pid, Tags.REPORT_NOW, ReportNow(round_id=global_iteration))
+                interrupt_sent = True
+
+        # Adopt the best reported solution.  The master re-evaluates the
+        # winner with its own (exact) evaluator so that the best-cost trace
+        # and the final result use one canonical cost, independent of the
+        # per-worker timing-surrogate state.
+        results_by_cost = sorted(results, key=lambda r: r.best_cost)
+        winner: Optional[TswResult] = None
+        for result in results_by_cost:
+            if result.best_cost >= best_cost:
+                break
+            evaluator.install_solution(np.asarray(result.best_solution, dtype=np.int64))
+            yield ctx.compute(problem.install_work_units(), label="select-best")
+            exact_cost = evaluator.exact_cost()
+            if exact_cost < best_cost:
+                best_cost = exact_cost
+                best_solution = np.asarray(result.best_solution, dtype=np.int64).copy()
+                winner = result
+                break
+            # the reported cost was optimistic; try the next-best result
+        if winner is not None:
+            best_tabu_payload = winner.tabu_payload
+        total_tsw_evaluations = sum(result.evaluations for result in results)
+
+        now = yield ctx.now()
+        master_trace.append((now, best_cost))
+        global_records.append(
+            GlobalIterationRecord(
+                index=global_iteration,
+                best_cost_after=best_cost,
+                received_costs=tuple(result.best_cost for result in results),
+                interrupted_tsws=sum(1 for result in results if result.interrupted),
+                finish_time=now,
+            )
+        )
+
+    # ---- shutdown ------------------------------------------------------------
+    for pid in tsw_pids:
+        yield ctx.send(pid, Tags.STOP)
+
+    # exact objectives of the final best solution
+    evaluator.install_solution(best_solution)
+    evaluator.exact_cost()
+    best_objectives = evaluator.objectives()
+
+    # Merge the master's coarse points with the per-worker fine-grained points
+    # into one best-so-far envelope sorted by time.
+    merged = sorted(master_trace + worker_points, key=lambda point: point[0])
+    envelope: List[Tuple[float, float]] = []
+    incumbent = float("inf")
+    for moment, cost in merged:
+        incumbent = min(incumbent, cost)
+        envelope.append((moment, incumbent))
+
+    return MasterResult(
+        best_cost=float(best_cost),
+        best_objectives=best_objectives,
+        best_solution=best_solution,
+        initial_cost=initial_cost,
+        trace=envelope,
+        master_trace=master_trace,
+        global_records=global_records,
+        total_tsw_evaluations=total_tsw_evaluations,
+    )

@@ -1,0 +1,134 @@
+"""Message tags and payloads of the master / TSW / CLW protocol.
+
+The protocol mirrors Figures 2–4 of the paper:
+
+* the master broadcasts the current best solution to its TSWs at the start of
+  every global iteration (:class:`GlobalStart`), collects one
+  :class:`TswResult` per TSW, and may broadcast :class:`ReportNow` once the
+  report threshold of the synchronisation policy is reached;
+* a TSW sends one :class:`ClwTask` per CLW per local iteration, collects one
+  :class:`ClwResult` per CLW, and may send :class:`ReportNow` to its slower
+  CLWs;
+* ``STOP`` terminates the worker loops.
+
+Payload classes are intentionally *not* slotted dataclasses: the simulated
+network estimates their size by walking ``__dict__``, so the byte accounting
+sees the embedded NumPy solution arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Tags",
+    "GlobalStart",
+    "ReportNow",
+    "TswResult",
+    "ClwTask",
+    "ClwResult",
+    "ClwSummary",
+    "TswSummary",
+]
+
+
+class Tags:
+    """String tags of every message in the protocol."""
+
+    GLOBAL_START = "global_start"
+    TSW_RESULT = "tsw_result"
+    REPORT_NOW = "report_now"
+    CLW_TASK = "clw_task"
+    CLW_RESULT = "clw_result"
+    STOP = "stop"
+
+
+@dataclass
+class GlobalStart:
+    """Master → TSW: begin a global iteration from the given solution."""
+
+    global_iteration: int
+    solution: np.ndarray
+    #: Tabu list associated with the solution (``TabuList.to_payload()``), or
+    #: ``None`` for the very first iteration.
+    tabu_payload: Optional[tuple] = None
+
+
+@dataclass
+class ReportNow:
+    """Parent → child: stop working and report your current best immediately.
+
+    ``round_id`` identifies the round the request refers to (the global
+    iteration for master→TSW, the TSW-local task counter for TSW→CLW) so that
+    a request that arrives late — after the child already reported — can be
+    recognised as stale and ignored.
+    """
+
+    round_id: int
+
+
+@dataclass
+class ClwTask:
+    """TSW → CLW: explore the neighbourhood of this solution."""
+
+    round_id: int
+    solution: np.ndarray
+
+
+@dataclass
+class ClwResult:
+    """CLW → TSW: the best compound move found for one task."""
+
+    clw_index: int
+    round_id: int
+    #: Swapped cell pairs of the best prefix, in application order.
+    pairs: Tuple[Tuple[int, int], ...]
+    cost_before: float
+    cost_after: float
+    trials: int
+    interrupted: bool
+
+
+@dataclass
+class TswResult:
+    """TSW → master: outcome of one global iteration."""
+
+    tsw_index: int
+    global_iteration: int
+    best_solution: np.ndarray
+    best_cost: float
+    local_iterations_done: int
+    interrupted: bool
+    evaluations: int
+    tabu_payload: tuple = ()
+    #: (virtual time, best cost so far) recorded after every local iteration
+    #: of this global round.  The master merges these per-worker traces into
+    #: the fine-grained best-cost-versus-time series the speedup experiments
+    #: use (the paper measures "time to hit an x-quality solution" over the
+    #: whole run, not only at global synchronisation points).
+    trace: Tuple[Tuple[float, float], ...] = ()
+
+
+@dataclass
+class ClwSummary:
+    """Return value of a CLW process (per-worker statistics)."""
+
+    clw_index: int
+    tasks_done: int
+    trials: int
+    interruptions: int
+
+
+@dataclass
+class TswSummary:
+    """Return value of a TSW process (per-worker statistics)."""
+
+    tsw_index: int
+    global_iterations_done: int
+    local_iterations_done: int
+    interruptions: int
+    best_cost: float
+    evaluations: int

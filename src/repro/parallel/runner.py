@@ -1,0 +1,160 @@
+"""High-level entry point: run a parallel tabu search on a (simulated) cluster.
+
+This is the main public API of the library::
+
+    from repro import load_benchmark, ParallelSearchParams, run_parallel_search
+
+    netlist = load_benchmark("c532")
+    params = ParallelSearchParams(num_tsws=4, clws_per_tsw=2, global_iterations=6)
+    result = run_parallel_search(netlist, params)
+    print(result.best_cost, result.virtual_runtime)
+
+The runner builds the shared :class:`~repro.parallel.problem.PlacementProblem`,
+spawns the master on the requested cluster backend, runs it to completion and
+packages the master's result together with the kernel statistics.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Literal, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ParallelSearchError
+from ..placement.cost import ObjectiveVector
+from ..placement.netlist import Netlist
+from ..pvm.cluster import ClusterSpec, paper_cluster
+from ..pvm.simulator import ProcessInfo, SimKernel, SimStats
+from ..pvm.threads_backend import ThreadKernel
+from .config import ParallelSearchParams
+from .master import GlobalIterationRecord, MasterResult, master_process
+from .problem import PlacementProblem
+
+__all__ = ["ParallelSearchResult", "run_parallel_search", "build_problem"]
+
+Backend = Literal["simulated", "threads"]
+
+
+@dataclass
+class ParallelSearchResult:
+    """Everything a parallel-tabu-search run produced."""
+
+    circuit: str
+    params: ParallelSearchParams
+    best_cost: float
+    initial_cost: float
+    best_objectives: ObjectiveVector
+    best_solution: np.ndarray
+    #: (virtual time, best cost) trace recorded by the master.
+    trace: List[Tuple[float, float]]
+    global_records: List[GlobalIterationRecord]
+    #: Virtual makespan of the run (wall-clock seconds for the threads backend).
+    virtual_runtime: float
+    sim_stats: Optional[SimStats]
+    process_infos: List[ProcessInfo] = field(default_factory=list)
+    wall_clock_seconds: float = 0.0
+
+    @property
+    def improvement(self) -> float:
+        """Relative cost reduction with respect to the initial solution."""
+        if self.initial_cost <= 0:
+            return 0.0
+        return (self.initial_cost - self.best_cost) / self.initial_cost
+
+    def time_to_reach(self, cost_threshold: float) -> Optional[float]:
+        """Virtual time at which the best cost first dropped to ``cost_threshold``.
+
+        Returns ``None`` when the run never reached that quality — the
+        speedup experiments treat such runs as failures for that threshold.
+        """
+        for moment, cost in self.trace:
+            if cost <= cost_threshold:
+                return moment
+        return None
+
+
+def build_problem(
+    netlist: Netlist, params: ParallelSearchParams, *, reference_seed: Optional[int] = None
+) -> PlacementProblem:
+    """Build the shared problem instance for a run (exposed for tests/benchmarks)."""
+    seed = reference_seed if reference_seed is not None else params.seed
+    return PlacementProblem.from_netlist(
+        netlist, cost_params=params.cost, reference_seed=seed
+    )
+
+
+def run_parallel_search(
+    netlist: Netlist,
+    params: ParallelSearchParams | None = None,
+    *,
+    cluster: Optional[ClusterSpec] = None,
+    backend: Backend = "simulated",
+    problem: Optional[PlacementProblem] = None,
+    master_machine: int = 0,
+) -> ParallelSearchResult:
+    """Run the full master/TSW/CLW parallel tabu search.
+
+    Parameters
+    ----------
+    netlist:
+        Circuit to place.
+    params:
+        Parallelisation and search parameters (defaults: 4 TSWs, 1 CLW each).
+    cluster:
+        Cluster to run on; defaults to the paper's twelve-machine testbed.
+    backend:
+        ``"simulated"`` (deterministic virtual time; the default used by all
+        experiments) or ``"threads"`` (real threads, wall-clock time, GIL
+        caveats apply).
+    problem:
+        Pre-built problem instance; pass it to share the reference objective
+        vector across several runs of the same circuit (as the speedup
+        experiments must).
+    master_machine:
+        Machine index the master process is pinned to.
+    """
+    params = params or ParallelSearchParams()
+    cluster = cluster or paper_cluster()
+    problem = problem or build_problem(netlist, params)
+    wall_start = time.perf_counter()
+
+    if backend == "simulated":
+        kernel = SimKernel(cluster)
+        master_pid = kernel.spawn(
+            master_process, problem, params, name="master", machine_index=master_machine
+        )
+        stats = kernel.run()
+        master_result: MasterResult = kernel.result_of(master_pid)
+        virtual_runtime = stats.virtual_makespan
+        process_infos = kernel.all_processes()
+        sim_stats: Optional[SimStats] = stats
+    elif backend == "threads":
+        thread_kernel = ThreadKernel(cluster)
+        master_pid = thread_kernel.spawn(
+            master_process, problem, params, name="master", machine_index=master_machine
+        )
+        thread_kernel.join_all(timeout=3600.0)
+        master_result = thread_kernel.result_of(master_pid)
+        virtual_runtime = thread_kernel.now
+        process_infos = []
+        sim_stats = None
+    else:
+        raise ParallelSearchError(f"unknown backend {backend!r}")
+
+    wall_clock = time.perf_counter() - wall_start
+    return ParallelSearchResult(
+        circuit=netlist.name,
+        params=params,
+        best_cost=master_result.best_cost,
+        initial_cost=master_result.initial_cost,
+        best_objectives=master_result.best_objectives,
+        best_solution=master_result.best_solution,
+        trace=master_result.trace,
+        global_records=master_result.global_records,
+        virtual_runtime=virtual_runtime,
+        sim_stats=sim_stats,
+        process_infos=process_infos,
+        wall_clock_seconds=wall_clock,
+    )

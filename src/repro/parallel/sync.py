@@ -1,0 +1,71 @@
+"""Parent/child synchronisation policies.
+
+The paper accounts for speed and load heterogeneity with one simple rule
+(Section 4.2): a parent (the master w.r.t. its TSWs, a TSW w.r.t. its CLWs)
+stops waiting passively once **half** of its children have reported, and asks
+all remaining children to report whatever best solution they currently have.
+Every child still reports exactly once per round — the slow ones just report
+earlier (and with less work done) than they would have otherwise.
+
+The *homogeneous* policy is the control configuration: the parent always
+waits for every child to finish its full assignment.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ParallelSearchError
+from .config import SyncMode
+
+__all__ = ["SyncPolicy"]
+
+
+@dataclass(frozen=True, slots=True)
+class SyncPolicy:
+    """When to broadcast the early-report request.
+
+    Attributes
+    ----------
+    mode:
+        ``"heterogeneous"`` or ``"homogeneous"``.
+    report_fraction:
+        Fraction of children whose reports trigger the early-report request
+        (ignored in homogeneous mode).  The paper uses 0.5.
+    """
+
+    mode: SyncMode = "heterogeneous"
+    report_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("heterogeneous", "homogeneous"):
+            raise ParallelSearchError(f"unknown sync mode {self.mode!r}")
+        if not (0.0 < self.report_fraction <= 1.0):
+            raise ParallelSearchError(
+                f"report_fraction must be in (0, 1], got {self.report_fraction}"
+            )
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        """Whether the early-report mechanism is active."""
+        return self.mode == "heterogeneous"
+
+    def report_threshold(self, num_children: int) -> int:
+        """Number of received reports after which the parent interrupts the rest.
+
+        In homogeneous mode the threshold equals ``num_children`` (never
+        interrupt).  In heterogeneous mode it is
+        ``ceil(report_fraction * num_children)``, clamped to at least 1.
+        """
+        if num_children < 1:
+            raise ParallelSearchError(f"num_children must be >= 1, got {num_children}")
+        if not self.is_heterogeneous:
+            return num_children
+        return max(1, math.ceil(self.report_fraction * num_children))
+
+    def should_interrupt(self, received: int, num_children: int) -> bool:
+        """Whether the parent should now ask the remaining children to report."""
+        if received >= num_children:
+            return False  # everyone already reported
+        return received >= self.report_threshold(num_children)

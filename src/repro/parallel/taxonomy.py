@@ -1,0 +1,115 @@
+"""Crainic / Toulouse / Gendreau taxonomy of parallel tabu search.
+
+Section 4 of the paper classifies its algorithm along the three dimensions of
+the Crainic et al. taxonomy.  This module encodes those dimensions as enums
+and provides :func:`classify`, which derives the classification of a
+:class:`~repro.parallel.config.ParallelSearchParams` configuration — useful
+both for documentation (the classification is printed by the quickstart
+example) and as an executable statement of Section 4.3:
+
+* the *high* level (master/TSWs) is **p-control**, the *low* level
+  (TSW/CLWs) is **1-control**;
+* control & communication follow **rigid synchronisation** (the parent waits
+  for, or stops, its children at fixed points);
+* search differentiation is **MPSS** — multiple starting points (after
+  diversification), single strategy — unless diversification is disabled, in
+  which case all workers start from the same point (SPSS).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .config import ParallelSearchParams
+
+__all__ = [
+    "ControlCardinality",
+    "CommunicationType",
+    "SearchDifferentiation",
+    "ParallelisationStrategy",
+    "TaxonomyClassification",
+    "classify",
+]
+
+
+class ControlCardinality(enum.Enum):
+    """Who controls the search."""
+
+    ONE_CONTROL = "1-control"
+    P_CONTROL = "p-control"
+
+
+class CommunicationType(enum.Enum):
+    """Control & communication dimension."""
+
+    RIGID_SYNCHRONIZATION = "RS"
+    KNOWLEDGE_SYNCHRONIZATION = "KS"
+    COLLEGIAL = "C"
+    KNOWLEDGE_COLLEGIAL = "KC"
+
+
+class SearchDifferentiation(enum.Enum):
+    """Search differentiation dimension."""
+
+    SPSS = "single point, single strategy"
+    SPDS = "single point, different strategies"
+    MPSS = "multiple points, single strategy"
+    MPDS = "multiple points, different strategies"
+
+
+class ParallelisationStrategy(enum.Enum):
+    """Coarse strategy names used in Section 4 of the paper."""
+
+    FUNCTIONAL_DECOMPOSITION = "functional decomposition"
+    MULTI_SEARCH_THREADS = "multi-search threads"
+    DOMAIN_DECOMPOSITION = "domain decomposition"
+
+
+@dataclass(frozen=True, slots=True)
+class TaxonomyClassification:
+    """Classification of a PTS configuration along the taxonomy's dimensions."""
+
+    high_level_control: ControlCardinality
+    low_level_control: ControlCardinality
+    communication: CommunicationType
+    differentiation: SearchDifferentiation
+    strategies: tuple[ParallelisationStrategy, ...]
+
+    def describe(self) -> str:
+        """One-paragraph human-readable description."""
+        strategy_names = ", ".join(s.value for s in self.strategies)
+        return (
+            f"high level: {self.high_level_control.value}; "
+            f"low level: {self.low_level_control.value}; "
+            f"communication: {self.communication.value}; "
+            f"differentiation: {self.differentiation.name} ({self.differentiation.value}); "
+            f"strategies: {strategy_names}"
+        )
+
+
+def classify(params: ParallelSearchParams) -> TaxonomyClassification:
+    """Classify a parameter set exactly as Section 4.3 classifies the paper's PTS."""
+    strategies = []
+    if params.num_tsws > 1:
+        strategies.append(ParallelisationStrategy.MULTI_SEARCH_THREADS)
+    if params.clws_per_tsw > 1:
+        strategies.append(ParallelisationStrategy.FUNCTIONAL_DECOMPOSITION)
+        strategies.append(ParallelisationStrategy.DOMAIN_DECOMPOSITION)
+    if not strategies:
+        strategies.append(ParallelisationStrategy.FUNCTIONAL_DECOMPOSITION)
+
+    differentiation = (
+        SearchDifferentiation.MPSS
+        if params.diversify and params.num_tsws > 1
+        else SearchDifferentiation.SPSS
+    )
+    return TaxonomyClassification(
+        high_level_control=(
+            ControlCardinality.P_CONTROL if params.num_tsws > 1 else ControlCardinality.ONE_CONTROL
+        ),
+        low_level_control=ControlCardinality.ONE_CONTROL,
+        communication=CommunicationType.RIGID_SYNCHRONIZATION,
+        differentiation=differentiation,
+        strategies=tuple(strategies),
+    )

@@ -1,0 +1,194 @@
+"""Tabu Search Worker (TSW) process — Figure 3 of the paper.
+
+Each TSW owns a complete tabu search (tabu list, frequency memory, aspiration)
+over its private copy of the solution.  Per global iteration it
+
+1. adopts the solution broadcast by the master (together with the tabu list
+   associated with it),
+2. performs the diversification step restricted to its own cell range so that
+   different TSWs explore different regions (Section 4.1),
+3. runs ``local_iterations`` tabu-search iterations; the candidate compound
+   moves of every iteration are produced by its CLWs, collected according to
+   the synchronisation policy (wait for all, or interrupt the slow half), and
+4. reports its best solution, cost and tabu list to the master — either after
+   finishing all local iterations or as soon as the master requests an early
+   report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from .._rng import derive_seed
+from ..tabu.candidate import CellRange
+from ..tabu.moves import CompoundMove, SwapMove
+from ..tabu.search import TabuSearch
+from ..tabu.tabu_list import TabuList
+from .clw import clw_process
+from .config import ParallelSearchParams
+from .messages import ClwResult, ClwTask, GlobalStart, ReportNow, Tags, TswResult, TswSummary
+from .problem import PlacementProblem
+from .sync import SyncPolicy
+
+__all__ = ["tsw_process"]
+
+
+def _result_to_candidate(result: ClwResult) -> CompoundMove:
+    """Convert a CLW's wire-format result into a candidate compound move."""
+    swaps = [
+        SwapMove(cell_a=int(a), cell_b=int(b), cost_after=result.cost_after)
+        for a, b in result.pairs
+    ]
+    return CompoundMove(
+        swaps=swaps,
+        cost_before=result.cost_before,
+        cost_after=result.cost_after,
+        trials=result.trials,
+        truncated_early=result.interrupted,
+    )
+
+
+def tsw_process(
+    ctx,
+    problem: PlacementProblem,
+    params: ParallelSearchParams,
+    tsw_index: int,
+    tsw_range: CellRange,
+    clw_ranges: List[CellRange],
+    seed: int,
+):
+    """Generator body of a TSW process (run it under a PVM kernel)."""
+    sync = SyncPolicy(mode=params.sync_mode, report_fraction=params.report_fraction)
+
+    # ---- spawn the candidate-list workers --------------------------------
+    clw_pids: List[int] = []
+    for clw_index, clw_range in enumerate(clw_ranges):
+        pid = yield ctx.spawn(
+            clw_process,
+            problem,
+            params.tabu,
+            clw_range,
+            clw_index,
+            derive_seed(seed, "tsw", tsw_index, "clw", clw_index),
+            name=f"tsw{tsw_index}.clw{clw_index}",
+        )
+        clw_pids.append(pid)
+
+    evaluator = None
+    search: Optional[TabuSearch] = None
+    round_counter = 0
+    global_iterations_done = 0
+    local_iterations_done = 0
+    interruptions = 0
+
+    while True:
+        message = yield ctx.recv()
+        if message.tag == Tags.STOP:
+            for pid in clw_pids:
+                yield ctx.send(pid, Tags.STOP)
+            break
+        if message.tag == Tags.REPORT_NOW:
+            continue  # stale: we already reported for that iteration
+        if message.tag != Tags.GLOBAL_START:
+            continue
+        start: GlobalStart = message.payload
+
+        # ---- adopt the master's solution (and its tabu list) -------------
+        if evaluator is None:
+            evaluator = problem.make_evaluator(start.solution)
+            search = TabuSearch(
+                evaluator,
+                params.tabu,
+                cell_range=tsw_range,
+                seed=derive_seed(seed, "tsw-search", tsw_index),
+            )
+        else:
+            search.adopt_solution(start.solution)
+        if start.tabu_payload is not None:
+            adopted = TabuList.from_payload(start.tabu_payload, params.tabu.tabu_tenure)
+            search._tabu = adopted  # noqa: SLF001 - deliberate protocol hook
+        yield ctx.compute(problem.install_work_units(), label="install")
+
+        # ---- diversification within this TSW's private range -------------
+        if params.diversify and params.tabu.diversification_depth > 0:
+            evals_before = evaluator.evaluations
+            search.diversify()
+            yield ctx.compute(
+                float(evaluator.evaluations - evals_before), label="diversify"
+            )
+
+        # ---- local iterations --------------------------------------------
+        interrupted = False
+        locals_this_round = 0
+        local_trace = []
+        for _ in range(params.tabu.local_iterations):
+            round_counter += 1
+            solution = evaluator.snapshot()
+            pending: Set[int] = set(clw_pids)
+            for pid in clw_pids:
+                yield ctx.send(
+                    pid, Tags.CLW_TASK, ClwTask(round_id=round_counter, solution=solution)
+                )
+            results: List[ClwResult] = []
+            interrupt_sent = False
+            while pending:
+                reply = yield ctx.recv(tag=Tags.CLW_RESULT)
+                result: ClwResult = reply.payload
+                if result.round_id != round_counter:
+                    continue  # defensive: should not happen (one result per round)
+                pending.discard(reply.src)
+                results.append(result)
+                if (
+                    sync.is_heterogeneous
+                    and not interrupt_sent
+                    and pending
+                    and sync.should_interrupt(len(results), len(clw_pids))
+                ):
+                    for pid in pending:
+                        yield ctx.send(pid, Tags.REPORT_NOW, ReportNow(round_id=round_counter))
+                    interrupt_sent = True
+
+            candidates = [_result_to_candidate(result) for result in results]
+            evals_before = evaluator.evaluations
+            search.consider_candidates(candidates)
+            yield ctx.compute(float(evaluator.evaluations - evals_before), label="accept")
+            locals_this_round += 1
+            local_iterations_done += 1
+            now = yield ctx.now()
+            local_trace.append((float(now), float(search.best_cost)))
+
+            # Did the master ask us to cut this global iteration short?
+            request = yield ctx.probe(tag=Tags.REPORT_NOW)
+            if request is not None:
+                report: ReportNow = request.payload
+                if report.round_id == start.global_iteration:
+                    interrupted = True
+                    interruptions += 1
+                    break
+                # stale request for an earlier global iteration: ignore
+
+        # ---- report to the master ----------------------------------------
+        global_iterations_done += 1
+        result = TswResult(
+            tsw_index=tsw_index,
+            global_iteration=start.global_iteration,
+            best_solution=search.best_solution,
+            best_cost=search.best_cost,
+            local_iterations_done=locals_this_round,
+            interrupted=interrupted,
+            evaluations=evaluator.evaluations,
+            tabu_payload=search.tabu_list.to_payload(),
+            trace=tuple(local_trace),
+        )
+        yield ctx.send(ctx.parent, Tags.TSW_RESULT, result)
+
+    best_cost = search.best_cost if search is not None else float("inf")
+    evaluations = evaluator.evaluations if evaluator is not None else 0
+    return TswSummary(
+        tsw_index=tsw_index,
+        global_iterations_done=global_iterations_done,
+        local_iterations_done=local_iterations_done,
+        interruptions=interruptions,
+        best_cost=best_cost,
+        evaluations=evaluations,
+    )

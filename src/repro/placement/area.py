@@ -1,0 +1,104 @@
+"""Area objective for row-based standard-cell placement.
+
+With cells of varying widths assigned to rows of slots, the chip outline must
+be wide enough to hold the *widest* row.  The area objective therefore is::
+
+    area = max_row_width * num_rows * row_height
+
+which rewards placements that balance total cell width evenly across rows.
+:class:`AreaState` maintains the per-row width sums incrementally so that a
+swap's area delta costs O(1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .solution import Placement
+
+__all__ = ["row_widths", "full_area", "AreaState"]
+
+
+def row_widths(placement: Placement) -> np.ndarray:
+    """Total cell width placed in each row (length ``num_rows``)."""
+    rows = placement.cell_row()
+    widths = placement.netlist.cell_widths
+    return np.bincount(rows, weights=widths, minlength=placement.layout.num_rows)
+
+
+def full_area(placement: Placement) -> float:
+    """Chip area implied by the widest row."""
+    layout = placement.layout
+    widest = float(row_widths(placement).max())
+    return widest * layout.num_rows * layout.spec.row_height
+
+
+class AreaState:
+    """Incremental area cost bound to one :class:`Placement`."""
+
+    def __init__(self, placement: Placement) -> None:
+        self._placement = placement
+        self._layout = placement.layout
+        self._widths = placement.netlist.cell_widths
+        self.rebuild()
+
+    def rebuild(self) -> None:
+        """Recompute the per-row width sums from scratch."""
+        self._row_widths = row_widths(self._placement)
+
+    @property
+    def per_row(self) -> np.ndarray:
+        """Current per-row width sums (read-only view)."""
+        view = self._row_widths.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def max_row_width(self) -> float:
+        """Width of the widest row."""
+        return float(self._row_widths.max())
+
+    @property
+    def total(self) -> float:
+        """Current area value."""
+        return self.max_row_width * self._layout.num_rows * self._layout.spec.row_height
+
+    # ------------------------------------------------------------------ #
+    def _rows_of(self, cell_a: int, cell_b: int) -> tuple[int, int]:
+        slot_row = self._layout.slot_row
+        cts = self._placement.cell_to_slot
+        return int(slot_row[cts[cell_a]]), int(slot_row[cts[cell_b]])
+
+    def delta_for_swap(self, cell_a: int, cell_b: int) -> float:
+        """Area change if ``cell_a`` and ``cell_b`` exchanged slots."""
+        if cell_a == cell_b:
+            return 0.0
+        row_a, row_b = self._rows_of(cell_a, cell_b)
+        if row_a == row_b:
+            return 0.0
+        wa = float(self._widths[cell_a])
+        wb = float(self._widths[cell_b])
+        new_rows = self._row_widths.copy()
+        new_rows[row_a] += wb - wa
+        new_rows[row_b] += wa - wb
+        scale = self._layout.num_rows * self._layout.spec.row_height
+        return float((new_rows.max() - self._row_widths.max()) * scale)
+
+    def commit_swap(self, cell_a: int, cell_b: int) -> None:
+        """Update the row sums after the placement swap was applied.
+
+        Note: the placement has already been swapped, so the rows read from
+        the placement are the *new* rows of each cell.
+        """
+        if cell_a == cell_b:
+            return
+        new_row_a, new_row_b = self._rows_of(cell_a, cell_b)
+        if new_row_a == new_row_b:
+            return
+        wa = float(self._widths[cell_a])
+        wb = float(self._widths[cell_b])
+        # cell_a now sits in new_row_a (formerly cell_b's row) and vice versa.
+        self._row_widths[new_row_a] += wa
+        self._row_widths[new_row_b] -= wa
+        self._row_widths[new_row_b] += wb
+        self._row_widths[new_row_a] -= wb

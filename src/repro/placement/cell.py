@@ -1,0 +1,146 @@
+"""Primitive netlist entities: cells, pins and nets.
+
+The VLSI standard-cell placement problem operates on a *netlist*: a set of
+cells (logic gates, flip-flops, primary I/O pads) connected by nets
+(electrically equivalent wires).  The placement engine only needs a small,
+abstract view of these objects:
+
+* a cell has a *name*, a *width* (standard cells share a common height, so
+  area is driven by width), an *intrinsic delay* and a *kind* (combinational,
+  sequential, primary input, primary output);
+* a net has a *name*, a single *driver* cell and a set of *sink* cells, plus a
+  routing-weight used by the wirelength objective.
+
+These are deliberately plain ``dataclasses``; the heavy numeric state
+(positions, bounding boxes, delay arrays) lives in NumPy arrays owned by the
+:class:`~repro.placement.netlist.Netlist` and
+:class:`~repro.placement.solution.Placement` classes so that the hot
+incremental-cost code can be vectorised.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Tuple
+
+__all__ = ["CellKind", "Cell", "Net"]
+
+
+class CellKind(enum.Enum):
+    """Functional class of a cell, used by the timing model.
+
+    * ``COMBINATIONAL`` — ordinary logic gate; lies on combinational paths.
+    * ``SEQUENTIAL`` — flip-flop/latch; acts as both a path endpoint and a
+      path start point for static timing analysis.
+    * ``PRIMARY_INPUT`` — input pad; a timing start point with zero delay.
+    * ``PRIMARY_OUTPUT`` — output pad; a timing end point with zero delay.
+    """
+
+    COMBINATIONAL = "comb"
+    SEQUENTIAL = "seq"
+    PRIMARY_INPUT = "pi"
+    PRIMARY_OUTPUT = "po"
+
+    @property
+    def is_timing_start(self) -> bool:
+        """Whether timing paths may *begin* at cells of this kind."""
+        return self in (CellKind.PRIMARY_INPUT, CellKind.SEQUENTIAL)
+
+    @property
+    def is_timing_end(self) -> bool:
+        """Whether timing paths may *end* at cells of this kind."""
+        return self in (CellKind.PRIMARY_OUTPUT, CellKind.SEQUENTIAL)
+
+    @property
+    def is_pad(self) -> bool:
+        """Whether the cell is an I/O pad (fixed in many flows; movable here)."""
+        return self in (CellKind.PRIMARY_INPUT, CellKind.PRIMARY_OUTPUT)
+
+
+@dataclass(frozen=True, slots=True)
+class Cell:
+    """A standard cell (or I/O pad) in the netlist.
+
+    Attributes
+    ----------
+    name:
+        Unique name within the netlist (e.g. ``"G17"``).
+    index:
+        Dense integer id assigned by the :class:`Netlist`; used to index the
+        NumPy arrays that hold per-cell numeric data.
+    width:
+        Cell width in abstract layout units (standard cells share one height).
+    delay:
+        Intrinsic cell delay in abstract time units, used by the static timing
+        analysis.  Pads have zero delay.
+    kind:
+        Functional class, see :class:`CellKind`.
+    """
+
+    name: str
+    index: int
+    width: float = 1.0
+    delay: float = 1.0
+    kind: CellKind = CellKind.COMBINATIONAL
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError(f"cell {self.name!r}: width must be positive, got {self.width}")
+        if self.delay < 0:
+            raise ValueError(f"cell {self.name!r}: delay must be non-negative, got {self.delay}")
+        if self.index < 0:
+            raise ValueError(f"cell {self.name!r}: index must be non-negative, got {self.index}")
+
+    @property
+    def is_movable(self) -> bool:
+        """All cells (including pads) are movable in this reproduction."""
+        return True
+
+
+@dataclass(frozen=True, slots=True)
+class Net:
+    """A net (hyper-edge) connecting a driver cell to one or more sink cells.
+
+    Attributes
+    ----------
+    name:
+        Unique net name.
+    index:
+        Dense integer id assigned by the :class:`Netlist`.
+    driver:
+        Index of the driving cell.
+    sinks:
+        Indices of the sink cells (non-empty, no duplicates, never containing
+        the driver).
+    weight:
+        Relative routing importance used by the wirelength objective.
+    """
+
+    name: str
+    index: int
+    driver: int
+    sinks: Tuple[int, ...]
+    weight: float = 1.0
+    _members: Tuple[int, ...] = field(default=(), repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.sinks:
+            raise ValueError(f"net {self.name!r}: must have at least one sink")
+        if self.driver in self.sinks:
+            raise ValueError(f"net {self.name!r}: driver {self.driver} also listed as sink")
+        if len(set(self.sinks)) != len(self.sinks):
+            raise ValueError(f"net {self.name!r}: duplicate sinks {self.sinks}")
+        if self.weight <= 0:
+            raise ValueError(f"net {self.name!r}: weight must be positive, got {self.weight}")
+        object.__setattr__(self, "_members", (self.driver,) + tuple(self.sinks))
+
+    @property
+    def members(self) -> Tuple[int, ...]:
+        """Driver followed by all sinks."""
+        return self._members
+
+    @property
+    def degree(self) -> int:
+        """Number of cells attached to the net (driver + sinks)."""
+        return 1 + len(self.sinks)

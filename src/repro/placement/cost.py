@@ -1,0 +1,327 @@
+"""Multi-objective placement cost with fuzzy goal-based aggregation.
+
+This module ties the three crisp objectives — weighted HPWL wirelength,
+critical-path delay and row-balanced area — to the fuzzy goal machinery of
+:mod:`repro.fuzzy` and exposes the single entry point used by the tabu-search
+engine: :class:`CostEvaluator`.
+
+The evaluator owns a :class:`~repro.placement.solution.Placement` together
+with the incremental state of every objective, so that
+
+* ``evaluate_swap(a, b)`` returns the *scalar cost* the solution would have if
+  cells ``a`` and ``b`` exchanged slots (in time proportional to the nets
+  touching the two cells), and
+* ``commit_swap(a, b)`` actually applies the swap and keeps all caches
+  consistent.
+
+Because the fuzzy aggregation is non-linear, deltas of the scalar cost are
+always computed by aggregating the hypothetical objective vector, never by
+adding per-objective deltas directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Literal, Mapping, Optional
+
+import numpy as np
+
+from ..errors import CostModelError
+from ..fuzzy import FuzzyGoal, FuzzyGoalAggregator
+from .area import AreaState
+from .layout import Layout
+from .solution import Placement
+from .timing import TimingAnalyzer, TimingModel, TimingState
+from .wirelength import WirelengthState
+
+__all__ = ["ObjectiveVector", "CostModelParams", "CostEvaluator"]
+
+#: Canonical objective names used throughout the library.
+WIRELENGTH = "wirelength"
+DELAY = "delay"
+AREA = "area"
+
+
+@dataclass(frozen=True, slots=True)
+class ObjectiveVector:
+    """Crisp values of the three placement objectives."""
+
+    wirelength: float
+    delay: float
+    area: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Mapping from objective name to value (for the fuzzy aggregator)."""
+        return {WIRELENGTH: self.wirelength, DELAY: self.delay, AREA: self.area}
+
+    def dominates(self, other: "ObjectiveVector") -> bool:
+        """Pareto dominance: no worse in all objectives and better in one."""
+        no_worse = (
+            self.wirelength <= other.wirelength
+            and self.delay <= other.delay
+            and self.area <= other.area
+        )
+        better = (
+            self.wirelength < other.wirelength
+            or self.delay < other.delay
+            or self.area < other.area
+        )
+        return no_worse and better
+
+
+@dataclass(frozen=True, slots=True)
+class CostModelParams:
+    """Configuration of the multi-objective cost model.
+
+    The ``*_goal_factor`` / ``*_upper_factor`` pairs define, per objective,
+    the fuzzy goal relative to the *reference* solution (normally the initial
+    placement): the goal is ``goal_factor * reference`` and the membership
+    falls to zero at ``upper_factor * reference``.
+
+    ``aggregation`` selects between the paper's fuzzy goal-based cost and a
+    plain normalised weighted sum (kept as an ablation baseline).
+    """
+
+    wire_goal_factor: float = 0.55
+    wire_upper_factor: float = 1.10
+    delay_goal_factor: float = 0.70
+    delay_upper_factor: float = 1.10
+    area_goal_factor: float = 0.85
+    area_upper_factor: float = 1.10
+    wire_weight: float = 2.0
+    delay_weight: float = 1.0
+    area_weight: float = 1.0
+    beta: float = 0.7
+    aggregation: Literal["fuzzy", "weighted_sum"] = "fuzzy"
+    timing_refresh_interval: int = 8
+    wire_delay_per_unit: float = 0.05
+
+    def __post_init__(self) -> None:
+        for label, goal, upper in (
+            ("wire", self.wire_goal_factor, self.wire_upper_factor),
+            ("delay", self.delay_goal_factor, self.delay_upper_factor),
+            ("area", self.area_goal_factor, self.area_upper_factor),
+        ):
+            if not (0.0 < goal < upper):
+                raise CostModelError(
+                    f"{label}: need 0 < goal_factor < upper_factor, got {goal}, {upper}"
+                )
+        for label, weight in (
+            ("wire_weight", self.wire_weight),
+            ("delay_weight", self.delay_weight),
+            ("area_weight", self.area_weight),
+        ):
+            if weight <= 0:
+                raise CostModelError(f"{label} must be positive, got {weight}")
+        if not (0.0 <= self.beta <= 1.0):
+            raise CostModelError(f"beta must be in [0, 1], got {self.beta}")
+        if self.aggregation not in ("fuzzy", "weighted_sum"):
+            raise CostModelError(f"unknown aggregation {self.aggregation!r}")
+        if self.timing_refresh_interval < 1:
+            raise CostModelError("timing_refresh_interval must be >= 1")
+
+
+class CostEvaluator:
+    """Scalar cost of a placement, with incremental swap evaluation.
+
+    Parameters
+    ----------
+    placement:
+        The (mutable) solution this evaluator is bound to.
+    params:
+        Cost-model configuration.
+    reference:
+        Objective values used to anchor the fuzzy goals and the weighted-sum
+        normalisation.  Defaults to the objectives of ``placement`` at
+        construction time.  All workers of a parallel run must share the same
+        reference so their costs are comparable; the master computes it once
+        and ships it together with the initial solution.
+    """
+
+    def __init__(
+        self,
+        placement: Placement,
+        params: CostModelParams | None = None,
+        *,
+        reference: Optional[ObjectiveVector] = None,
+    ) -> None:
+        self._placement = placement
+        self._params = params or CostModelParams()
+        self._wirelength = WirelengthState(placement)
+        analyzer = TimingAnalyzer(
+            placement.netlist, TimingModel(self._params.wire_delay_per_unit)
+        )
+        self._timing = TimingState(
+            placement, analyzer, refresh_interval=self._params.timing_refresh_interval
+        )
+        self._area = AreaState(placement)
+        self._reference = reference or self.objectives()
+        self._aggregator = self._build_aggregator(self._reference)
+        #: Number of swap evaluations performed (trials + commits).  The
+        #: simulated cluster uses this as the "work units" a process consumed.
+        self.evaluations: int = 0
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    def _build_aggregator(self, reference: ObjectiveVector) -> FuzzyGoalAggregator:
+        p = self._params
+        goals = [
+            FuzzyGoal.from_reference(
+                WIRELENGTH, reference.wirelength,
+                goal_factor=p.wire_goal_factor, upper_factor=p.wire_upper_factor,
+                weight=p.wire_weight,
+            ),
+            FuzzyGoal.from_reference(
+                DELAY, reference.delay,
+                goal_factor=p.delay_goal_factor, upper_factor=p.delay_upper_factor,
+                weight=p.delay_weight,
+            ),
+            FuzzyGoal.from_reference(
+                AREA, reference.area,
+                goal_factor=p.area_goal_factor, upper_factor=p.area_upper_factor,
+                weight=p.area_weight,
+            ),
+        ]
+        return FuzzyGoalAggregator(goals, beta=p.beta)
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def placement(self) -> Placement:
+        """The solution this evaluator is bound to."""
+        return self._placement
+
+    @property
+    def params(self) -> CostModelParams:
+        """Cost-model configuration."""
+        return self._params
+
+    @property
+    def reference(self) -> ObjectiveVector:
+        """Reference objective vector anchoring the goals."""
+        return self._reference
+
+    @property
+    def aggregator(self) -> FuzzyGoalAggregator:
+        """The fuzzy goal aggregator (also used in weighted-sum mode for goals)."""
+        return self._aggregator
+
+    def objectives(self) -> ObjectiveVector:
+        """Current crisp objective values from the incremental caches."""
+        return ObjectiveVector(
+            wirelength=self._wirelength.total,
+            delay=self._timing.critical_delay,
+            area=self._area.total,
+        )
+
+    def aggregate(self, objectives: ObjectiveVector) -> float:
+        """Scalar cost (lower is better) of an arbitrary objective vector."""
+        if self._params.aggregation == "fuzzy":
+            return self._aggregator.cost(objectives.as_dict())
+        # normalised weighted sum
+        p = self._params
+        ref = self._reference
+        total_weight = p.wire_weight + p.delay_weight + p.area_weight
+        return float(
+            (
+                p.wire_weight * objectives.wirelength / max(ref.wirelength, 1e-9)
+                + p.delay_weight * objectives.delay / max(ref.delay, 1e-9)
+                + p.area_weight * objectives.area / max(ref.area, 1e-9)
+            )
+            / total_weight
+        )
+
+    def cost(self) -> float:
+        """Scalar cost of the current placement."""
+        return self.aggregate(self.objectives())
+
+    def exact_cost(self) -> float:
+        """Scalar cost with the timing surrogate refreshed to an exact STA."""
+        self._timing.refresh()
+        return self.cost()
+
+    def memberships(self) -> Dict[str, float]:
+        """Per-objective fuzzy memberships of the current placement."""
+        return self._aggregator.memberships(self.objectives().as_dict())
+
+    # ------------------------------------------------------------------ #
+    # swap evaluation / mutation
+    # ------------------------------------------------------------------ #
+    def evaluate_swap(self, cell_a: int, cell_b: int) -> float:
+        """Cost the solution would have if ``cell_a`` and ``cell_b`` swapped."""
+        if cell_a == cell_b:
+            return self.cost()
+        self.evaluations += 1
+        current = self.objectives()
+        hypothetical = ObjectiveVector(
+            wirelength=current.wirelength + self._wirelength.delta_for_swap(cell_a, cell_b),
+            delay=current.delay + self._timing.delta_for_swap(cell_a, cell_b),
+            area=current.area + self._area.delta_for_swap(cell_a, cell_b),
+        )
+        return self.aggregate(hypothetical)
+
+    def swap_gain(self, cell_a: int, cell_b: int) -> float:
+        """Cost reduction achieved by swapping (positive = improvement)."""
+        return self.cost() - self.evaluate_swap(cell_a, cell_b)
+
+    def commit_swap(self, cell_a: int, cell_b: int) -> float:
+        """Apply the swap, update all incremental caches and return the new cost."""
+        if cell_a == cell_b:
+            return self.cost()
+        self.evaluations += 1
+        self._placement.swap_cells(cell_a, cell_b)
+        self._wirelength.commit_swap(cell_a, cell_b)
+        self._area.commit_swap(cell_a, cell_b)
+        self._timing.commit_swap(cell_a, cell_b)
+        return self.cost()
+
+    def install_solution(self, cell_to_slot: np.ndarray) -> float:
+        """Adopt a whole new assignment (e.g. received from another worker)."""
+        self._placement.set_assignment(cell_to_slot)
+        self.rebuild()
+        return self.cost()
+
+    def rebuild(self) -> None:
+        """Rebuild every incremental cache from the placement's current state."""
+        self._wirelength.rebuild()
+        self._area.rebuild()
+        self._timing.refresh()
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of the current assignment, suitable for message passing."""
+        return self._placement.to_array()
+
+    def verify_consistency(self, *, atol: float = 1e-6) -> None:
+        """Check incremental caches against from-scratch recomputation.
+
+        Used by tests and (optionally) by long runs as a self-check.  Raises
+        :class:`~repro.errors.CostModelError` on divergence.
+        """
+        from .area import full_area
+        from .wirelength import full_hpwl
+
+        _, wl = full_hpwl(self._placement)
+        if abs(wl - self._wirelength.total) > atol * max(1.0, abs(wl)):
+            raise CostModelError(
+                f"wirelength cache drift: cached={self._wirelength.total}, exact={wl}"
+            )
+        area = full_area(self._placement)
+        if abs(area - self._area.total) > atol * max(1.0, abs(area)):
+            raise CostModelError(
+                f"area cache drift: cached={self._area.total}, exact={area}"
+            )
+        self._placement.validate()
+
+
+def make_evaluator(
+    layout: Layout,
+    cell_to_slot: np.ndarray,
+    params: CostModelParams | None = None,
+    *,
+    reference: Optional[ObjectiveVector] = None,
+) -> CostEvaluator:
+    """Convenience constructor: build a placement + evaluator from an array."""
+    placement = Placement(layout, cell_to_slot)
+    return CostEvaluator(placement, params, reference=reference)

@@ -1,0 +1,76 @@
+"""Named benchmark circuits used in the paper's evaluation.
+
+The paper uses four ISCAS-89 circuits: ``highway`` (56 cells), ``c532``
+(395 cells), ``c1355`` (1451 cells) and ``c3540`` (2243 cells).  This module
+exposes them as named, deterministically generated synthetic circuits (see
+:mod:`repro.placement.generator` and DESIGN.md for the substitution
+rationale), plus a few smaller circuits that the test-suite and quick examples
+use to keep runtimes short.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..errors import NetlistError
+from .generator import CircuitSpec, generate_circuit
+from .netlist import Netlist
+
+__all__ = [
+    "BENCHMARK_SPECS",
+    "PAPER_CIRCUITS",
+    "benchmark_names",
+    "load_benchmark",
+    "paper_benchmarks",
+]
+
+#: Circuits used in the paper's experiments, in increasing size order.
+PAPER_CIRCUITS: Tuple[str, ...] = ("highway", "c532", "c1355", "c3540")
+
+#: Specifications of all named benchmarks, including small test circuits.
+BENCHMARK_SPECS: Dict[str, CircuitSpec] = {
+    # Tiny circuits for unit tests and quick examples (not in the paper).
+    "tiny16": CircuitSpec(name="tiny16", num_cells=16, seed=11, avg_fanin=1.8),
+    "mini64": CircuitSpec(name="mini64", num_cells=64, seed=13),
+    "small200": CircuitSpec(name="small200", num_cells=200, seed=17),
+    # The four ISCAS-89 benchmarks from the paper (sizes from Section 5).
+    "highway": CircuitSpec(name="highway", num_cells=56, seed=89),
+    "c532": CircuitSpec(name="c532", num_cells=395, seed=532),
+    "c1355": CircuitSpec(name="c1355", num_cells=1451, seed=1355),
+    "c3540": CircuitSpec(name="c3540", num_cells=2243, seed=3540),
+}
+
+_CACHE: Dict[str, Netlist] = {}
+
+
+def benchmark_names() -> Tuple[str, ...]:
+    """Names of all available benchmark circuits (paper + test circuits)."""
+    return tuple(BENCHMARK_SPECS)
+
+
+def load_benchmark(name: str, *, use_cache: bool = True) -> Netlist:
+    """Load (generate) a named benchmark circuit.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`benchmark_names`.
+    use_cache:
+        Generation is deterministic, so by default circuits are cached per
+        process.  Pass ``False`` to force regeneration (used by tests that
+        check determinism).
+    """
+    if name not in BENCHMARK_SPECS:
+        known = ", ".join(sorted(BENCHMARK_SPECS))
+        raise NetlistError(f"unknown benchmark circuit {name!r}; known circuits: {known}")
+    if use_cache and name in _CACHE:
+        return _CACHE[name]
+    netlist = generate_circuit(BENCHMARK_SPECS[name])
+    if use_cache:
+        _CACHE[name] = netlist
+    return netlist
+
+
+def paper_benchmarks() -> Dict[str, Netlist]:
+    """Load all four circuits used in the paper's evaluation."""
+    return {name: load_benchmark(name) for name in PAPER_CIRCUITS}

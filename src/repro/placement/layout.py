@@ -1,0 +1,170 @@
+"""Row-based standard-cell layout geometry.
+
+Standard-cell placement arranges cells in horizontal rows of equal height.
+For an iterative swap-based optimizer it is customary to discretise the rows
+into *slots*: a cell occupies exactly one slot and a *move* swaps the contents
+of two slots.  The layout therefore provides
+
+* the number of rows and slots-per-row (derived from the circuit size and a
+  target aspect ratio),
+* the physical ``(x, y)`` coordinate of every slot centre (vectorised NumPy
+  arrays used by the wirelength and timing objectives), and
+* the slot→row mapping used by the area objective.
+
+The geometry is intentionally simple — uniform slot pitch equal to the
+average cell width — because the paper's experiments measure *relative*
+placement quality of the same cost model across parallelisation settings, not
+absolute legality of a tape-out-ready placement.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import LayoutError
+from .netlist import Netlist
+
+__all__ = ["LayoutSpec", "Layout"]
+
+
+@dataclass(frozen=True, slots=True)
+class LayoutSpec:
+    """Parameters controlling layout construction.
+
+    Attributes
+    ----------
+    aspect_ratio:
+        Target height/width ratio of the placement region (1.0 = square).
+    row_height:
+        Physical height of a row in layout units.
+    slot_utilization:
+        Fraction of slots occupied by cells; must be in ``(0, 1]``.  Values
+        below 1 leave empty slots, giving the optimizer extra freedom.
+    """
+
+    aspect_ratio: float = 1.0
+    row_height: float = 4.0
+    slot_utilization: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.aspect_ratio <= 0:
+            raise LayoutError(f"aspect_ratio must be positive, got {self.aspect_ratio}")
+        if self.row_height <= 0:
+            raise LayoutError(f"row_height must be positive, got {self.row_height}")
+        if not (0.0 < self.slot_utilization <= 1.0):
+            raise LayoutError(f"slot_utilization must be in (0, 1], got {self.slot_utilization}")
+
+
+class Layout:
+    """Discretised row/slot geometry for a given netlist.
+
+    Parameters
+    ----------
+    netlist:
+        The circuit being placed; only its size and average cell width matter.
+    spec:
+        Geometry parameters; defaults give a roughly square region fully
+        utilised by cells.
+    """
+
+    def __init__(self, netlist: Netlist, spec: LayoutSpec | None = None) -> None:
+        self._netlist = netlist
+        self._spec = spec or LayoutSpec()
+        self._build()
+
+    def _build(self) -> None:
+        spec = self._spec
+        n_cells = self._netlist.num_cells
+        n_slots = int(math.ceil(n_cells / spec.slot_utilization))
+        avg_width = float(self._netlist.cell_widths.mean())
+        # choose rows such that (rows * row_height) / (slots_per_row * pitch) ~ aspect
+        pitch = avg_width
+        rows = max(1, int(round(math.sqrt(n_slots * spec.aspect_ratio * pitch / spec.row_height))))
+        slots_per_row = int(math.ceil(n_slots / rows))
+        n_slots = rows * slots_per_row
+        if n_slots < n_cells:
+            raise LayoutError(
+                f"layout for {self._netlist.name!r}: {n_slots} slots < {n_cells} cells"
+            )
+
+        self._num_rows = rows
+        self._slots_per_row = slots_per_row
+        self._num_slots = n_slots
+        self._slot_pitch = pitch
+
+        slot_ids = np.arange(n_slots, dtype=np.int64)
+        self._slot_row = slot_ids // slots_per_row
+        slot_col = slot_ids % slots_per_row
+        self._slot_x = (slot_col.astype(np.float64) + 0.5) * pitch
+        self._slot_y = (self._slot_row.astype(np.float64) + 0.5) * spec.row_height
+        for arr in (self._slot_row, self._slot_x, self._slot_y):
+            arr.flags.writeable = False
+
+    # ------------------------------------------------------------------ #
+    @property
+    def netlist(self) -> Netlist:
+        """The circuit this layout was built for."""
+        return self._netlist
+
+    @property
+    def spec(self) -> LayoutSpec:
+        """Geometry parameters."""
+        return self._spec
+
+    @property
+    def num_rows(self) -> int:
+        """Number of standard-cell rows."""
+        return self._num_rows
+
+    @property
+    def slots_per_row(self) -> int:
+        """Number of slots in each row."""
+        return self._slots_per_row
+
+    @property
+    def num_slots(self) -> int:
+        """Total number of slots (``num_rows * slots_per_row``)."""
+        return self._num_slots
+
+    @property
+    def slot_pitch(self) -> float:
+        """Horizontal distance between adjacent slot centres."""
+        return self._slot_pitch
+
+    @property
+    def slot_x(self) -> np.ndarray:
+        """x coordinate of each slot centre (read-only, length ``num_slots``)."""
+        return self._slot_x
+
+    @property
+    def slot_y(self) -> np.ndarray:
+        """y coordinate of each slot centre (read-only, length ``num_slots``)."""
+        return self._slot_y
+
+    @property
+    def slot_row(self) -> np.ndarray:
+        """Row index of each slot (read-only, length ``num_slots``)."""
+        return self._slot_row
+
+    @property
+    def width(self) -> float:
+        """Physical width of the placement region."""
+        return self._slots_per_row * self._slot_pitch
+
+    @property
+    def height(self) -> float:
+        """Physical height of the placement region."""
+        return self._num_rows * self._spec.row_height
+
+    def half_perimeter(self) -> float:
+        """Half-perimeter of the whole region (upper bound scale for a net's HPWL)."""
+        return self.width + self.height
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"Layout(circuit={self._netlist.name!r}, rows={self._num_rows}, "
+            f"slots_per_row={self._slots_per_row})"
+        )

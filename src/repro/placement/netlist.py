@@ -1,0 +1,376 @@
+"""Netlist container: the hypergraph of cells and nets.
+
+The :class:`Netlist` owns the immutable structure of the circuit and exposes
+both an object view (:class:`~repro.placement.cell.Cell` /
+:class:`~repro.placement.cell.Net`) and a vectorised view (NumPy arrays of
+widths, delays, and a flat CSR-like net-membership encoding) that the
+objective functions use in their hot loops.
+
+A :class:`NetlistBuilder` provides a forgiving, name-based construction API;
+:meth:`NetlistBuilder.build` validates the structure and freezes it into a
+:class:`Netlist`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import NetlistError
+from .cell import Cell, CellKind, Net
+
+__all__ = ["Netlist", "NetlistBuilder", "NetlistStats"]
+
+
+@dataclass(frozen=True, slots=True)
+class NetlistStats:
+    """Summary statistics of a netlist, handy for logging and tests."""
+
+    name: str
+    num_cells: int
+    num_nets: int
+    num_pins: int
+    avg_net_degree: float
+    max_net_degree: int
+    avg_cell_fanout: float
+    total_cell_width: float
+    num_primary_inputs: int
+    num_primary_outputs: int
+    num_sequential: int
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the statistics as a plain dictionary (for reports)."""
+        return {
+            "name": self.name,
+            "num_cells": self.num_cells,
+            "num_nets": self.num_nets,
+            "num_pins": self.num_pins,
+            "avg_net_degree": self.avg_net_degree,
+            "max_net_degree": self.max_net_degree,
+            "avg_cell_fanout": self.avg_cell_fanout,
+            "total_cell_width": self.total_cell_width,
+            "num_primary_inputs": self.num_primary_inputs,
+            "num_primary_outputs": self.num_primary_outputs,
+            "num_sequential": self.num_sequential,
+        }
+
+
+class Netlist:
+    """Immutable hypergraph of cells and nets.
+
+    Instances are normally created through :class:`NetlistBuilder` or the
+    synthetic circuit generator (:mod:`repro.placement.generator`).
+
+    Parameters
+    ----------
+    name:
+        Human-readable circuit name (e.g. ``"c532"``).
+    cells:
+        Sequence of :class:`Cell` whose ``index`` equals their position.
+    nets:
+        Sequence of :class:`Net` whose ``index`` equals their position and
+        whose member indices refer to ``cells``.
+    """
+
+    def __init__(self, name: str, cells: Sequence[Cell], nets: Sequence[Net]) -> None:
+        self._name = name
+        self._cells: Tuple[Cell, ...] = tuple(cells)
+        self._nets: Tuple[Net, ...] = tuple(nets)
+        self._validate()
+        self._build_arrays()
+        self._build_adjacency()
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    def _validate(self) -> None:
+        if not self._cells:
+            raise NetlistError(f"netlist {self._name!r}: must contain at least one cell")
+        names = set()
+        for pos, cell in enumerate(self._cells):
+            if cell.index != pos:
+                raise NetlistError(
+                    f"netlist {self._name!r}: cell {cell.name!r} has index {cell.index}, expected {pos}"
+                )
+            if cell.name in names:
+                raise NetlistError(f"netlist {self._name!r}: duplicate cell name {cell.name!r}")
+            names.add(cell.name)
+        net_names = set()
+        n = len(self._cells)
+        for pos, net in enumerate(self._nets):
+            if net.index != pos:
+                raise NetlistError(
+                    f"netlist {self._name!r}: net {net.name!r} has index {net.index}, expected {pos}"
+                )
+            if net.name in net_names:
+                raise NetlistError(f"netlist {self._name!r}: duplicate net name {net.name!r}")
+            net_names.add(net.name)
+            for member in net.members:
+                if not (0 <= member < n):
+                    raise NetlistError(
+                        f"netlist {self._name!r}: net {net.name!r} references unknown cell index {member}"
+                    )
+
+    def _build_arrays(self) -> None:
+        self._widths = np.array([c.width for c in self._cells], dtype=np.float64)
+        self._delays = np.array([c.delay for c in self._cells], dtype=np.float64)
+        self._net_weights = np.array([net.weight for net in self._nets], dtype=np.float64)
+        # CSR-style flattened net membership: members of net i are
+        # flat_members[net_ptr[i]:net_ptr[i+1]].
+        counts = np.array([net.degree for net in self._nets], dtype=np.int64)
+        self._net_ptr = np.zeros(len(self._nets) + 1, dtype=np.int64)
+        np.cumsum(counts, out=self._net_ptr[1:])
+        if self._nets:
+            self._flat_members = np.concatenate(
+                [np.asarray(net.members, dtype=np.int64) for net in self._nets]
+            )
+        else:
+            self._flat_members = np.zeros(0, dtype=np.int64)
+
+    def _build_adjacency(self) -> None:
+        # cell -> nets incident to it (CSR as well)
+        incidence: List[List[int]] = [[] for _ in self._cells]
+        for net in self._nets:
+            for member in net.members:
+                incidence[member].append(net.index)
+        counts = np.array([len(lst) for lst in incidence], dtype=np.int64)
+        self._cell_net_ptr = np.zeros(len(self._cells) + 1, dtype=np.int64)
+        np.cumsum(counts, out=self._cell_net_ptr[1:])
+        if any(incidence):
+            self._cell_net_flat = np.concatenate(
+                [np.asarray(lst, dtype=np.int64) if lst else np.zeros(0, dtype=np.int64) for lst in incidence]
+            )
+        else:
+            self._cell_net_flat = np.zeros(0, dtype=np.int64)
+        # fanout structure for timing: driver -> sinks per net
+        fanout: List[List[int]] = [[] for _ in self._cells]
+        fanin: List[List[int]] = [[] for _ in self._cells]
+        for net in self._nets:
+            for sink in net.sinks:
+                fanout[net.driver].append(sink)
+                fanin[sink].append(net.driver)
+        self._fanout = tuple(tuple(lst) for lst in fanout)
+        self._fanin = tuple(tuple(lst) for lst in fanin)
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        """Circuit name."""
+        return self._name
+
+    @property
+    def num_cells(self) -> int:
+        """Number of cells (including pads)."""
+        return len(self._cells)
+
+    @property
+    def num_nets(self) -> int:
+        """Number of nets."""
+        return len(self._nets)
+
+    @property
+    def num_pins(self) -> int:
+        """Total number of pins (sum of net degrees)."""
+        return int(self._net_ptr[-1])
+
+    @property
+    def cells(self) -> Tuple[Cell, ...]:
+        """All cells, ordered by index."""
+        return self._cells
+
+    @property
+    def nets(self) -> Tuple[Net, ...]:
+        """All nets, ordered by index."""
+        return self._nets
+
+    def cell(self, index: int) -> Cell:
+        """Return the cell with the given dense index."""
+        return self._cells[index]
+
+    def net(self, index: int) -> Net:
+        """Return the net with the given dense index."""
+        return self._nets[index]
+
+    def cell_by_name(self, name: str) -> Cell:
+        """Look up a cell by name (O(n); intended for tests and tooling)."""
+        for cell in self._cells:
+            if cell.name == name:
+                return cell
+        raise NetlistError(f"netlist {self._name!r}: no cell named {name!r}")
+
+    def __iter__(self) -> Iterator[Cell]:
+        return iter(self._cells)
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Netlist(name={self._name!r}, cells={self.num_cells}, nets={self.num_nets})"
+
+    # ------------------------------------------------------------------ #
+    # vectorised views used by the objective functions
+    # ------------------------------------------------------------------ #
+    @property
+    def cell_widths(self) -> np.ndarray:
+        """Array of cell widths, indexed by cell index (read-only view)."""
+        view = self._widths.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def cell_delays(self) -> np.ndarray:
+        """Array of intrinsic cell delays (read-only view)."""
+        view = self._delays.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def net_weights(self) -> np.ndarray:
+        """Array of net weights (read-only view)."""
+        view = self._net_weights.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def net_ptr(self) -> np.ndarray:
+        """CSR row pointer into :attr:`flat_members` (length ``num_nets + 1``)."""
+        view = self._net_ptr.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def flat_members(self) -> np.ndarray:
+        """Flattened net membership array (driver first, then sinks, per net)."""
+        view = self._flat_members.view()
+        view.flags.writeable = False
+        return view
+
+    def net_members(self, net_index: int) -> np.ndarray:
+        """Cell indices attached to ``net_index`` (driver first)."""
+        start, stop = self._net_ptr[net_index], self._net_ptr[net_index + 1]
+        return self._flat_members[start:stop]
+
+    def nets_of_cell(self, cell_index: int) -> np.ndarray:
+        """Indices of the nets incident to ``cell_index``."""
+        start, stop = self._cell_net_ptr[cell_index], self._cell_net_ptr[cell_index + 1]
+        return self._cell_net_flat[start:stop]
+
+    def nets_of_cells(self, cell_indices: Iterable[int]) -> np.ndarray:
+        """Union (deduplicated) of nets incident to any of ``cell_indices``."""
+        pieces = [self.nets_of_cell(int(c)) for c in cell_indices]
+        if not pieces:
+            return np.zeros(0, dtype=np.int64)
+        return np.unique(np.concatenate(pieces))
+
+    def fanout(self, cell_index: int) -> Tuple[int, ...]:
+        """Cells driven (directly) by ``cell_index``."""
+        return self._fanout[cell_index]
+
+    def fanin(self, cell_index: int) -> Tuple[int, ...]:
+        """Cells directly driving ``cell_index``."""
+        return self._fanin[cell_index]
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+    def stats(self) -> NetlistStats:
+        """Compute summary statistics (cheap; O(cells + pins))."""
+        degrees = np.diff(self._net_ptr)
+        fanouts = np.array([len(f) for f in self._fanout], dtype=np.float64)
+        return NetlistStats(
+            name=self._name,
+            num_cells=self.num_cells,
+            num_nets=self.num_nets,
+            num_pins=self.num_pins,
+            avg_net_degree=float(degrees.mean()) if self.num_nets else 0.0,
+            max_net_degree=int(degrees.max()) if self.num_nets else 0,
+            avg_cell_fanout=float(fanouts.mean()),
+            total_cell_width=float(self._widths.sum()),
+            num_primary_inputs=sum(1 for c in self._cells if c.kind is CellKind.PRIMARY_INPUT),
+            num_primary_outputs=sum(1 for c in self._cells if c.kind is CellKind.PRIMARY_OUTPUT),
+            num_sequential=sum(1 for c in self._cells if c.kind is CellKind.SEQUENTIAL),
+        )
+
+
+class NetlistBuilder:
+    """Incremental, name-based netlist construction.
+
+    Example
+    -------
+    >>> builder = NetlistBuilder("tiny")
+    >>> builder.add_cell("a", kind=CellKind.PRIMARY_INPUT, delay=0.0)
+    >>> builder.add_cell("g1")
+    >>> builder.add_cell("z", kind=CellKind.PRIMARY_OUTPUT, delay=0.0)
+    >>> builder.add_net("n1", driver="a", sinks=["g1"])
+    >>> builder.add_net("n2", driver="g1", sinks=["z"])
+    >>> netlist = builder.build()
+    >>> netlist.num_cells, netlist.num_nets
+    (3, 2)
+    """
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+        self._cells: List[Cell] = []
+        self._cell_index: Dict[str, int] = {}
+        self._net_specs: List[Tuple[str, str, Tuple[str, ...], float]] = []
+        self._net_names: set[str] = set()
+
+    @property
+    def num_cells(self) -> int:
+        """Number of cells added so far."""
+        return len(self._cells)
+
+    def add_cell(
+        self,
+        name: str,
+        *,
+        width: float = 1.0,
+        delay: float = 1.0,
+        kind: CellKind = CellKind.COMBINATIONAL,
+    ) -> int:
+        """Add a cell and return its dense index."""
+        if name in self._cell_index:
+            raise NetlistError(f"builder {self._name!r}: duplicate cell name {name!r}")
+        index = len(self._cells)
+        self._cells.append(Cell(name=name, index=index, width=width, delay=delay, kind=kind))
+        self._cell_index[name] = index
+        return index
+
+    def add_net(
+        self,
+        name: str,
+        *,
+        driver: str,
+        sinks: Iterable[str],
+        weight: float = 1.0,
+    ) -> None:
+        """Add a net connecting named cells (cells must already exist)."""
+        if name in self._net_names:
+            raise NetlistError(f"builder {self._name!r}: duplicate net name {name!r}")
+        sinks = tuple(sinks)
+        if driver not in self._cell_index:
+            raise NetlistError(f"builder {self._name!r}: net {name!r} driver {driver!r} unknown")
+        for sink in sinks:
+            if sink not in self._cell_index:
+                raise NetlistError(f"builder {self._name!r}: net {name!r} sink {sink!r} unknown")
+        self._net_names.add(name)
+        self._net_specs.append((name, driver, sinks, weight))
+
+    def build(self) -> Netlist:
+        """Validate and freeze the accumulated cells/nets into a :class:`Netlist`."""
+        nets = []
+        for pos, (name, driver, sinks, weight) in enumerate(self._net_specs):
+            nets.append(
+                Net(
+                    name=name,
+                    index=pos,
+                    driver=self._cell_index[driver],
+                    sinks=tuple(self._cell_index[s] for s in sinks),
+                    weight=weight,
+                )
+            )
+        return Netlist(self._name, self._cells, nets)

@@ -1,0 +1,330 @@
+"""Timing objective: critical-path delay via static timing analysis (STA).
+
+The paper's placement cost includes "timing performance / circuit speed",
+which is a function of cell delays and interconnection delays.  We model it in
+the usual way:
+
+* every cell has an intrinsic delay (0 for I/O pads, a clock-to-Q delay for
+  flip-flops);
+* every driver→sink connection has an interconnection delay proportional to
+  the Manhattan distance between the two cells under the current placement;
+* the *critical-path delay* is the longest data-arrival time at a timing
+  endpoint (primary output or flip-flop data input), computed by propagating
+  arrival times in topological order.
+
+A full STA is O(cells + connections) and is exact, but too expensive to run
+for every trial swap in the tabu-search inner loop.  :class:`TimingState`
+therefore caches the most recent critical path and scores candidate swaps by
+re-evaluating the cached path with the hypothetical positions — a standard
+path-based surrogate: exact for moves touching the cached path, optimistic
+otherwise.  The exact analysis is re-run when moves are committed (with a
+configurable refresh interval) so the surrogate never drifts far.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import CostModelError
+from .cell import CellKind
+from .netlist import Netlist
+from .solution import Placement
+
+__all__ = ["TimingModel", "TimingResult", "TimingAnalyzer", "TimingState"]
+
+
+@dataclass(frozen=True, slots=True)
+class TimingModel:
+    """Parameters of the interconnect delay model.
+
+    Attributes
+    ----------
+    wire_delay_per_unit:
+        Delay contributed per unit of Manhattan distance between a driver and
+        a sink.
+    """
+
+    wire_delay_per_unit: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.wire_delay_per_unit < 0:
+            raise CostModelError(
+                f"wire_delay_per_unit must be non-negative, got {self.wire_delay_per_unit}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class TimingResult:
+    """Outcome of one exact static timing analysis."""
+
+    critical_delay: float
+    #: Arrival time at the output of every cell.
+    arrival: np.ndarray
+    #: Cells along the critical path, from start point to end point.
+    critical_path: Tuple[int, ...]
+
+    @property
+    def path_length(self) -> int:
+        """Number of cells on the critical path."""
+        return len(self.critical_path)
+
+
+class TimingAnalyzer:
+    """Exact static timing analysis for a fixed netlist.
+
+    The netlist connectivity never changes during placement, so the
+    topological order, endpoint set and fan-in structure are computed once at
+    construction; only the geometric wire delays depend on the placement.
+    """
+
+    def __init__(self, netlist: Netlist, model: TimingModel | None = None) -> None:
+        self._netlist = netlist
+        self._model = model or TimingModel()
+        self._build_static_structure()
+
+    def _build_static_structure(self) -> None:
+        netlist = self._netlist
+        n = netlist.num_cells
+        kinds = [cell.kind for cell in netlist.cells]
+        self._is_start = np.array([k.is_timing_start for k in kinds], dtype=bool)
+        self._is_end = np.array([k.is_timing_end for k in kinds], dtype=bool)
+        self._is_pi = np.array([k is CellKind.PRIMARY_INPUT for k in kinds], dtype=bool)
+        self._is_seq = np.array([k is CellKind.SEQUENTIAL for k in kinds], dtype=bool)
+
+        # Propagating fan-in: for every cell, the drivers whose arrival feeds
+        # its own arrival.  Sequential cells do not propagate their fan-in
+        # (paths end at their D input); their own arrival is just clk-to-Q.
+        fanin: List[Tuple[int, ...]] = []
+        for c in range(n):
+            if self._is_start[c]:
+                fanin.append(())
+            else:
+                fanin.append(netlist.fanin(c))
+        self._prop_fanin = tuple(fanin)
+
+        # Endpoint fan-in: data inputs of sequential cells and primary outputs.
+        # (For primary outputs this is the same as the propagating fan-in.)
+        self._end_fanin = tuple(
+            netlist.fanin(c) if self._is_end[c] else () for c in range(n)
+        )
+
+        # Kahn topological sort over propagating edges.
+        indegree = np.array([len(f) for f in self._prop_fanin], dtype=np.int64)
+        consumers: List[List[int]] = [[] for _ in range(n)]
+        for c in range(n):
+            for d in self._prop_fanin[c]:
+                consumers[d].append(c)
+        queue = deque(int(c) for c in np.flatnonzero(indegree == 0))
+        order: List[int] = []
+        remaining = indegree.copy()
+        while queue:
+            c = queue.popleft()
+            order.append(c)
+            for consumer in consumers[c]:
+                remaining[consumer] -= 1
+                if remaining[consumer] == 0:
+                    queue.append(consumer)
+        if len(order) != n:
+            raise CostModelError(
+                f"netlist {netlist.name!r}: combinational cycle detected; "
+                "static timing analysis requires an acyclic combinational graph"
+            )
+        self._topo_order = tuple(order)
+        self._delays = netlist.cell_delays
+
+    @property
+    def netlist(self) -> Netlist:
+        """Netlist this analyzer was built for."""
+        return self._netlist
+
+    @property
+    def model(self) -> TimingModel:
+        """Interconnect delay model."""
+        return self._model
+
+    def wire_delay(self, x: np.ndarray, y: np.ndarray, driver: int, sink: int) -> float:
+        """Interconnect delay between two cells given coordinate arrays."""
+        dist = abs(float(x[driver] - x[sink])) + abs(float(y[driver] - y[sink]))
+        return self._model.wire_delay_per_unit * dist
+
+    # ------------------------------------------------------------------ #
+    def analyze(self, placement: Placement) -> TimingResult:
+        """Run an exact STA under ``placement`` and extract the critical path."""
+        x = placement.cell_x()
+        y = placement.cell_y()
+        n = self._netlist.num_cells
+        arrival = np.zeros(n, dtype=np.float64)
+        best_pred = np.full(n, -1, dtype=np.int64)
+        wpu = self._model.wire_delay_per_unit
+        delays = self._delays
+        for c in self._topo_order:
+            fanin = self._prop_fanin[c]
+            if fanin:
+                best = -np.inf
+                pred = -1
+                xc = x[c]
+                yc = y[c]
+                for d in fanin:
+                    t = arrival[d] + wpu * (abs(x[d] - xc) + abs(y[d] - yc))
+                    if t > best:
+                        best = t
+                        pred = d
+                arrival[c] = best + delays[c]
+                best_pred[c] = pred
+            else:
+                arrival[c] = delays[c]
+
+        # Data arrival at endpoints: max over endpoint fan-in of
+        # arrival(driver) + wire(driver, endpoint).
+        critical_delay = 0.0
+        critical_end = -1
+        critical_end_pred = -1
+        for c in np.flatnonzero(self._is_end):
+            fanin = self._end_fanin[c]
+            if not fanin:
+                continue
+            xc = x[c]
+            yc = y[c]
+            for d in fanin:
+                t = arrival[d] + wpu * (abs(x[d] - xc) + abs(y[d] - yc))
+                if t > critical_delay:
+                    critical_delay = float(t)
+                    critical_end = int(c)
+                    critical_end_pred = int(d)
+
+        path: List[int] = []
+        if critical_end >= 0:
+            path.append(critical_end)
+            cursor = critical_end_pred
+            while cursor >= 0:
+                path.append(cursor)
+                cursor = int(best_pred[cursor])
+            path.reverse()
+        return TimingResult(
+            critical_delay=float(critical_delay),
+            arrival=arrival,
+            critical_path=tuple(path),
+        )
+
+    def path_delay(
+        self,
+        placement: Placement,
+        path: Sequence[int],
+        overrides: Optional[Dict[int, Tuple[float, float]]] = None,
+    ) -> float:
+        """Delay along a specific cell path, optionally with position overrides.
+
+        ``overrides`` maps cell index to an ``(x, y)`` position that replaces
+        the placement's position for that cell — used to score hypothetical
+        swaps without mutating the placement.
+        """
+        if len(path) < 2:
+            return 0.0
+        x = placement.cell_x()
+        y = placement.cell_y()
+        if overrides:
+            for cell, (ox, oy) in overrides.items():
+                x[cell] = ox
+                y[cell] = oy
+        wpu = self._model.wire_delay_per_unit
+        delays = self._delays
+        total = 0.0
+        # Intrinsic delays: the start cell always contributes; intermediate
+        # cells contribute; the end point contributes only if it propagates
+        # (i.e. it is not a pure endpoint like a PO or a flip-flop D input).
+        for idx, cell in enumerate(path):
+            is_last = idx == len(path) - 1
+            if is_last and self._is_end[cell] and not self._is_start[cell]:
+                continue  # PO endpoint: no intrinsic delay after arrival
+            if is_last and self._is_seq[cell]:
+                continue  # flip-flop D input endpoint
+            total += float(delays[cell])
+        for a, b in zip(path[:-1], path[1:]):
+            total += wpu * (abs(float(x[a] - x[b])) + abs(float(y[a] - y[b])))
+        return total
+
+
+class TimingState:
+    """Incremental timing cost bound to one :class:`Placement`.
+
+    Keeps the last exact :class:`TimingResult` plus the set of cells on the
+    cached critical path.  ``delta_for_swap`` evaluates how the *cached path's*
+    delay would change if two cells swapped positions — exact when the swap
+    touches the cached path, zero otherwise (an optimistic but cheap
+    surrogate).  The exact analysis is refreshed on every ``refresh_interval``
+    committed swaps or explicitly via :meth:`refresh`.
+    """
+
+    def __init__(
+        self,
+        placement: Placement,
+        analyzer: TimingAnalyzer,
+        *,
+        refresh_interval: int = 8,
+    ) -> None:
+        if refresh_interval < 1:
+            raise CostModelError(f"refresh_interval must be >= 1, got {refresh_interval}")
+        self._placement = placement
+        self._analyzer = analyzer
+        self._refresh_interval = refresh_interval
+        self._commits_since_refresh = 0
+        self.refresh()
+
+    @property
+    def critical_delay(self) -> float:
+        """Delay of the cached critical path under the current placement."""
+        return self._cached_delay
+
+    @property
+    def critical_path(self) -> Tuple[int, ...]:
+        """Cells on the cached critical path."""
+        return self._result.critical_path
+
+    @property
+    def analyzer(self) -> TimingAnalyzer:
+        """The underlying exact analyzer."""
+        return self._analyzer
+
+    def refresh(self) -> TimingResult:
+        """Re-run the exact STA and reset the surrogate state."""
+        self._result = self._analyzer.analyze(self._placement)
+        self._cached_delay = self._result.critical_delay
+        self._path_cells = frozenset(self._result.critical_path)
+        self._commits_since_refresh = 0
+        return self._result
+
+    def exact_delay(self) -> float:
+        """Exact critical-path delay (runs a full STA, does not disturb caches)."""
+        return self._analyzer.analyze(self._placement).critical_delay
+
+    # ------------------------------------------------------------------ #
+    def delta_for_swap(self, cell_a: int, cell_b: int) -> float:
+        """Estimated critical-delay change if ``cell_a`` and ``cell_b`` swapped."""
+        if cell_a == cell_b:
+            return 0.0
+        path = self._result.critical_path
+        if len(path) < 2:
+            return 0.0
+        if cell_a not in self._path_cells and cell_b not in self._path_cells:
+            return 0.0
+        ax, ay = self._placement.position_of(cell_a)
+        bx, by = self._placement.position_of(cell_b)
+        overrides = {cell_a: (bx, by), cell_b: (ax, ay)}
+        new_delay = self._analyzer.path_delay(self._placement, path, overrides)
+        return float(new_delay - self._cached_delay)
+
+    def commit_swap(self, cell_a: int, cell_b: int) -> None:
+        """Update the cached path delay after the placement swap was applied."""
+        if cell_a == cell_b:
+            return
+        self._commits_since_refresh += 1
+        if self._commits_since_refresh >= self._refresh_interval:
+            self.refresh()
+            return
+        path = self._result.critical_path
+        if cell_a in self._path_cells or cell_b in self._path_cells:
+            self._cached_delay = self._analyzer.path_delay(self._placement, path)

@@ -1,0 +1,161 @@
+"""Wirelength objective: weighted half-perimeter wirelength (HPWL).
+
+The wirelength of a net is estimated by the half-perimeter of the bounding
+box of its pins — the standard estimator for placement.  The total objective
+is the net-weight-weighted sum over all nets.
+
+Two access patterns are provided:
+
+* :func:`full_hpwl` — vectorised full evaluation over all nets at once, used
+  when a solution arrives over the (simulated) network or when caches need a
+  rebuild;
+* :class:`WirelengthState` — an incremental cache of per-net HPWL values that
+  can evaluate the *delta* of a candidate swap in time proportional to the
+  number of nets touching the two swapped cells, and commit it in the same
+  time.  The tabu-search inner loop only ever uses deltas.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from .solution import Placement
+
+__all__ = ["full_hpwl", "net_hpwl", "WirelengthState"]
+
+
+def net_hpwl(placement: Placement, net_index: int) -> float:
+    """HPWL of a single (unweighted) net under ``placement``."""
+    netlist = placement.netlist
+    layout = placement.layout
+    members = netlist.net_members(net_index)
+    slots = placement.cell_to_slot[members]
+    xs = layout.slot_x[slots]
+    ys = layout.slot_y[slots]
+    return float(xs.max() - xs.min() + ys.max() - ys.min())
+
+
+def full_hpwl(placement: Placement) -> Tuple[np.ndarray, float]:
+    """Compute HPWL for every net and the weighted total.
+
+    Returns
+    -------
+    per_net:
+        Unweighted HPWL of each net (length ``num_nets``).
+    total:
+        Net-weight-weighted sum of the per-net values.
+    """
+    netlist = placement.netlist
+    layout = placement.layout
+    slots = placement.cell_to_slot[netlist.flat_members]
+    xs = layout.slot_x[slots]
+    ys = layout.slot_y[slots]
+    ptr = netlist.net_ptr
+    num_nets = netlist.num_nets
+    per_net = np.empty(num_nets, dtype=np.float64)
+    # np.maximum.reduceat / minimum.reduceat handle the CSR segments without a
+    # Python loop over nets.
+    if num_nets:
+        starts = ptr[:-1]
+        x_max = np.maximum.reduceat(xs, starts)
+        x_min = np.minimum.reduceat(xs, starts)
+        y_max = np.maximum.reduceat(ys, starts)
+        y_min = np.minimum.reduceat(ys, starts)
+        per_net[:] = (x_max - x_min) + (y_max - y_min)
+    total = float(np.dot(per_net, netlist.net_weights)) if num_nets else 0.0
+    return per_net, total
+
+
+class WirelengthState:
+    """Incremental HPWL cache bound to one :class:`Placement`.
+
+    The cache holds the unweighted HPWL of every net and the weighted total.
+    ``delta_for_swap`` answers "how would the total change if cells *a* and
+    *b* exchanged slots?" without mutating anything; ``commit_swap`` must be
+    called *after* the placement has actually been swapped to keep the cache
+    in sync.
+    """
+
+    def __init__(self, placement: Placement) -> None:
+        self._placement = placement
+        self._netlist = placement.netlist
+        self._layout = placement.layout
+        self.rebuild()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def total(self) -> float:
+        """Current weighted total HPWL."""
+        return self._total
+
+    @property
+    def per_net(self) -> np.ndarray:
+        """Current unweighted per-net HPWL values (read-only view)."""
+        view = self._per_net.view()
+        view.flags.writeable = False
+        return view
+
+    def rebuild(self) -> None:
+        """Recompute the cache from scratch (used after bulk solution changes)."""
+        self._per_net, self._total = full_hpwl(self._placement)
+
+    # ------------------------------------------------------------------ #
+    def _affected_nets(self, cell_a: int, cell_b: int) -> np.ndarray:
+        nets_a = self._netlist.nets_of_cell(cell_a)
+        nets_b = self._netlist.nets_of_cell(cell_b)
+        if nets_a.size == 0:
+            return nets_b
+        if nets_b.size == 0:
+            return nets_a
+        return np.union1d(nets_a, nets_b)
+
+    def _net_hpwl_with_override(
+        self, net_index: int, cell_a: int, slot_a: int, cell_b: int, slot_b: int
+    ) -> float:
+        members = self._netlist.net_members(net_index)
+        slots = self._placement.cell_to_slot[members].copy()
+        # apply the hypothetical swap to the gathered slots only
+        slots[members == cell_a] = slot_a
+        slots[members == cell_b] = slot_b
+        xs = self._layout.slot_x[slots]
+        ys = self._layout.slot_y[slots]
+        return float(xs.max() - xs.min() + ys.max() - ys.min())
+
+    def delta_for_swap(self, cell_a: int, cell_b: int) -> float:
+        """Weighted-HPWL change if ``cell_a`` and ``cell_b`` swapped slots.
+
+        Negative values mean the swap *improves* (shortens) the wirelength.
+        """
+        if cell_a == cell_b:
+            return 0.0
+        slot_a = self._placement.slot_of(cell_a)
+        slot_b = self._placement.slot_of(cell_b)
+        weights = self._netlist.net_weights
+        delta = 0.0
+        for net in self._affected_nets(cell_a, cell_b):
+            new_value = self._net_hpwl_with_override(int(net), cell_a, slot_b, cell_b, slot_a)
+            delta += weights[net] * (new_value - self._per_net[net])
+        return float(delta)
+
+    def commit_swap(self, cell_a: int, cell_b: int) -> None:
+        """Update the cache after ``placement.swap_cells(cell_a, cell_b)``.
+
+        The placement must already reflect the swap.
+        """
+        if cell_a == cell_b:
+            return
+        weights = self._netlist.net_weights
+        for net in self._affected_nets(cell_a, cell_b):
+            new_value = net_hpwl(self._placement, int(net))
+            self._total += weights[net] * (new_value - self._per_net[net])
+            self._per_net[net] = new_value
+
+    def recompute_nets(self, nets: Iterable[int]) -> None:
+        """Refresh specific nets (used when a whole new solution is installed)."""
+        weights = self._netlist.net_weights
+        for net in nets:
+            new_value = net_hpwl(self._placement, int(net))
+            self._total += weights[net] * (new_value - self._per_net[net])
+            self._per_net[net] = new_value

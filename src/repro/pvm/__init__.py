@@ -1,0 +1,49 @@
+"""PVM-like substrate: heterogeneous cluster, message passing and two kernels.
+
+The default kernel is the deterministic discrete-event simulator
+(:class:`~repro.pvm.simulator.SimKernel`); a real-thread kernel
+(:class:`~repro.pvm.threads_backend.ThreadKernel`) runs the same process code
+on OS threads for demonstration purposes (see DESIGN.md).
+"""
+
+from .cluster import ClusterSpec, heterogeneous_cluster, homogeneous_cluster, paper_cluster
+from .machine import MachineSpec, SpeedClass
+from .message import Message, estimate_payload_bytes
+from .process import (
+    Compute,
+    GetTime,
+    ProcessContext,
+    ProcessFunction,
+    Receive,
+    Send,
+    Sleep,
+    Spawn,
+    Syscall,
+)
+from .simulator import ProcessInfo, ProcessState, SimKernel, SimStats
+from .threads_backend import ThreadKernel
+
+__all__ = [
+    "ClusterSpec",
+    "heterogeneous_cluster",
+    "homogeneous_cluster",
+    "paper_cluster",
+    "MachineSpec",
+    "SpeedClass",
+    "Message",
+    "estimate_payload_bytes",
+    "Syscall",
+    "Compute",
+    "Send",
+    "Receive",
+    "Spawn",
+    "GetTime",
+    "Sleep",
+    "ProcessContext",
+    "ProcessFunction",
+    "ProcessInfo",
+    "ProcessState",
+    "SimKernel",
+    "SimStats",
+    "ThreadKernel",
+]

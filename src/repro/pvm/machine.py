@@ -1,0 +1,75 @@
+"""Machines of the heterogeneous parallel virtual machine.
+
+The paper runs on a LAN of twelve workstations of three speed classes
+(seven fast, three medium, two slow).  A :class:`MachineSpec` captures what
+matters to the simulation: a *speed factor* (work units per virtual second,
+relative to a reference machine) and a *background load* factor that further
+scales the effective rate, modelling the "load heterogeneity" the paper talks
+about (other users' jobs on a shared workstation).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import ClusterError
+
+__all__ = ["SpeedClass", "MachineSpec"]
+
+
+class SpeedClass(enum.Enum):
+    """Coarse speed classes used in the paper's testbed description."""
+
+    HIGH = "high"
+    MEDIUM = "medium"
+    LOW = "low"
+
+    @property
+    def default_speed(self) -> float:
+        """Default relative speed factor of the class."""
+        return {"high": 1.0, "medium": 0.6, "low": 0.35}[self.value]
+
+
+@dataclass(frozen=True, slots=True)
+class MachineSpec:
+    """One workstation of the virtual machine.
+
+    Attributes
+    ----------
+    name:
+        Host name, e.g. ``"ws03"``.
+    speed_class:
+        Coarse class (high / medium / low).
+    speed_factor:
+        Relative CPU speed; 1.0 is the reference (fast) machine.
+    load:
+        Background load in ``[0, ∞)``; the effective rate is
+        ``speed_factor / (1 + load)``.
+    """
+
+    name: str
+    speed_class: SpeedClass = SpeedClass.HIGH
+    speed_factor: float = 1.0
+    load: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.speed_factor <= 0:
+            raise ClusterError(f"machine {self.name!r}: speed_factor must be positive")
+        if self.load < 0:
+            raise ClusterError(f"machine {self.name!r}: load must be non-negative")
+
+    @property
+    def effective_rate(self) -> float:
+        """Work units per virtual second this machine actually delivers."""
+        return self.speed_factor / (1.0 + self.load)
+
+    @classmethod
+    def of_class(cls, name: str, speed_class: SpeedClass, *, load: float = 0.0) -> "MachineSpec":
+        """Build a machine with the default speed of its class."""
+        return cls(
+            name=name,
+            speed_class=speed_class,
+            speed_factor=speed_class.default_speed,
+            load=load,
+        )

@@ -1,0 +1,483 @@
+"""Deterministic discrete-event kernel for the simulated heterogeneous cluster.
+
+The kernel plays the role PVM plays in the paper: it places processes on
+machines, moves messages between them and — because machines have different
+speeds and loads — decides *when* everything happens.  Unlike PVM it runs in
+a single OS process and advances a virtual clock, which makes runs
+deterministic and lets the experiments measure speedup without fighting the
+GIL (see DESIGN.md for the substitution rationale).
+
+Semantics
+---------
+
+* Every process has its own clock.  Computation (``Compute``) advances only
+  that clock, by ``work_units * seconds_per_work_unit / machine.effective_rate``.
+* Messages take ``latency + bytes/bandwidth`` of virtual time; a receive
+  completes at ``max(receiver clock, message arrival time)``.
+* All state changes are driven by a single global event queue processed in
+  time order, so the simulation is causal and reproducible: with the same
+  inputs the same schedule is produced every run.
+* When the event queue drains while some process is still blocked in a
+  receive, the kernel raises :class:`~repro.errors.SimulationError` — a
+  deadlock in the master/TSW/CLW protocol is a bug, not something to ignore.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..errors import ProcessError, SimulationError
+from .cluster import ClusterSpec
+from .message import Message, estimate_payload_bytes
+from .process import (
+    Compute,
+    GetTime,
+    ProcessContext,
+    ProcessFunction,
+    Receive,
+    Send,
+    Sleep,
+    Spawn,
+    Syscall,
+)
+
+__all__ = ["ProcessState", "ProcessInfo", "SimStats", "SimKernel"]
+
+
+class ProcessState(enum.Enum):
+    """Lifecycle of a simulated process."""
+
+    READY = "ready"
+    BLOCKED = "blocked"
+    FINISHED = "finished"
+    FAILED = "failed"
+
+
+@dataclass(slots=True)
+class _ProcessRecord:
+    pid: int
+    name: str
+    parent: Optional[int]
+    machine_index: int
+    generator: Any
+    context: ProcessContext
+    clock: float = 0.0
+    state: ProcessState = ProcessState.READY
+    mailbox: List[Message] = field(default_factory=list)
+    pending_recv: Optional[Receive] = None
+    recv_token: int = 0
+    result: Any = None
+    error: Optional[BaseException] = None
+    busy_seconds: float = 0.0
+    work_units: float = 0.0
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    finished_at: Optional[float] = None
+
+
+@dataclass(frozen=True, slots=True)
+class ProcessInfo:
+    """Read-only view of a process exposed to callers of the kernel."""
+
+    pid: int
+    name: str
+    parent: Optional[int]
+    machine_index: int
+    machine_name: str
+    state: ProcessState
+    clock: float
+    busy_seconds: float
+    work_units: float
+    messages_sent: int
+    bytes_sent: int
+    result: Any
+    finished_at: Optional[float]
+
+
+@dataclass(frozen=True, slots=True)
+class SimStats:
+    """Aggregate statistics of one simulation run."""
+
+    virtual_makespan: float
+    total_events: int
+    total_messages: int
+    total_bytes: int
+    total_work_units: float
+    per_machine_busy: Tuple[float, ...]
+    num_processes: int
+
+    def machine_utilisation(self) -> Tuple[float, ...]:
+        """Busy fraction of every machine over the makespan."""
+        if self.virtual_makespan <= 0:
+            return tuple(0.0 for _ in self.per_machine_busy)
+        return tuple(b / self.virtual_makespan for b in self.per_machine_busy)
+
+
+# event kinds, ordered deterministically by (time, sequence number)
+_RESUME = "resume"
+_DELIVER = "deliver"
+_TIMEOUT = "timeout"
+
+
+class SimKernel:
+    """Discrete-event scheduler for processes on a :class:`ClusterSpec`."""
+
+    def __init__(self, cluster: ClusterSpec, *, max_events: int = 20_000_000) -> None:
+        if max_events <= 0:
+            raise SimulationError("max_events must be positive")
+        self._cluster = cluster
+        self._max_events = max_events
+        self._events: List[Tuple[float, int, str, Any]] = []
+        self._seq = itertools.count()
+        self._procs: Dict[int, _ProcessRecord] = {}
+        self._next_pid = itertools.count(1)
+        self._next_machine = 0
+        self._events_processed = 0
+        self._now = 0.0
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    @property
+    def cluster(self) -> ClusterSpec:
+        """The cluster this kernel simulates."""
+        return self._cluster
+
+    @property
+    def now(self) -> float:
+        """Time of the last processed event (the global virtual clock)."""
+        return self._now
+
+    def spawn(
+        self,
+        func: ProcessFunction,
+        *args: Any,
+        machine_index: Optional[int] = None,
+        name: str = "",
+        parent: Optional[int] = None,
+        start_time: float = 0.0,
+        **kwargs: Any,
+    ) -> int:
+        """Create a root process (before :meth:`run`) and return its pid."""
+        return self._create_process(
+            func, args, kwargs, machine_index=machine_index, name=name, parent=parent,
+            start_time=start_time,
+        )
+
+    def run(self, *, until: Optional[float] = None) -> SimStats:
+        """Process events until completion (or until the virtual time limit).
+
+        Raises
+        ------
+        SimulationError
+            If a deadlock is detected (event queue empty while processes are
+            blocked) or the event budget is exhausted.
+        ProcessError
+            If a process body raised; the original exception is chained.
+        """
+        while self._events:
+            time, _, kind, data = heapq.heappop(self._events)
+            if until is not None and time > until:
+                # push back and stop: the caller asked for a bounded horizon
+                heapq.heappush(self._events, (time, next(self._seq), kind, data))
+                break
+            self._events_processed += 1
+            if self._events_processed > self._max_events:
+                raise SimulationError(
+                    f"event budget exhausted ({self._max_events} events); "
+                    "suspected livelock in the process protocol"
+                )
+            self._now = max(self._now, time)
+            if kind == _RESUME:
+                pid, value = data
+                self._step(pid, value, time)
+            elif kind == _DELIVER:
+                self._deliver(data, time)
+            elif kind == _TIMEOUT:
+                pid, token = data
+                self._handle_timeout(pid, token, time)
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unknown event kind {kind!r}")
+
+        blocked = [rec for rec in self._procs.values() if rec.state is ProcessState.BLOCKED]
+        if blocked and (until is None or not self._events):
+            names = ", ".join(f"{rec.name or rec.pid}" for rec in blocked)
+            raise SimulationError(
+                f"deadlock: no more events but {len(blocked)} process(es) still blocked: {names}"
+            )
+        return self.stats()
+
+    def process_info(self, pid: int) -> ProcessInfo:
+        """Read-only view of one process."""
+        rec = self._record(pid)
+        return ProcessInfo(
+            pid=rec.pid,
+            name=rec.name,
+            parent=rec.parent,
+            machine_index=rec.machine_index,
+            machine_name=self._cluster.machine(rec.machine_index).name,
+            state=rec.state,
+            clock=rec.clock,
+            busy_seconds=rec.busy_seconds,
+            work_units=rec.work_units,
+            messages_sent=rec.messages_sent,
+            bytes_sent=rec.bytes_sent,
+            result=rec.result,
+            finished_at=rec.finished_at,
+        )
+
+    def result_of(self, pid: int) -> Any:
+        """Return value of a finished process."""
+        rec = self._record(pid)
+        if rec.state is ProcessState.FAILED:
+            raise ProcessError(f"process {rec.name or pid} failed") from rec.error
+        if rec.state is not ProcessState.FINISHED:
+            raise ProcessError(f"process {rec.name or pid} has not finished (state={rec.state})")
+        return rec.result
+
+    def all_processes(self) -> List[ProcessInfo]:
+        """Information about every process ever created."""
+        return [self.process_info(pid) for pid in sorted(self._procs)]
+
+    def stats(self) -> SimStats:
+        """Aggregate statistics of the run so far."""
+        per_machine = [0.0] * self._cluster.num_machines
+        total_msgs = 0
+        total_bytes = 0
+        total_work = 0.0
+        makespan = 0.0
+        for rec in self._procs.values():
+            per_machine[rec.machine_index % self._cluster.num_machines] += rec.busy_seconds
+            total_msgs += rec.messages_sent
+            total_bytes += rec.bytes_sent
+            total_work += rec.work_units
+            makespan = max(makespan, rec.clock)
+        return SimStats(
+            virtual_makespan=makespan,
+            total_events=self._events_processed,
+            total_messages=total_msgs,
+            total_bytes=total_bytes,
+            total_work_units=total_work,
+            per_machine_busy=tuple(per_machine),
+            num_processes=len(self._procs),
+        )
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _record(self, pid: int) -> _ProcessRecord:
+        try:
+            return self._procs[pid]
+        except KeyError:
+            raise ProcessError(f"unknown process id {pid}") from None
+
+    def _schedule(self, time: float, kind: str, data: Any) -> None:
+        heapq.heappush(self._events, (time, next(self._seq), kind, data))
+
+    def _assign_machine(self, requested: Optional[int]) -> int:
+        if requested is not None:
+            if requested < 0:
+                raise ProcessError(f"machine_index must be non-negative, got {requested}")
+            return requested % self._cluster.num_machines
+        index = self._next_machine
+        self._next_machine = (self._next_machine + 1) % self._cluster.num_machines
+        return index
+
+    def _create_process(
+        self,
+        func: ProcessFunction,
+        args: Tuple[Any, ...],
+        kwargs: Dict[str, Any],
+        *,
+        machine_index: Optional[int],
+        name: str,
+        parent: Optional[int],
+        start_time: float,
+    ) -> int:
+        pid = next(self._next_pid)
+        machine_idx = self._assign_machine(machine_index)
+        context = ProcessContext(
+            pid=pid,
+            parent=parent,
+            name=name or f"proc{pid}",
+            machine_index=machine_idx,
+            machine=self._cluster.machine(machine_idx),
+        )
+        generator = func(context, *args, **kwargs)
+        if not hasattr(generator, "send"):
+            raise ProcessError(
+                f"process function {getattr(func, '__name__', func)!r} must be a generator "
+                "function (its body must use `yield`)"
+            )
+        rec = _ProcessRecord(
+            pid=pid,
+            name=context.name,
+            parent=parent,
+            machine_index=machine_idx,
+            generator=generator,
+            context=context,
+            clock=start_time,
+        )
+        self._procs[pid] = rec
+        self._schedule(start_time, _RESUME, (pid, None))
+        return pid
+
+    def _finish(self, rec: _ProcessRecord, result: Any) -> None:
+        rec.state = ProcessState.FINISHED
+        rec.result = result
+        rec.finished_at = rec.clock
+
+    def _fail(self, rec: _ProcessRecord, error: BaseException) -> None:
+        rec.state = ProcessState.FAILED
+        rec.error = error
+        rec.finished_at = rec.clock
+        raise ProcessError(
+            f"process {rec.name!r} (pid {rec.pid}) raised {type(error).__name__}: {error}"
+        ) from error
+
+    def _step(self, pid: int, send_value: Any, at_time: float) -> None:
+        """Resume a process and interpret its syscalls until it blocks/ends."""
+        rec = self._record(pid)
+        if rec.state in (ProcessState.FINISHED, ProcessState.FAILED):
+            return
+        rec.state = ProcessState.READY
+        rec.clock = max(rec.clock, at_time)
+        value = send_value
+        while True:
+            try:
+                syscall = rec.generator.send(value)
+            except StopIteration as stop:
+                self._finish(rec, stop.value)
+                return
+            except Exception as error:  # noqa: BLE001 - surfaced as ProcessError
+                self._fail(rec, error)
+                return
+            if not isinstance(syscall, Syscall):
+                self._fail(
+                    rec,
+                    ProcessError(
+                        f"process {rec.name!r} yielded {type(syscall).__name__}, expected a Syscall"
+                    ),
+                )
+                return
+
+            if isinstance(syscall, Compute):
+                seconds = self._cluster.compute_seconds(rec.machine_index, syscall.work_units)
+                rec.busy_seconds += seconds
+                rec.work_units += syscall.work_units
+                rec.clock += seconds
+                self._schedule(rec.clock, _RESUME, (pid, None))
+                return
+            if isinstance(syscall, Sleep):
+                rec.clock += syscall.seconds
+                self._schedule(rec.clock, _RESUME, (pid, None))
+                return
+            if isinstance(syscall, GetTime):
+                value = rec.clock
+                continue
+            if isinstance(syscall, Send):
+                value = self._do_send(rec, syscall)
+                continue
+            if isinstance(syscall, Spawn):
+                value = self._create_process(
+                    syscall.func,
+                    syscall.args,
+                    syscall.kwargs,
+                    machine_index=syscall.machine_index,
+                    name=syscall.name,
+                    parent=rec.pid,
+                    start_time=rec.clock + self._cluster.spawn_overhead,
+                )
+                continue
+            if isinstance(syscall, Receive):
+                outcome = self._do_receive(rec, syscall)
+                if outcome is _BLOCKED:
+                    return
+                value = outcome
+                continue
+            # unreachable for known syscalls
+            self._fail(rec, ProcessError(f"unsupported syscall {syscall!r}"))  # pragma: no cover
+            return
+
+    # -- send / receive -------------------------------------------------- #
+    def _do_send(self, rec: _ProcessRecord, syscall: Send) -> None:
+        dst = self._record(syscall.dst)
+        if dst.state in (ProcessState.FINISHED, ProcessState.FAILED):
+            # Late messages to finished processes are dropped, mirroring PVM's
+            # behaviour of messages to exited tasks.
+            return None
+        size = estimate_payload_bytes(syscall.payload)
+        arrival = rec.clock + self._cluster.transfer_seconds(size)
+        message = Message(
+            src=rec.pid,
+            dst=syscall.dst,
+            tag=syscall.tag,
+            payload=syscall.payload,
+            size_bytes=size,
+            send_time=rec.clock,
+            arrival_time=arrival,
+        )
+        rec.messages_sent += 1
+        rec.bytes_sent += size
+        self._schedule(arrival, _DELIVER, message)
+        return None
+
+    def _match_mailbox(self, rec: _ProcessRecord, recv: Receive) -> Optional[Message]:
+        best_index = -1
+        best_arrival = float("inf")
+        for index, message in enumerate(rec.mailbox):
+            if message.matches(tag=recv.tag, src=recv.src) and message.arrival_time < best_arrival:
+                best_index = index
+                best_arrival = message.arrival_time
+        if best_index < 0:
+            return None
+        return rec.mailbox.pop(best_index)
+
+    def _do_receive(self, rec: _ProcessRecord, recv: Receive):
+        message = self._match_mailbox(rec, recv)
+        if message is not None:
+            rec.clock = max(rec.clock, message.arrival_time)
+            return message
+        if not recv.blocking:
+            return None
+        # block
+        rec.state = ProcessState.BLOCKED
+        rec.pending_recv = recv
+        rec.recv_token += 1
+        if recv.timeout is not None:
+            self._schedule(rec.clock + recv.timeout, _TIMEOUT, (rec.pid, rec.recv_token))
+        return _BLOCKED
+
+    def _deliver(self, message: Message, at_time: float) -> None:
+        try:
+            dst = self._record(message.dst)
+        except ProcessError:
+            return  # receiver vanished; drop
+        if dst.state in (ProcessState.FINISHED, ProcessState.FAILED):
+            return
+        dst.mailbox.append(message)
+        if dst.state is ProcessState.BLOCKED and dst.pending_recv is not None:
+            if message.matches(tag=dst.pending_recv.tag, src=dst.pending_recv.src):
+                recv = dst.pending_recv
+                dst.pending_recv = None
+                dst.recv_token += 1  # invalidate any pending timeout
+                dst.state = ProcessState.READY
+                matched = self._match_mailbox(dst, recv)
+                resume_at = max(dst.clock, matched.arrival_time if matched else at_time)
+                self._schedule(resume_at, _RESUME, (dst.pid, matched))
+
+    def _handle_timeout(self, pid: int, token: int, at_time: float) -> None:
+        rec = self._record(pid)
+        if rec.state is not ProcessState.BLOCKED or rec.recv_token != token:
+            return  # already woken by a message (or finished)
+        rec.pending_recv = None
+        rec.state = ProcessState.READY
+        self._schedule(max(rec.clock, at_time), _RESUME, (pid, None))
+
+
+#: Sentinel returned by ``_do_receive`` when the caller must stop stepping.
+_BLOCKED = object()

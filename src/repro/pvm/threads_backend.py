@@ -1,0 +1,230 @@
+"""Real-thread execution backend for the same process code.
+
+The discrete-event kernel (:mod:`repro.pvm.simulator`) is the default backend
+for all experiments because it is deterministic and measures virtual time on
+a heterogeneous cluster.  The :class:`ThreadKernel` in this module runs the
+*same* generator-based process code on real OS threads with real queues and
+wall-clock time:
+
+* ``Compute`` / ``Sleep`` are no-ops (the real computation already happened
+  inside the process body between yields);
+* ``Send`` / ``Receive`` use thread-safe mailboxes;
+* ``GetTime`` returns wall-clock seconds since the kernel started.
+
+This backend demonstrates that the parallel-tabu-search protocol is not tied
+to the simulator.  Because of the CPython GIL the wall-clock speedups it
+produces are *not* meaningful measurements (the repro band for this paper
+explicitly flags this), which is why every figure benchmark uses the
+simulated backend.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..errors import ProcessError
+from .cluster import ClusterSpec
+from .message import Message, estimate_payload_bytes
+from .process import (
+    Compute,
+    GetTime,
+    ProcessContext,
+    ProcessFunction,
+    Receive,
+    Send,
+    Sleep,
+    Spawn,
+    Syscall,
+)
+
+__all__ = ["ThreadKernel"]
+
+
+class _Mailbox:
+    """Thread-safe tag/source-filtered mailbox."""
+
+    def __init__(self) -> None:
+        self._messages: List[Message] = []
+        self._condition = threading.Condition()
+
+    def put(self, message: Message) -> None:
+        with self._condition:
+            self._messages.append(message)
+            self._condition.notify_all()
+
+    def get(
+        self, *, tag: Optional[str], src: Optional[int], blocking: bool, timeout: Optional[float]
+    ) -> Optional[Message]:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._condition:
+            while True:
+                for index, message in enumerate(self._messages):
+                    if message.matches(tag=tag, src=src):
+                        return self._messages.pop(index)
+                if not blocking:
+                    return None
+                wait_for = None
+                if deadline is not None:
+                    wait_for = deadline - time.monotonic()
+                    if wait_for <= 0:
+                        return None
+                self._condition.wait(wait_for if wait_for is not None else 1.0)
+
+
+@dataclass(slots=True)
+class _ThreadRecord:
+    pid: int
+    name: str
+    parent: Optional[int]
+    machine_index: int
+    thread: Optional[threading.Thread] = None
+    mailbox: _Mailbox = field(default_factory=_Mailbox)
+    result: Any = None
+    error: Optional[BaseException] = None
+    finished: bool = False
+
+
+class ThreadKernel:
+    """Run generator-based processes on real threads (wall-clock time)."""
+
+    def __init__(self, cluster: ClusterSpec) -> None:
+        self._cluster = cluster
+        self._records: Dict[int, _ThreadRecord] = {}
+        self._next_pid = itertools.count(1)
+        self._next_machine = 0
+        self._lock = threading.Lock()
+        self._start_time = time.monotonic()
+
+    @property
+    def cluster(self) -> ClusterSpec:
+        """The cluster description (machine speeds are ignored by this backend)."""
+        return self._cluster
+
+    @property
+    def now(self) -> float:
+        """Wall-clock seconds since the kernel was created."""
+        return time.monotonic() - self._start_time
+
+    # ------------------------------------------------------------------ #
+    def spawn(
+        self,
+        func: ProcessFunction,
+        *args: Any,
+        machine_index: Optional[int] = None,
+        name: str = "",
+        parent: Optional[int] = None,
+        **kwargs: Any,
+    ) -> int:
+        """Start a process in its own thread and return its pid."""
+        with self._lock:
+            pid = next(self._next_pid)
+            if machine_index is None:
+                machine_index = self._next_machine
+                self._next_machine = (self._next_machine + 1) % self._cluster.num_machines
+            machine_index %= self._cluster.num_machines
+            record = _ThreadRecord(
+                pid=pid, name=name or f"proc{pid}", parent=parent, machine_index=machine_index
+            )
+            self._records[pid] = record
+        context = ProcessContext(
+            pid=pid,
+            parent=parent,
+            name=record.name,
+            machine_index=machine_index,
+            machine=self._cluster.machine(machine_index),
+        )
+        generator = func(context, *args, **kwargs)
+        if not hasattr(generator, "send"):
+            raise ProcessError(
+                f"process function {getattr(func, '__name__', func)!r} must be a generator function"
+            )
+        thread = threading.Thread(
+            target=self._drive, args=(record, generator), name=record.name, daemon=True
+        )
+        record.thread = thread
+        thread.start()
+        return pid
+
+    def join(self, pid: int, timeout: Optional[float] = None) -> None:
+        """Wait for a process to finish."""
+        record = self._record(pid)
+        assert record.thread is not None
+        record.thread.join(timeout)
+        if record.thread.is_alive():
+            raise ProcessError(f"process {record.name!r} did not finish within {timeout} s")
+
+    def join_all(self, timeout: Optional[float] = None) -> None:
+        """Wait for every spawned process to finish."""
+        for pid in list(self._records):
+            self.join(pid, timeout)
+
+    def result_of(self, pid: int) -> Any:
+        """Return value of a finished process."""
+        record = self._record(pid)
+        if record.error is not None:
+            raise ProcessError(f"process {record.name!r} failed") from record.error
+        if not record.finished:
+            raise ProcessError(f"process {record.name!r} has not finished")
+        return record.result
+
+    # ------------------------------------------------------------------ #
+    def _record(self, pid: int) -> _ThreadRecord:
+        try:
+            return self._records[pid]
+        except KeyError:
+            raise ProcessError(f"unknown process id {pid}") from None
+
+    def _drive(self, record: _ThreadRecord, generator: Any) -> None:
+        value: Any = None
+        try:
+            while True:
+                syscall = generator.send(value)
+                value = self._handle(record, syscall)
+        except StopIteration as stop:
+            record.result = stop.value
+            record.finished = True
+        except BaseException as error:  # noqa: BLE001 - stored and re-raised on result_of
+            record.error = error
+            record.finished = True
+
+    def _handle(self, record: _ThreadRecord, syscall: Syscall) -> Any:
+        if isinstance(syscall, (Compute, Sleep)):
+            # real computation already happened inside the process body
+            return None
+        if isinstance(syscall, GetTime):
+            return self.now
+        if isinstance(syscall, Send):
+            dst = self._record(syscall.dst)
+            now = self.now
+            message = Message(
+                src=record.pid,
+                dst=syscall.dst,
+                tag=syscall.tag,
+                payload=syscall.payload,
+                size_bytes=estimate_payload_bytes(syscall.payload),
+                send_time=now,
+                arrival_time=now,
+            )
+            dst.mailbox.put(message)
+            return None
+        if isinstance(syscall, Receive):
+            return record.mailbox.get(
+                tag=syscall.tag,
+                src=syscall.src,
+                blocking=syscall.blocking,
+                timeout=syscall.timeout,
+            )
+        if isinstance(syscall, Spawn):
+            return self.spawn(
+                syscall.func,
+                *syscall.args,
+                machine_index=syscall.machine_index,
+                name=syscall.name,
+                parent=record.pid,
+                **syscall.kwargs,
+            )
+        raise ProcessError(f"unsupported syscall {syscall!r}")

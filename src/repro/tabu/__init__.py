@@ -1,0 +1,58 @@
+"""Tabu-search core: memory structures, moves, diversification and the serial engine."""
+
+from .aspiration import (
+    AspirationCriterion,
+    BestCostAspiration,
+    ImprovementAspiration,
+    NoAspiration,
+)
+from .attributes import AttributeScheme, MoveAttribute, swap_attributes
+from .candidate import (
+    CellRange,
+    collision_probability,
+    full_range,
+    partition_cells,
+    sample_candidate_pairs,
+)
+from .diversification import DiversificationResult, diversify
+from .moves import (
+    CompoundMove,
+    CompoundMoveBuilder,
+    SwapMove,
+    best_swap_of_candidates,
+    build_compound_move,
+)
+from .params import TabuSearchParams
+from .search import SearchResult, StepResult, TabuSearch, make_aspiration
+from .tabu_list import FrequencyMemory, TabuList
+from .termination import TerminationCriteria
+
+__all__ = [
+    "AspirationCriterion",
+    "BestCostAspiration",
+    "ImprovementAspiration",
+    "NoAspiration",
+    "AttributeScheme",
+    "MoveAttribute",
+    "swap_attributes",
+    "CellRange",
+    "collision_probability",
+    "full_range",
+    "partition_cells",
+    "sample_candidate_pairs",
+    "DiversificationResult",
+    "diversify",
+    "CompoundMove",
+    "CompoundMoveBuilder",
+    "SwapMove",
+    "best_swap_of_candidates",
+    "build_compound_move",
+    "TabuSearchParams",
+    "SearchResult",
+    "StepResult",
+    "TabuSearch",
+    "make_aspiration",
+    "FrequencyMemory",
+    "TabuList",
+    "TerminationCriteria",
+]

@@ -1,0 +1,56 @@
+"""Aspiration criteria.
+
+A tabu move may still be accepted when it satisfies an *aspiration criterion*.
+The classic (and the paper's) criterion is *aspiration by objective*: the move
+is allowed if it produces a solution better than the best found so far —
+clearly such a solution cannot have been visited before, so the tabu
+restriction serves no purpose.
+
+The criteria are small strategy objects so the search engine can be configured
+with alternative rules (or none at all) without changing its control flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AspirationCriterion", "BestCostAspiration", "NoAspiration", "ImprovementAspiration"]
+
+
+class AspirationCriterion:
+    """Interface: decide whether a tabu move may be accepted anyway."""
+
+    def permits(self, candidate_cost: float, current_cost: float, best_cost: float) -> bool:
+        """Return ``True`` to override the tabu status of a move."""
+        raise NotImplementedError  # pragma: no cover - interface
+
+
+@dataclass(frozen=True, slots=True)
+class BestCostAspiration(AspirationCriterion):
+    """Aspiration by objective: accept if strictly better than the best so far.
+
+    ``margin`` optionally requires the improvement over the best cost to
+    exceed a relative threshold (0 = any improvement).
+    """
+
+    margin: float = 0.0
+
+    def permits(self, candidate_cost: float, current_cost: float, best_cost: float) -> bool:
+        threshold = best_cost * (1.0 - self.margin) if best_cost > 0 else best_cost
+        return candidate_cost < threshold
+
+
+@dataclass(frozen=True, slots=True)
+class ImprovementAspiration(AspirationCriterion):
+    """Accept a tabu move whenever it improves on the *current* solution."""
+
+    def permits(self, candidate_cost: float, current_cost: float, best_cost: float) -> bool:
+        return candidate_cost < current_cost
+
+
+@dataclass(frozen=True, slots=True)
+class NoAspiration(AspirationCriterion):
+    """Never override tabu status (used in ablation experiments)."""
+
+    def permits(self, candidate_cost: float, current_cost: float, best_cost: float) -> bool:
+        return False

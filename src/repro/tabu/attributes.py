@@ -1,0 +1,63 @@
+"""Move attributes stored in the tabu short-term memory.
+
+Tabu search does not memorise whole solutions (too expensive); it memorises
+*attributes* of recent moves and forbids moves that would re-instate them.
+For the cell-placement swap move two natural attribute schemes exist:
+
+* ``PAIR`` — the unordered pair of swapped cells; forbids undoing exactly the
+  same exchange (the scheme used in the paper's description, where a move is
+  a swap of two cells);
+* ``CELL`` — each moved cell individually; more aggressive, forbids touching
+  a recently moved cell at all.
+
+Both are value objects usable as dictionary keys.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["AttributeScheme", "MoveAttribute", "swap_attributes"]
+
+
+class AttributeScheme(enum.Enum):
+    """Which attributes a committed swap contributes to the tabu list."""
+
+    PAIR = "pair"
+    CELL = "cell"
+
+
+@dataclass(frozen=True, slots=True)
+class MoveAttribute:
+    """A single tabu attribute.
+
+    ``kind`` distinguishes pair attributes from single-cell attributes so the
+    two schemes can coexist in one tabu list (e.g. during experimentation).
+    ``key`` is a canonical tuple: ``(min_cell, max_cell)`` for pairs,
+    ``(cell,)`` for cells.
+    """
+
+    kind: str
+    key: Tuple[int, ...]
+
+    @classmethod
+    def pair(cls, cell_a: int, cell_b: int) -> "MoveAttribute":
+        """Attribute representing the unordered swap of two cells."""
+        lo, hi = (cell_a, cell_b) if cell_a <= cell_b else (cell_b, cell_a)
+        return cls(kind="pair", key=(lo, hi))
+
+    @classmethod
+    def cell(cls, cell: int) -> "MoveAttribute":
+        """Attribute representing a single moved cell."""
+        return cls(kind="cell", key=(cell,))
+
+
+def swap_attributes(
+    cell_a: int, cell_b: int, scheme: AttributeScheme = AttributeScheme.PAIR
+) -> Tuple[MoveAttribute, ...]:
+    """Attributes contributed by swapping ``cell_a`` and ``cell_b``."""
+    if scheme is AttributeScheme.PAIR:
+        return (MoveAttribute.pair(cell_a, cell_b),)
+    return (MoveAttribute.cell(cell_a), MoveAttribute.cell(cell_b))

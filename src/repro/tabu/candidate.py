@@ -1,0 +1,150 @@
+"""Candidate-list construction: cell ranges and candidate swap pairs.
+
+The paper's probabilistic domain decomposition assigns every Candidate List
+Worker (CLW) a *range* of cells.  A candidate move always picks its first cell
+from the worker's range and the second cell from the whole cell space, so two
+CLWs can only collide on a move with probability :math:`1/(n-1)^2`.
+
+The same mechanism is reused one level up: every Tabu Search Worker (TSW)
+diversifies with respect to its own range so the TSWs explore disjoint regions
+of the search space.
+
+This module provides the :class:`CellRange` value object, the partitioning
+helpers that split a circuit's cells among workers, and the candidate-pair
+sampler used to build the candidate list :math:`V^*(s)`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import TabuSearchError
+
+__all__ = [
+    "CellRange",
+    "partition_cells",
+    "full_range",
+    "sample_candidate_pairs",
+    "collision_probability",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class CellRange:
+    """A subset of cell indices assigned to one worker.
+
+    Attributes
+    ----------
+    cells:
+        The cell indices in the range (non-empty, sorted, unique).
+    label:
+        Human-readable owner label, e.g. ``"tsw2/clw1"`` (used in traces).
+    """
+
+    cells: Tuple[int, ...]
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.cells:
+            raise TabuSearchError(f"cell range {self.label!r} is empty")
+        ordered = tuple(sorted(set(int(c) for c in self.cells)))
+        if ordered != tuple(self.cells):
+            object.__setattr__(self, "cells", ordered)
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __contains__(self, cell: int) -> bool:
+        return cell in set(self.cells)
+
+    def as_array(self) -> np.ndarray:
+        """Cells as a NumPy array (copy)."""
+        return np.asarray(self.cells, dtype=np.int64)
+
+    def sample(self, rng: np.random.Generator) -> int:
+        """Uniformly pick one cell from the range."""
+        return int(self.cells[rng.integers(0, len(self.cells))])
+
+
+def full_range(num_cells: int, label: str = "all") -> CellRange:
+    """A range covering every cell (used by serial search / single worker)."""
+    if num_cells <= 0:
+        raise TabuSearchError(f"num_cells must be positive, got {num_cells}")
+    return CellRange(cells=tuple(range(num_cells)), label=label)
+
+
+def partition_cells(
+    num_cells: int,
+    num_parts: int,
+    *,
+    scheme: str = "contiguous",
+    label_prefix: str = "part",
+) -> List[CellRange]:
+    """Split ``num_cells`` cells into ``num_parts`` disjoint ranges.
+
+    Parameters
+    ----------
+    scheme:
+        ``"contiguous"`` — blocks of consecutive indices (the paper's wording
+        "a range of cells"); ``"strided"`` — round-robin interleaving, which
+        spreads every part across the whole index space.
+    """
+    if num_cells <= 0:
+        raise TabuSearchError(f"num_cells must be positive, got {num_cells}")
+    if num_parts <= 0:
+        raise TabuSearchError(f"num_parts must be positive, got {num_parts}")
+    if num_parts > num_cells:
+        raise TabuSearchError(
+            f"cannot split {num_cells} cells into {num_parts} non-empty ranges"
+        )
+    indices = np.arange(num_cells, dtype=np.int64)
+    parts: List[CellRange] = []
+    if scheme == "contiguous":
+        chunks = np.array_split(indices, num_parts)
+    elif scheme == "strided":
+        chunks = [indices[k::num_parts] for k in range(num_parts)]
+    else:
+        raise TabuSearchError(f"unknown partition scheme {scheme!r}")
+    for k, chunk in enumerate(chunks):
+        parts.append(CellRange(cells=tuple(int(c) for c in chunk), label=f"{label_prefix}{k}"))
+    return parts
+
+
+def sample_candidate_pairs(
+    cell_range: CellRange,
+    num_cells: int,
+    count: int,
+    rng: np.random.Generator,
+) -> List[Tuple[int, int]]:
+    """Sample ``count`` candidate swap pairs for a worker.
+
+    The first cell of each pair comes from ``cell_range``; the second is drawn
+    uniformly from the whole cell space (excluding the first cell), exactly as
+    in Section 4.1 of the paper.
+    """
+    if count <= 0:
+        raise TabuSearchError(f"count must be positive, got {count}")
+    if num_cells < 2:
+        raise TabuSearchError("need at least two cells to form a swap pair")
+    pairs: List[Tuple[int, int]] = []
+    for _ in range(count):
+        first = cell_range.sample(rng)
+        second = int(rng.integers(0, num_cells - 1))
+        if second >= first:
+            second += 1  # skip `first` without rejection sampling
+        pairs.append((first, second))
+    return pairs
+
+
+def collision_probability(num_cells: int) -> float:
+    """Probability that two CLWs propose the same swap: ``1 / (n - 1)^2``.
+
+    This is the quantity the paper derives to argue that the probabilistic
+    domain decomposition effectively avoids duplicated work.
+    """
+    if num_cells < 2:
+        raise TabuSearchError("collision probability undefined for fewer than 2 cells")
+    return 1.0 / float((num_cells - 1) ** 2)

@@ -1,0 +1,112 @@
+"""Diversification of TSW starting points.
+
+At the beginning of every global iteration each Tabu Search Worker receives
+the *same* current best solution from the master.  To stop the workers from
+re-exploring the same neighbourhood, each TSW first performs a
+*diversification step* restricted to its private cell range (Section 4.1 of
+the paper, following the diversification scheme of Kelly, Laguna & Glover):
+it moves cells of its range — favouring rarely moved cells according to the
+long-term frequency memory — to positions far from their current ones, to a
+configurable depth, producing a different starting point per TSW.
+
+The result is a *multiple points, single strategy* (MPSS) search: same TS
+strategy everywhere, different start points every global iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..errors import TabuSearchError
+from ..placement.cost import CostEvaluator
+from .candidate import CellRange
+from .tabu_list import FrequencyMemory
+
+__all__ = ["DiversificationResult", "diversify"]
+
+
+@dataclass(frozen=True, slots=True)
+class DiversificationResult:
+    """Outcome of one diversification step."""
+
+    swaps: Tuple[Tuple[int, int], ...]
+    cost_before: float
+    cost_after: float
+    trials: int
+
+    @property
+    def depth(self) -> int:
+        """Number of swaps performed."""
+        return len(self.swaps)
+
+
+def _farthest_partner(
+    evaluator: CostEvaluator, cell: int, candidates: np.ndarray
+) -> int:
+    """Pick the candidate cell whose slot is farthest from ``cell``'s slot."""
+    placement = evaluator.placement
+    x = placement.cell_x()
+    y = placement.cell_y()
+    dist = np.abs(x[candidates] - x[cell]) + np.abs(y[candidates] - y[cell])
+    return int(candidates[int(np.argmax(dist))])
+
+
+def diversify(
+    evaluator: CostEvaluator,
+    cell_range: CellRange,
+    *,
+    depth: int,
+    rng: np.random.Generator,
+    frequency: FrequencyMemory | None = None,
+    partner_sample: int = 8,
+) -> DiversificationResult:
+    """Perturb the current solution within ``cell_range`` to a given depth.
+
+    For each of ``depth`` steps the procedure
+
+    1. selects a cell from the worker's range, preferring cells that the
+       long-term frequency memory says have been moved least often;
+    2. samples ``partner_sample`` random partner cells from the whole cell
+       space and swaps the selected cell with the *farthest* of them, pushing
+       it into an unexplored region regardless of the cost.
+
+    Unlike a tabu-search move, the swaps are applied unconditionally — the
+    point is to move away from the shared starting solution, not to improve
+    it.  ``depth == 0`` is a no-op (used for the paper's "no diversification"
+    control runs).
+    """
+    if depth < 0:
+        raise TabuSearchError(f"depth must be non-negative, got {depth}")
+    if partner_sample < 1:
+        raise TabuSearchError(f"partner_sample must be >= 1, got {partner_sample}")
+
+    cost_before = evaluator.cost()
+    num_cells = evaluator.placement.num_cells
+    swaps: List[Tuple[int, int]] = []
+    trials = 0
+    range_array = cell_range.as_array()
+
+    for _ in range(depth):
+        if frequency is not None:
+            cell = frequency.least_moved(range_array, rng)
+        else:
+            cell = cell_range.sample(rng)
+        # sample partner candidates from the whole cell space, excluding `cell`
+        candidates = rng.integers(0, num_cells - 1, size=partner_sample)
+        candidates = np.where(candidates >= cell, candidates + 1, candidates)
+        partner = _farthest_partner(evaluator, cell, candidates)
+        trials += partner_sample
+        evaluator.commit_swap(cell, partner)
+        swaps.append((cell, partner))
+        if frequency is not None:
+            frequency.record_swap(cell, partner)
+
+    return DiversificationResult(
+        swaps=tuple(swaps),
+        cost_before=cost_before,
+        cost_after=evaluator.cost(),
+        trials=trials,
+    )

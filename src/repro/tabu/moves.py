@@ -1,0 +1,264 @@
+"""Moves: single swaps and compound moves.
+
+The elementary move of the paper is a *swap* of two cells.  A CLW does not
+apply single swaps blindly; it builds a **compound move** of depth ``d``:
+
+1. at each of the ``d`` steps it trial-evaluates ``m`` candidate pairs (first
+   cell from its range, second from anywhere);
+2. it commits the best of the ``m`` trials and continues from there;
+3. if at any step the accumulated cost is already better than the cost at the
+   start of the compound move, it stops early ("the move is accepted without
+   further investigation");
+4. the final compound move is the prefix of committed swaps that achieved the
+   best cost (the CLW reports the best solution it saw, which may be an
+   intermediate prefix rather than the full depth).
+
+The functions in this module operate on a
+:class:`~repro.placement.cost.CostEvaluator`, which owns the placement and the
+incremental objective caches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import TabuSearchError
+from ..placement.cost import CostEvaluator
+from .candidate import CellRange, sample_candidate_pairs
+
+__all__ = [
+    "SwapMove",
+    "CompoundMove",
+    "CompoundMoveBuilder",
+    "best_swap_of_candidates",
+    "build_compound_move",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class SwapMove:
+    """One evaluated swap: the pair of cells and the cost after applying it."""
+
+    cell_a: int
+    cell_b: int
+    cost_after: float
+
+    @property
+    def pair(self) -> Tuple[int, int]:
+        """Canonical (sorted) cell pair."""
+        return (self.cell_a, self.cell_b) if self.cell_a <= self.cell_b else (self.cell_b, self.cell_a)
+
+
+@dataclass(slots=True)
+class CompoundMove:
+    """A sequence of swaps committed by a CLW during one local investigation.
+
+    Attributes
+    ----------
+    swaps:
+        The committed swaps, in application order (possibly truncated to the
+        best prefix).
+    cost_before:
+        Scalar cost of the solution before the compound move.
+    cost_after:
+        Scalar cost after applying ``swaps``.
+    trials:
+        Number of trial evaluations spent building the move (work accounting).
+    truncated_early:
+        Whether the early-acceptance rule stopped the move before full depth.
+    """
+
+    swaps: List[SwapMove] = field(default_factory=list)
+    cost_before: float = 0.0
+    cost_after: float = 0.0
+    trials: int = 0
+    truncated_early: bool = False
+
+    @property
+    def depth(self) -> int:
+        """Number of swaps in the move."""
+        return len(self.swaps)
+
+    @property
+    def gain(self) -> float:
+        """Cost reduction achieved (positive = improvement)."""
+        return self.cost_before - self.cost_after
+
+    @property
+    def is_improving(self) -> bool:
+        """Whether the move improves on the starting cost."""
+        return self.cost_after < self.cost_before
+
+    def pairs(self) -> List[Tuple[int, int]]:
+        """The swapped cell pairs in application order."""
+        return [(s.cell_a, s.cell_b) for s in self.swaps]
+
+
+def best_swap_of_candidates(
+    evaluator: CostEvaluator,
+    pairs: Sequence[Tuple[int, int]],
+) -> Optional[SwapMove]:
+    """Trial-evaluate candidate pairs and return the one with the lowest cost.
+
+    Returns ``None`` when ``pairs`` is empty.  Ties are broken in favour of
+    the first candidate (deterministic given the candidate order).
+    """
+    best: Optional[SwapMove] = None
+    for cell_a, cell_b in pairs:
+        cost = evaluator.evaluate_swap(cell_a, cell_b)
+        if best is None or cost < best.cost_after:
+            best = SwapMove(cell_a=cell_a, cell_b=cell_b, cost_after=cost)
+    return best
+
+
+class CompoundMoveBuilder:
+    """Step-by-step construction of a compound move.
+
+    The serial engine builds a whole compound move in one call
+    (:func:`build_compound_move`); a Candidate List Worker, however, must be
+    interruptible between steps — when its parent TSW asks for an early report
+    (the heterogeneous synchronisation of Section 4.2) the CLW stops exploring
+    and reports whatever best prefix it has.  The builder exposes exactly that
+    step granularity.
+
+    Usage::
+
+        builder = CompoundMoveBuilder(evaluator, cell_range,
+                                      pairs_per_step=5, depth=3)
+        while builder.wants_more_steps():
+            builder.step(rng)
+            # ... check for interrupts here ...
+        move = builder.finalize()
+    """
+
+    def __init__(
+        self,
+        evaluator: CostEvaluator,
+        cell_range: CellRange,
+        *,
+        pairs_per_step: int,
+        depth: int,
+        early_accept: bool = True,
+    ) -> None:
+        if pairs_per_step <= 0:
+            raise TabuSearchError(f"pairs_per_step must be positive, got {pairs_per_step}")
+        if depth <= 0:
+            raise TabuSearchError(f"depth must be positive, got {depth}")
+        self._evaluator = evaluator
+        self._range = cell_range
+        self._pairs_per_step = pairs_per_step
+        self._depth = depth
+        self._early_accept = early_accept
+        self._cost_before = evaluator.cost()
+        self._committed: List[SwapMove] = []
+        # The best prefix is the shortest non-empty prefix with the lowest
+        # cost: even when every prefix degrades the cost, the CLW must still
+        # report a (least-degrading) move — tabu search relies on accepting
+        # bad moves.
+        self._best_prefix_len = 0
+        self._best_prefix_cost = float("inf")
+        self._trials = 0
+        self._truncated_early = False
+        self._finalized = False
+
+    @property
+    def cost_before(self) -> float:
+        """Cost of the solution the move is being built from."""
+        return self._cost_before
+
+    @property
+    def steps_taken(self) -> int:
+        """Number of committed steps so far."""
+        return len(self._committed)
+
+    @property
+    def trials(self) -> int:
+        """Trial evaluations spent so far."""
+        return self._trials
+
+    def wants_more_steps(self) -> bool:
+        """Whether another :meth:`step` call would do anything."""
+        return (
+            not self._finalized
+            and not self._truncated_early
+            and len(self._committed) < self._depth
+        )
+
+    def step(self, rng: np.random.Generator) -> int:
+        """Trial ``pairs_per_step`` candidates, commit the best; returns trials used."""
+        if self._finalized:
+            raise TabuSearchError("step() called after finalize()")
+        if not self.wants_more_steps():
+            return 0
+        num_cells = self._evaluator.placement.num_cells
+        pairs = sample_candidate_pairs(self._range, num_cells, self._pairs_per_step, rng)
+        self._trials += len(pairs)
+        best = best_swap_of_candidates(self._evaluator, pairs)
+        if best is None:  # pragma: no cover - sample_candidate_pairs never returns empty
+            return 0
+        self._evaluator.commit_swap(best.cell_a, best.cell_b)
+        self._committed.append(best)
+        current_cost = self._evaluator.cost()
+        if current_cost < self._best_prefix_cost:
+            self._best_prefix_cost = current_cost
+            self._best_prefix_len = len(self._committed)
+        if self._early_accept and current_cost < self._cost_before:
+            self._truncated_early = True
+        return len(pairs)
+
+    def finalize(self) -> CompoundMove:
+        """Roll back to the best prefix and return the resulting move."""
+        if self._finalized:
+            raise TabuSearchError("finalize() called twice")
+        self._finalized = True
+        # Roll back any swaps beyond the best prefix so the evaluator ends on
+        # the best solution seen during the exploration.
+        while len(self._committed) > self._best_prefix_len:
+            swap = self._committed.pop()
+            self._evaluator.commit_swap(swap.cell_a, swap.cell_b)  # swap is its own inverse
+        return CompoundMove(
+            swaps=list(self._committed),
+            cost_before=self._cost_before,
+            cost_after=self._evaluator.cost(),
+            trials=self._trials,
+            truncated_early=self._truncated_early,
+        )
+
+
+def build_compound_move(
+    evaluator: CostEvaluator,
+    cell_range: CellRange,
+    *,
+    pairs_per_step: int,
+    depth: int,
+    rng: np.random.Generator,
+    early_accept: bool = True,
+) -> CompoundMove:
+    """Construct and apply a compound move on ``evaluator``'s placement.
+
+    The evaluator's placement is left in the state corresponding to the *best
+    prefix* of the explored swap sequence (swaps beyond the best prefix are
+    undone), matching the paper's "best compound move" semantics.
+
+    Parameters
+    ----------
+    pairs_per_step:
+        ``m`` — candidate pairs trialled at every step.
+    depth:
+        ``d`` — maximum number of committed swaps.
+    early_accept:
+        Stop as soon as the accumulated cost improves on the starting cost.
+    """
+    builder = CompoundMoveBuilder(
+        evaluator,
+        cell_range,
+        pairs_per_step=pairs_per_step,
+        depth=depth,
+        early_accept=early_accept,
+    )
+    while builder.wants_more_steps():
+        builder.step(rng)
+    return builder.finalize()

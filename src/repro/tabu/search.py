@@ -1,0 +1,340 @@
+"""Serial tabu-search engine (Figure 1 of the paper).
+
+:class:`TabuSearch` drives a :class:`~repro.placement.cost.CostEvaluator`
+through tabu-search iterations:
+
+1. build one or more candidate *compound moves* (the candidate list
+   :math:`V^*(s)` — in the parallel algorithm each CLW contributes one
+   candidate; the serial engine builds them sequentially);
+2. pick the candidate with the lowest resulting cost;
+3. accept it if it is not tabu, or if it satisfies the aspiration criterion;
+   otherwise fall back to the next-best candidate; if every candidate is
+   rejected the iteration stalls;
+4. record the accepted move's attributes in the tabu list and update the best
+   solution found so far.
+
+The same class is reused inside the parallel Tabu Search Workers, where the
+candidate compound moves come from remote CLWs instead of being generated
+locally (see :mod:`repro.parallel.tsw`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .._rng import make_rng
+from ..errors import TabuSearchError
+from ..placement.cost import CostEvaluator
+from .aspiration import (
+    AspirationCriterion,
+    BestCostAspiration,
+    ImprovementAspiration,
+    NoAspiration,
+)
+from .attributes import swap_attributes
+from .candidate import CellRange, full_range
+from .diversification import diversify
+from .moves import CompoundMove, build_compound_move
+from .params import TabuSearchParams
+from .tabu_list import FrequencyMemory, TabuList
+from .termination import TerminationCriteria
+
+__all__ = ["StepResult", "SearchResult", "TabuSearch", "make_aspiration"]
+
+
+def make_aspiration(params: TabuSearchParams) -> AspirationCriterion:
+    """Instantiate the aspiration criterion selected by ``params``."""
+    if params.aspiration == "best":
+        return BestCostAspiration(margin=params.aspiration_margin)
+    if params.aspiration == "improvement":
+        return ImprovementAspiration()
+    return NoAspiration()
+
+
+@dataclass(frozen=True, slots=True)
+class StepResult:
+    """Outcome of one tabu-search iteration."""
+
+    iteration: int
+    accepted: bool
+    move: Optional[CompoundMove]
+    was_tabu: bool
+    used_aspiration: bool
+    cost_after: float
+    best_cost: float
+
+
+@dataclass(slots=True)
+class SearchResult:
+    """Outcome of a whole (serial) tabu-search run."""
+
+    best_cost: float
+    best_solution: np.ndarray
+    iterations: int
+    evaluations: int
+    #: (iteration, evaluations, current cost, best cost) after every step.
+    trace: List[Tuple[int, int, float, float]] = field(default_factory=list)
+
+
+class TabuSearch:
+    """Tabu search over placements, bound to one :class:`CostEvaluator`.
+
+    Parameters
+    ----------
+    evaluator:
+        Owns the placement and the incremental cost state.
+    params:
+        Search parameters (tenure, ``m``, ``d``, aspiration, ...).
+    cell_range:
+        Range from which the first cell of every candidate pair is drawn;
+        defaults to all cells (the serial algorithm).
+    seed:
+        Seed of the worker's private random stream.
+    candidate_moves:
+        How many candidate compound moves to build per iteration.  The serial
+        algorithm uses 1; a TSW that emulates ``k`` CLWs sequentially uses
+        ``k`` (each with its own sub-range — see :mod:`repro.parallel`).
+    """
+
+    def __init__(
+        self,
+        evaluator: CostEvaluator,
+        params: TabuSearchParams | None = None,
+        *,
+        cell_range: Optional[CellRange] = None,
+        seed: int = 0,
+        candidate_moves: int = 1,
+        candidate_ranges: Optional[Sequence[CellRange]] = None,
+    ) -> None:
+        if candidate_moves < 1:
+            raise TabuSearchError(f"candidate_moves must be >= 1, got {candidate_moves}")
+        self._evaluator = evaluator
+        self._params = params or TabuSearchParams()
+        self._range = cell_range or full_range(evaluator.placement.num_cells)
+        if candidate_ranges is not None:
+            if len(candidate_ranges) != candidate_moves:
+                raise TabuSearchError(
+                    "candidate_ranges must provide exactly one range per candidate move"
+                )
+            self._candidate_ranges: Tuple[CellRange, ...] = tuple(candidate_ranges)
+        else:
+            self._candidate_ranges = tuple([self._range] * candidate_moves)
+        self._rng = make_rng(seed, "tabu-search", evaluator.placement.netlist.name)
+        self._tabu = TabuList(self._params.tabu_tenure)
+        self._frequency = FrequencyMemory(evaluator.placement.num_cells)
+        self._aspiration = make_aspiration(self._params)
+        self._iteration = 0
+        self._stall = 0
+        self._best_cost = evaluator.cost()
+        self._best_solution = evaluator.snapshot()
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def evaluator(self) -> CostEvaluator:
+        """The bound cost evaluator."""
+        return self._evaluator
+
+    @property
+    def params(self) -> TabuSearchParams:
+        """Search parameters."""
+        return self._params
+
+    @property
+    def tabu_list(self) -> TabuList:
+        """Short-term memory."""
+        return self._tabu
+
+    @property
+    def frequency_memory(self) -> FrequencyMemory:
+        """Long-term (frequency) memory."""
+        return self._frequency
+
+    @property
+    def iteration(self) -> int:
+        """Number of completed iterations."""
+        return self._iteration
+
+    @property
+    def current_cost(self) -> float:
+        """Cost of the current solution."""
+        return self._evaluator.cost()
+
+    @property
+    def best_cost(self) -> float:
+        """Best cost found so far."""
+        return self._best_cost
+
+    @property
+    def best_solution(self) -> np.ndarray:
+        """Copy of the best assignment found so far."""
+        return self._best_solution.copy()
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The worker's private random stream."""
+        return self._rng
+
+    # ------------------------------------------------------------------ #
+    # state manipulation used by the parallel protocol
+    # ------------------------------------------------------------------ #
+    def adopt_solution(self, cell_to_slot: np.ndarray, *, reset_memory: bool = False) -> float:
+        """Install a solution received from outside (master / parent TSW)."""
+        cost = self._evaluator.install_solution(np.asarray(cell_to_slot, dtype=np.int64))
+        if cost < self._best_cost:
+            self._best_cost = cost
+            self._best_solution = self._evaluator.snapshot()
+        if reset_memory:
+            self._tabu.clear()
+        return cost
+
+    def note_best(self) -> None:
+        """Record the current solution as best if it improves on the incumbent."""
+        cost = self._evaluator.cost()
+        if cost < self._best_cost:
+            self._best_cost = cost
+            self._best_solution = self._evaluator.snapshot()
+
+    def diversify(self, depth: Optional[int] = None) -> None:
+        """Run the Kelly-style diversification step within this worker's range.
+
+        The effective depth is capped at a quarter of the worker's range so
+        that small circuits (or finely partitioned ranges) are not perturbed
+        beyond recovery — diversification should relocate a few rarely-moved
+        cells, not scramble the whole region.
+        """
+        depth = self._params.diversification_depth if depth is None else depth
+        depth = min(depth, max(1, len(self._range) // 4))
+        if depth <= 0:
+            return
+        diversify(
+            self._evaluator,
+            self._range,
+            depth=depth,
+            rng=self._rng,
+            frequency=self._frequency,
+        )
+        self.note_best()
+
+    # ------------------------------------------------------------------ #
+    # the core iteration
+    # ------------------------------------------------------------------ #
+    def _build_candidates(self) -> List[CompoundMove]:
+        """Generate candidate compound moves, restoring the state after each."""
+        candidates: List[CompoundMove] = []
+        for cand_range in self._candidate_ranges:
+            move = build_compound_move(
+                self._evaluator,
+                cand_range,
+                pairs_per_step=self._params.pairs_per_step,
+                depth=self._params.move_depth,
+                rng=self._rng,
+                early_accept=self._params.early_accept,
+            )
+            # undo so every candidate is built from the same starting solution
+            for cell_a, cell_b in reversed(move.pairs()):
+                self._evaluator.commit_swap(cell_a, cell_b)
+            candidates.append(move)
+        return candidates
+
+    def consider_candidates(self, candidates: Sequence[CompoundMove]) -> StepResult:
+        """Select and (maybe) accept the best candidate move.
+
+        This is the acceptance logic shared by the serial engine and the TSW
+        process (whose candidates arrive from remote CLWs).  The evaluator
+        must be positioned on the solution the candidates were built from.
+        """
+        self._iteration += 1
+        iteration = self._iteration
+        current_cost = self._evaluator.cost()
+        ordered = sorted(candidates, key=lambda move: move.cost_after)
+
+        for move in ordered:
+            if not move.swaps:
+                continue
+            attrs = [
+                attr
+                for cell_a, cell_b in move.pairs()
+                for attr in swap_attributes(cell_a, cell_b, self._params.attribute_scheme)
+            ]
+            is_tabu = self._tabu.is_tabu(attrs, iteration)
+            used_aspiration = False
+            if is_tabu:
+                if not self._aspiration.permits(move.cost_after, current_cost, self._best_cost):
+                    continue
+                used_aspiration = True
+            # accept: apply the move's swaps and update memories
+            for cell_a, cell_b in move.pairs():
+                self._evaluator.commit_swap(cell_a, cell_b)
+                self._frequency.record_swap(cell_a, cell_b)
+            self._tabu.record(attrs, iteration)
+            self._tabu.expire(iteration)
+            cost_after = self._evaluator.cost()
+            if cost_after < self._best_cost:
+                self._best_cost = cost_after
+                self._best_solution = self._evaluator.snapshot()
+                self._stall = 0
+            else:
+                self._stall += 1
+            return StepResult(
+                iteration=iteration,
+                accepted=True,
+                move=move,
+                was_tabu=is_tabu,
+                used_aspiration=used_aspiration,
+                cost_after=cost_after,
+                best_cost=self._best_cost,
+            )
+
+        # every candidate was tabu (and failed aspiration) or empty
+        self._stall += 1
+        return StepResult(
+            iteration=iteration,
+            accepted=False,
+            move=None,
+            was_tabu=True,
+            used_aspiration=False,
+            cost_after=current_cost,
+            best_cost=self._best_cost,
+        )
+
+    def step(self) -> StepResult:
+        """Run one complete tabu-search iteration (build + accept)."""
+        candidates = self._build_candidates()
+        return self.consider_candidates(candidates)
+
+    def run(
+        self,
+        termination: TerminationCriteria | None = None,
+        *,
+        record_trace: bool = True,
+    ) -> SearchResult:
+        """Iterate until the termination criteria are met."""
+        termination = termination or TerminationCriteria(
+            max_iterations=self._params.local_iterations
+        )
+        trace: List[Tuple[int, int, float, float]] = []
+        while not termination.should_stop(
+            iteration=self._iteration, best_cost=self._best_cost, stall=self._stall
+        ):
+            result = self.step()
+            if record_trace:
+                trace.append(
+                    (
+                        result.iteration,
+                        self._evaluator.evaluations,
+                        result.cost_after,
+                        result.best_cost,
+                    )
+                )
+        return SearchResult(
+            best_cost=self._best_cost,
+            best_solution=self.best_solution,
+            iterations=self._iteration,
+            evaluations=self._evaluator.evaluations,
+            trace=trace,
+        )

@@ -1,0 +1,131 @@
+"""Short-term and long-term tabu memory.
+
+:class:`TabuList` is the short-term memory of the paper's Figure 1: it stores
+the attributes of recently accepted moves together with the iteration at
+which their tabu status expires.  A move is *tabu* if any of its attributes is
+still active.
+
+:class:`FrequencyMemory` is the long-term memory used by diversification: it
+counts how often every cell has been moved, so the diversification step can
+push rarely moved cells to new locations (Kelly-style diversification).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Tuple
+
+import numpy as np
+
+from ..errors import TabuSearchError
+from .attributes import MoveAttribute
+
+__all__ = ["TabuList", "FrequencyMemory"]
+
+
+class TabuList:
+    """Attribute-based short-term memory with a fixed tenure.
+
+    Parameters
+    ----------
+    tenure:
+        Number of iterations an attribute stays tabu after being recorded.
+    """
+
+    def __init__(self, tenure: int) -> None:
+        if tenure < 0:
+            raise TabuSearchError(f"tabu tenure must be non-negative, got {tenure}")
+        self._tenure = tenure
+        self._expiry: Dict[MoveAttribute, int] = {}
+
+    @property
+    def tenure(self) -> int:
+        """Configured tenure (iterations an attribute remains tabu)."""
+        return self._tenure
+
+    def __len__(self) -> int:
+        return len(self._expiry)
+
+    def __contains__(self, attribute: MoveAttribute) -> bool:
+        return attribute in self._expiry
+
+    def __iter__(self) -> Iterator[MoveAttribute]:
+        return iter(self._expiry)
+
+    def record(self, attributes: Iterable[MoveAttribute], iteration: int) -> None:
+        """Mark ``attributes`` tabu until ``iteration + tenure``."""
+        if self._tenure == 0:
+            return
+        expiry = iteration + self._tenure
+        for attr in attributes:
+            self._expiry[attr] = expiry
+
+    def is_tabu(self, attributes: Iterable[MoveAttribute], iteration: int) -> bool:
+        """Whether any attribute is still tabu at ``iteration``."""
+        for attr in attributes:
+            expiry = self._expiry.get(attr)
+            if expiry is not None and iteration < expiry:
+                return True
+        return False
+
+    def expire(self, iteration: int) -> int:
+        """Drop attributes whose tenure has elapsed; returns how many were dropped."""
+        stale = [attr for attr, expiry in self._expiry.items() if iteration >= expiry]
+        for attr in stale:
+            del self._expiry[attr]
+        return len(stale)
+
+    def clear(self) -> None:
+        """Forget everything (used when a TSW adopts a new global best)."""
+        self._expiry.clear()
+
+    # ------------------------------------------------------------------ #
+    # serialisation — the paper's master/TSW protocol ships the tabu list
+    # together with the best solution.
+    # ------------------------------------------------------------------ #
+    def to_payload(self) -> Tuple[Tuple[str, Tuple[int, ...], int], ...]:
+        """Serialisable snapshot ``((kind, key, expiry), ...)``."""
+        return tuple((attr.kind, attr.key, expiry) for attr, expiry in self._expiry.items())
+
+    @classmethod
+    def from_payload(
+        cls, payload: Iterable[Tuple[str, Tuple[int, ...], int]], tenure: int
+    ) -> "TabuList":
+        """Rebuild a tabu list from :meth:`to_payload` output."""
+        instance = cls(tenure)
+        for kind, key, expiry in payload:
+            instance._expiry[MoveAttribute(kind=kind, key=tuple(key))] = int(expiry)
+        return instance
+
+
+class FrequencyMemory:
+    """Long-term memory: per-cell move counts used for diversification."""
+
+    def __init__(self, num_cells: int) -> None:
+        if num_cells <= 0:
+            raise TabuSearchError(f"num_cells must be positive, got {num_cells}")
+        self._counts = np.zeros(num_cells, dtype=np.int64)
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Per-cell move counts (read-only view)."""
+        view = self._counts.view()
+        view.flags.writeable = False
+        return view
+
+    def record_swap(self, cell_a: int, cell_b: int) -> None:
+        """Record that both cells of a committed swap were moved."""
+        self._counts[cell_a] += 1
+        self._counts[cell_b] += 1
+
+    def least_moved(self, candidates: np.ndarray, rng: np.random.Generator) -> int:
+        """Among ``candidates``, pick a least-frequently-moved cell (ties random)."""
+        if candidates.size == 0:
+            raise TabuSearchError("least_moved called with no candidates")
+        counts = self._counts[candidates]
+        minimum = counts.min()
+        pool = candidates[counts == minimum]
+        return int(pool[rng.integers(0, pool.size)])
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self._counts[:] = 0

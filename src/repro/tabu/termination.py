@@ -1,0 +1,50 @@
+"""Stopping criteria for a tabu-search run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import TabuSearchError
+
+__all__ = ["TerminationCriteria"]
+
+
+@dataclass(frozen=True, slots=True)
+class TerminationCriteria:
+    """When to stop iterating.
+
+    Attributes
+    ----------
+    max_iterations:
+        Hard cap on the number of TS iterations (``None`` = unlimited; at
+        least one of the three criteria must be set).
+    target_cost:
+        Stop as soon as the best cost drops to or below this value.  Used by
+        the speedup experiments, which measure time-to-quality.
+    max_stall:
+        Stop after this many consecutive iterations without improving the
+        best cost.
+    """
+
+    max_iterations: Optional[int] = None
+    target_cost: Optional[float] = None
+    max_stall: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_iterations is None and self.target_cost is None and self.max_stall is None:
+            raise TabuSearchError("at least one termination criterion must be set")
+        if self.max_iterations is not None and self.max_iterations < 1:
+            raise TabuSearchError(f"max_iterations must be >= 1, got {self.max_iterations}")
+        if self.max_stall is not None and self.max_stall < 1:
+            raise TabuSearchError(f"max_stall must be >= 1, got {self.max_stall}")
+
+    def should_stop(self, *, iteration: int, best_cost: float, stall: int) -> bool:
+        """Evaluate the criteria against the current search state."""
+        if self.max_iterations is not None and iteration >= self.max_iterations:
+            return True
+        if self.target_cost is not None and best_cost <= self.target_cost:
+            return True
+        if self.max_stall is not None and stall >= self.max_stall:
+            return True
+        return False

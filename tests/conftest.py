@@ -1,0 +1,93 @@
+"""Shared pytest fixtures.
+
+The fixtures centre on a handful of circuits of increasing size so that most
+tests run on something tiny (fast) while a few integration tests exercise the
+paper's benchmark circuits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.placement import (
+    CellKind,
+    CostEvaluator,
+    Layout,
+    NetlistBuilder,
+    load_benchmark,
+    random_placement,
+)
+
+
+def build_chain_netlist(num_gates: int = 6, name: str = "chain"):
+    """A simple PI -> g0 -> g1 -> ... -> PO chain with one side branch per gate.
+
+    Handy for tests because the critical path and wirelength are easy to
+    reason about by hand.
+    """
+    builder = NetlistBuilder(name)
+    builder.add_cell("pi0", kind=CellKind.PRIMARY_INPUT, delay=0.0, width=1.0)
+    previous = "pi0"
+    for index in range(num_gates):
+        gate = f"g{index}"
+        builder.add_cell(gate, delay=1.0, width=1.0 + 0.1 * index)
+        builder.add_net(f"n{index}", driver=previous, sinks=[gate])
+        previous = gate
+    builder.add_cell("po0", kind=CellKind.PRIMARY_OUTPUT, delay=0.0, width=1.0)
+    builder.add_net("n_out", driver=previous, sinks=["po0"])
+    return builder.build()
+
+
+@pytest.fixture
+def chain_netlist():
+    """A 8-cell chain circuit (1 PI, 6 gates, 1 PO)."""
+    return build_chain_netlist()
+
+
+@pytest.fixture
+def tiny_netlist():
+    """The deterministic 16-cell generated circuit."""
+    return load_benchmark("tiny16")
+
+
+@pytest.fixture
+def mini_netlist():
+    """The deterministic 64-cell generated circuit."""
+    return load_benchmark("mini64")
+
+
+@pytest.fixture
+def small_netlist():
+    """The deterministic 200-cell generated circuit."""
+    return load_benchmark("small200")
+
+
+@pytest.fixture
+def highway_netlist():
+    """The smallest paper circuit (56 cells)."""
+    return load_benchmark("highway")
+
+
+@pytest.fixture
+def mini_layout(mini_netlist):
+    """Layout for the 64-cell circuit."""
+    return Layout(mini_netlist)
+
+
+@pytest.fixture
+def mini_placement(mini_layout):
+    """Deterministic random placement of the 64-cell circuit."""
+    return random_placement(mini_layout, seed=42)
+
+
+@pytest.fixture
+def mini_evaluator(mini_placement):
+    """Cost evaluator bound to the 64-cell placement."""
+    return CostEvaluator(mini_placement)
+
+
+@pytest.fixture
+def rng():
+    """A deterministic NumPy generator for test-local sampling."""
+    return np.random.default_rng(12345)

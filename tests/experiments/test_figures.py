@@ -1,0 +1,98 @@
+"""Tests for the figure generators (run on tiny configurations).
+
+These tests exercise every figure function end-to-end but on the smallest
+circuits and iteration counts, checking the *structure* of the produced data
+and the qualitative relations that must hold regardless of scale (e.g. the
+diversified run is never worse than the non-diversified run by a large
+margin).  The full-size shape checks live in the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    ALL_FIGURES,
+    ExperimentScale,
+    fig5_clw_quality,
+    fig6_clw_speedup,
+    fig7_tsw_quality,
+    fig9_diversification,
+    fig10_local_vs_global,
+    fig11_heterogeneity,
+)
+
+#: Tiny scale so that every figure generator stays in the tens of milliseconds
+#: to low seconds range during unit testing.
+TINY = ExperimentScale(
+    name="quick",
+    global_iterations=2,
+    local_iterations=3,
+    pairs_per_step=3,
+    move_depth=2,
+    circuits=("mini64",),
+)
+
+
+class TestRegistry:
+    def test_all_seven_figures_registered(self):
+        assert set(ALL_FIGURES) == {"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11"}
+
+
+class TestFig5:
+    def test_structure_and_format(self):
+        result = fig5_clw_quality(scale=TINY, circuits=["mini64"], clw_counts=(1, 2))
+        assert result.figure_id == "fig5"
+        quality = result.data["quality"]["mini64"]
+        assert set(quality) == {1, 2}
+        assert all(0.0 < cost < 1.0 for cost in quality.values())
+        text = result.format()
+        assert "mini64" in text and "best cost" in text
+
+
+class TestFig6:
+    def test_speedup_points(self):
+        result = fig6_clw_speedup(scale=TINY, circuits=["mini64"], clw_counts=(1, 2))
+        points = result.data["curves"]["mini64"]
+        assert [p.workers for p in points] == [1, 2]
+        assert points[0].speedup == pytest.approx(1.0)
+        assert points[0].time is not None
+
+
+class TestFig7:
+    def test_quality_per_tsw_count(self):
+        result = fig7_tsw_quality(scale=TINY, circuits=["mini64"], tsw_counts=(1, 2, 3))
+        quality = result.data["quality"]["mini64"]
+        assert set(quality) == {1, 2, 3}
+        assert all(0.0 < cost < 1.0 for cost in quality.values())
+
+
+class TestFig9:
+    def test_diversification_compares_two_runs(self):
+        result = fig9_diversification(scale=TINY, circuits=["mini64"])
+        per_circuit = result.data["per_circuit"]["mini64"]
+        costs = per_circuit["best_costs"]
+        assert set(costs) == {"diversified", "non-diversified"}
+        assert set(per_circuit["traces"]) == {"diversified", "non-diversified"}
+
+
+class TestFig10:
+    def test_constant_work_combinations(self):
+        result = fig10_local_vs_global(
+            scale=TINY, circuits=["mini64"], combinations=[(2, 4), (4, 2)]
+        )
+        per_circuit = result.data["per_circuit"]["mini64"]
+        assert set(per_circuit) == {(2, 4), (4, 2)}
+        # constant total work: both combinations have global*local == 8
+        assert all(g * l == 8 for g, l in per_circuit)
+
+
+class TestFig11:
+    def test_heterogeneous_vs_homogeneous(self):
+        result = fig11_heterogeneity(
+            scale=TINY, circuits=["mini64"], num_tsws=2, clws_per_tsw=2
+        )
+        per_circuit = result.data["per_circuit"]["mini64"]
+        assert set(per_circuit["runtimes"]) == {"heterogeneous", "homogeneous"}
+        assert per_circuit["runtimes"]["heterogeneous"] > 0
+        assert per_circuit["best_costs"]["heterogeneous"] < 1.0

@@ -1,0 +1,93 @@
+"""Unit and property-based tests for the fuzzy aggregation operators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CostModelError
+from repro.fuzzy import (
+    OwaAndLike,
+    OwaOrLike,
+    andlike_owa,
+    fuzzy_and_min,
+    fuzzy_or_max,
+    orlike_owa,
+    probabilistic_sum,
+    product_tnorm,
+)
+
+memberships = st.lists(st.floats(0.0, 1.0), min_size=1, max_size=8)
+
+
+class TestAndLikeOwa:
+    def test_beta_one_is_min(self):
+        values = [0.2, 0.8, 0.5]
+        assert andlike_owa(values, 1.0) == pytest.approx(min(values))
+
+    def test_beta_zero_is_mean(self):
+        values = [0.2, 0.8, 0.5]
+        assert andlike_owa(values, 0.0) == pytest.approx(np.mean(values))
+
+    def test_invalid_beta_rejected(self):
+        with pytest.raises(CostModelError):
+            andlike_owa([0.5], 1.5)
+
+    def test_invalid_membership_rejected(self):
+        with pytest.raises(CostModelError):
+            andlike_owa([1.5], 0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(CostModelError):
+            andlike_owa([], 0.5)
+
+    @settings(max_examples=100, deadline=None)
+    @given(values=memberships, beta=st.floats(0.0, 1.0))
+    def test_bounded_by_min_and_mean(self, values, beta):
+        result = andlike_owa(values, beta)
+        assert min(values) - 1e-12 <= result <= float(np.mean(values)) + 1e-12
+
+    @settings(max_examples=100, deadline=None)
+    @given(values=memberships, beta=st.floats(0.0, 1.0))
+    def test_result_in_unit_interval(self, values, beta):
+        assert 0.0 <= andlike_owa(values, beta) <= 1.0
+
+
+class TestOrLikeOwa:
+    def test_beta_one_is_max(self):
+        values = [0.2, 0.8, 0.5]
+        assert orlike_owa(values, 1.0) == pytest.approx(max(values))
+
+    @settings(max_examples=100, deadline=None)
+    @given(values=memberships, beta=st.floats(0.0, 1.0))
+    def test_orlike_dominates_andlike(self, values, beta):
+        assert orlike_owa(values, beta) >= andlike_owa(values, beta) - 1e-12
+
+
+class TestClassicalOperators:
+    @settings(max_examples=100, deadline=None)
+    @given(values=memberships)
+    def test_tnorm_le_min_le_max_le_snorm(self, values):
+        assert product_tnorm(values) <= fuzzy_and_min(values) + 1e-12
+        assert fuzzy_and_min(values) <= fuzzy_or_max(values) + 1e-12
+        assert fuzzy_or_max(values) <= probabilistic_sum(values) + 1e-12
+
+    def test_single_value_fixed_point(self):
+        for op in (fuzzy_and_min, fuzzy_or_max, product_tnorm, probabilistic_sum):
+            assert op([0.4]) == pytest.approx(0.4)
+
+
+class TestCallableWrappers:
+    def test_owa_andlike_callable(self):
+        op = OwaAndLike(beta=0.7)
+        assert op([0.5, 1.0]) == pytest.approx(0.7 * 0.5 + 0.3 * 0.75)
+
+    def test_owa_orlike_callable(self):
+        op = OwaOrLike(beta=0.7)
+        assert op([0.5, 1.0]) == pytest.approx(0.7 * 1.0 + 0.3 * 0.75)
+
+    def test_invalid_beta_rejected(self):
+        with pytest.raises(CostModelError):
+            OwaAndLike(beta=-0.1)

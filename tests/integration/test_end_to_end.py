@@ -1,0 +1,116 @@
+"""Integration tests spanning the whole stack on the paper's smallest circuit."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.parallel import ParallelSearchParams, build_problem, run_parallel_search
+from repro.placement import CostEvaluator, Layout, load_benchmark, random_placement
+from repro.pvm import paper_cluster
+from repro.tabu import TabuSearch, TabuSearchParams, TerminationCriteria
+
+
+@pytest.fixture(scope="module")
+def highway():
+    return load_benchmark("highway")
+
+
+class TestSerialVsParallelConsistency:
+    def test_parallel_with_one_worker_behaves_like_serial_search(self, highway):
+        """A 1-TSW / 1-CLW parallel run and a serial run use the same move
+        machinery; both must improve the same initial solution substantially."""
+        params = ParallelSearchParams(
+            num_tsws=1,
+            clws_per_tsw=1,
+            global_iterations=2,
+            diversify=False,
+            tabu=TabuSearchParams(local_iterations=10, pairs_per_step=4, move_depth=2),
+            seed=5,
+        )
+        parallel = run_parallel_search(highway, params)
+
+        layout = Layout(highway)
+        evaluator = CostEvaluator(random_placement(layout, seed=5))
+        serial = TabuSearch(
+            evaluator, TabuSearchParams(pairs_per_step=4, move_depth=2), seed=5
+        ).run(TerminationCriteria(max_iterations=20))
+
+        assert parallel.best_cost < parallel.initial_cost * 0.95
+        assert serial.best_cost < parallel.initial_cost  # same ballpark of effort
+        # both land in a comparable quality band
+        assert abs(parallel.best_cost - serial.best_cost) < 0.25
+
+    def test_more_workers_do_not_hurt_quality(self, highway):
+        """More TSWs with the same per-worker effort should not end up clearly
+        worse than a single TSW (the paper's central claim, Figure 7)."""
+        shared = dict(
+            clws_per_tsw=1,
+            global_iterations=3,
+            tabu=TabuSearchParams(local_iterations=5, pairs_per_step=4, move_depth=2),
+            seed=9,
+        )
+        problem = build_problem(highway, ParallelSearchParams(num_tsws=1, **shared))
+        single = run_parallel_search(
+            highway, ParallelSearchParams(num_tsws=1, **shared), problem=problem
+        )
+        quad = run_parallel_search(
+            highway, ParallelSearchParams(num_tsws=4, **shared), problem=problem
+        )
+        assert quad.best_cost <= single.best_cost + 0.05
+
+
+class TestPaperClusterEndToEnd:
+    def test_full_paper_configuration_runs_clean(self, highway):
+        """4 TSWs x 4 CLWs on the 12-machine cluster — the Figure 11 setup."""
+        params = ParallelSearchParams(
+            num_tsws=4,
+            clws_per_tsw=4,
+            global_iterations=2,
+            tabu=TabuSearchParams(local_iterations=3, pairs_per_step=3, move_depth=2),
+            seed=2,
+        )
+        result = run_parallel_search(highway, params, cluster=paper_cluster())
+        assert result.sim_stats.num_processes == 1 + 4 + 16
+        assert result.best_cost < result.initial_cost
+        # every process finished (the kernel would have raised on deadlock)
+        assert all(info.finished_at is not None for info in result.process_infos)
+        # work happened on more than one machine
+        busy = result.sim_stats.per_machine_busy
+        assert sum(1 for b in busy if b > 0) >= 8
+
+    def test_objectives_are_internally_consistent(self, highway):
+        params = ParallelSearchParams(
+            num_tsws=2,
+            clws_per_tsw=2,
+            global_iterations=2,
+            tabu=TabuSearchParams(local_iterations=4, pairs_per_step=4, move_depth=2),
+            seed=3,
+        )
+        problem = build_problem(highway, params)
+        result = run_parallel_search(highway, params, problem=problem)
+        evaluator = problem.make_evaluator(result.best_solution)
+        objectives = evaluator.objectives()
+        assert objectives.wirelength == pytest.approx(result.best_objectives.wirelength)
+        assert objectives.area == pytest.approx(result.best_objectives.area)
+        assert result.best_objectives.wirelength > 0
+        assert result.best_objectives.delay > 0
+        assert result.best_objectives.area > 0
+
+
+class TestReproducibilityAcrossRuns:
+    def test_identical_runs_bitwise_identical(self, highway):
+        params = ParallelSearchParams(
+            num_tsws=3,
+            clws_per_tsw=2,
+            global_iterations=2,
+            tabu=TabuSearchParams(local_iterations=3, pairs_per_step=3, move_depth=2),
+            seed=42,
+        )
+        a = run_parallel_search(highway, params)
+        b = run_parallel_search(highway, params)
+        assert np.array_equal(a.best_solution, b.best_solution)
+        assert a.best_cost == b.best_cost
+        assert a.trace == b.trace
+        assert a.sim_stats.total_messages == b.sim_stats.total_messages
+        assert a.sim_stats.total_events == b.sim_stats.total_events

@@ -1,0 +1,57 @@
+"""Unit tests for the plain-text report formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics import format_mapping, format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(["name", "value"], [("a", 1), ("long-name", 2.5)])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, separator, two rows
+        assert "name" in lines[0] and "value" in lines[0]
+        # all rows have the same width
+        assert len({len(line) for line in lines if line}) <= 2
+
+    def test_title_included(self):
+        text = format_table(["a"], [(1,)], title="My table")
+        assert text.splitlines()[0] == "My table"
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [(1.23456789,)], float_format=".2f")
+        assert "1.23" in text
+        assert "1.2345" not in text
+
+    def test_none_rendered_as_dash(self):
+        text = format_table(["x"], [(None,)])
+        assert "-" in text.splitlines()[-1]
+
+    def test_bool_rendered_as_yes_no(self):
+        text = format_table(["x"], [(True,), (False,)])
+        assert "yes" in text
+        assert "no" in text
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError, match="columns"):
+            format_table(["a", "b"], [(1,)])
+
+
+class TestFormatSeries:
+    def test_series(self):
+        text = format_series([1, 2, 3], [0.1, 0.2, 0.3], x_label="n", y_label="cost")
+        assert "n" in text and "cost" in text
+        assert len(text.splitlines()) == 5
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="lengths differ"):
+            format_series([1, 2], [1.0])
+
+
+class TestFormatMapping:
+    def test_mapping(self):
+        text = format_mapping({"cells": 56, "best_cost": 0.4321})
+        assert "cells" in text
+        assert "0.4321" in text

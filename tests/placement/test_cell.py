@@ -1,0 +1,75 @@
+"""Unit tests for cells, nets and cell kinds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.placement.cell import Cell, CellKind, Net
+
+
+class TestCellKind:
+    def test_timing_start_points(self):
+        assert CellKind.PRIMARY_INPUT.is_timing_start
+        assert CellKind.SEQUENTIAL.is_timing_start
+        assert not CellKind.COMBINATIONAL.is_timing_start
+        assert not CellKind.PRIMARY_OUTPUT.is_timing_start
+
+    def test_timing_end_points(self):
+        assert CellKind.PRIMARY_OUTPUT.is_timing_end
+        assert CellKind.SEQUENTIAL.is_timing_end
+        assert not CellKind.COMBINATIONAL.is_timing_end
+        assert not CellKind.PRIMARY_INPUT.is_timing_end
+
+    def test_pads(self):
+        assert CellKind.PRIMARY_INPUT.is_pad
+        assert CellKind.PRIMARY_OUTPUT.is_pad
+        assert not CellKind.SEQUENTIAL.is_pad
+
+
+class TestCell:
+    def test_valid_cell(self):
+        cell = Cell(name="g1", index=3, width=2.0, delay=1.5)
+        assert cell.name == "g1"
+        assert cell.index == 3
+        assert cell.kind is CellKind.COMBINATIONAL
+        assert cell.is_movable
+
+    def test_rejects_non_positive_width(self):
+        with pytest.raises(ValueError, match="width"):
+            Cell(name="g1", index=0, width=0.0)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError, match="delay"):
+            Cell(name="g1", index=0, delay=-1.0)
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(ValueError, match="index"):
+            Cell(name="g1", index=-1)
+
+    def test_cells_are_frozen(self):
+        cell = Cell(name="g1", index=0)
+        with pytest.raises(AttributeError):
+            cell.width = 5.0  # type: ignore[misc]
+
+
+class TestNet:
+    def test_members_and_degree(self):
+        net = Net(name="n1", index=0, driver=2, sinks=(5, 7))
+        assert net.members == (2, 5, 7)
+        assert net.degree == 3
+
+    def test_rejects_empty_sinks(self):
+        with pytest.raises(ValueError, match="at least one sink"):
+            Net(name="n1", index=0, driver=0, sinks=())
+
+    def test_rejects_driver_in_sinks(self):
+        with pytest.raises(ValueError, match="also listed as sink"):
+            Net(name="n1", index=0, driver=1, sinks=(1, 2))
+
+    def test_rejects_duplicate_sinks(self):
+        with pytest.raises(ValueError, match="duplicate sinks"):
+            Net(name="n1", index=0, driver=0, sinks=(2, 2))
+
+    def test_rejects_non_positive_weight(self):
+        with pytest.raises(ValueError, match="weight"):
+            Net(name="n1", index=0, driver=0, sinks=(1,), weight=0.0)

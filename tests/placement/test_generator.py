@@ -1,0 +1,79 @@
+"""Unit tests for the synthetic circuit generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.placement import CellKind
+from repro.placement.generator import CircuitSpec, generate_circuit
+
+
+class TestCircuitSpecValidation:
+    def test_too_few_cells_rejected(self):
+        with pytest.raises(NetlistError, match="at least 8"):
+            CircuitSpec(name="x", num_cells=4)
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(NetlistError, match="input_fraction"):
+            CircuitSpec(name="x", num_cells=50, input_fraction=0.9)
+
+    def test_bad_locality_rejected(self):
+        with pytest.raises(NetlistError, match="locality"):
+            CircuitSpec(name="x", num_cells=50, locality=1.5)
+
+    def test_bad_width_range_rejected(self):
+        with pytest.raises(NetlistError, match="width range"):
+            CircuitSpec(name="x", num_cells=50, min_cell_width=3.0, max_cell_width=1.0)
+
+
+class TestGeneratedStructure:
+    @pytest.fixture(scope="class")
+    def circuit(self):
+        return generate_circuit(CircuitSpec(name="gen100", num_cells=100, seed=7))
+
+    def test_cell_count_matches_spec(self, circuit):
+        assert circuit.num_cells == 100
+
+    def test_has_inputs_and_outputs(self, circuit):
+        stats = circuit.stats()
+        assert stats.num_primary_inputs >= 2
+        assert stats.num_primary_outputs >= 2
+
+    def test_every_cell_connected(self, circuit):
+        for cell in circuit:
+            assert len(circuit.nets_of_cell(cell.index)) > 0, f"{cell.name} floats"
+
+    def test_pads_have_zero_delay(self, circuit):
+        for cell in circuit:
+            if cell.kind in (CellKind.PRIMARY_INPUT, CellKind.PRIMARY_OUTPUT):
+                assert cell.delay == 0.0
+
+    def test_no_self_loop_nets(self, circuit):
+        for net in circuit.nets:
+            assert net.driver not in net.sinks
+
+    def test_primary_inputs_have_no_fanin(self, circuit):
+        for cell in circuit:
+            if cell.kind is CellKind.PRIMARY_INPUT:
+                assert circuit.fanin(cell.index) == ()
+
+
+class TestGeneratorDeterminism:
+    def test_same_spec_same_circuit(self):
+        spec = CircuitSpec(name="det", num_cells=80, seed=99)
+        a = generate_circuit(spec)
+        b = generate_circuit(spec)
+        assert a.num_nets == b.num_nets
+        assert [c.width for c in a] == [c.width for c in b]
+        assert [n.members for n in a.nets] == [n.members for n in b.nets]
+
+    def test_different_seed_different_circuit(self):
+        a = generate_circuit(CircuitSpec(name="det", num_cells=80, seed=1))
+        b = generate_circuit(CircuitSpec(name="det", num_cells=80, seed=2))
+        assert [n.members for n in a.nets] != [n.members for n in b.nets]
+
+    def test_size_scales(self):
+        small = generate_circuit(CircuitSpec(name="s", num_cells=60, seed=3))
+        large = generate_circuit(CircuitSpec(name="l", num_cells=600, seed=3))
+        assert large.num_nets > small.num_nets * 5

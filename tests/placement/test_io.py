@@ -1,0 +1,125 @@
+"""Unit tests for the netlist / placement text serialisation."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.errors import NetlistError, PlacementError
+from repro.placement import Layout, load_benchmark, random_placement
+from repro.placement.io import (
+    netlist_from_string,
+    netlist_to_string,
+    read_netlist,
+    read_placement,
+    write_netlist,
+    write_placement,
+)
+
+
+class TestNetlistRoundTrip:
+    def test_string_round_trip_preserves_structure(self):
+        original = load_benchmark("mini64")
+        text = netlist_to_string(original)
+        rebuilt = netlist_from_string(text)
+        assert rebuilt.name == original.name
+        assert rebuilt.num_cells == original.num_cells
+        assert rebuilt.num_nets == original.num_nets
+        assert [c.name for c in rebuilt] == [c.name for c in original]
+        assert [c.kind for c in rebuilt] == [c.kind for c in original]
+        assert [n.members for n in rebuilt.nets] == [n.members for n in original.nets]
+        for rebuilt_cell, original_cell in zip(rebuilt.cells, original.cells):
+            assert rebuilt_cell.width == pytest.approx(original_cell.width)
+            assert rebuilt_cell.delay == pytest.approx(original_cell.delay)
+
+    def test_round_trip_is_stable(self):
+        original = load_benchmark("tiny16")
+        once = netlist_to_string(original)
+        twice = netlist_to_string(netlist_from_string(once))
+        assert once == twice
+
+    def test_file_round_trip(self, tmp_path):
+        original = load_benchmark("tiny16")
+        path = tmp_path / "tiny16.nl"
+        write_netlist(original, path)
+        rebuilt = read_netlist(path)
+        assert rebuilt.num_nets == original.num_nets
+
+
+class TestNetlistParsingErrors:
+    def test_missing_circuit_line(self):
+        with pytest.raises(NetlistError, match="circuit"):
+            netlist_from_string("cell a comb 1.0 1.0\n")
+
+    def test_unknown_keyword(self):
+        with pytest.raises(NetlistError, match="unknown keyword"):
+            netlist_from_string("circuit x\nblob a b c\n")
+
+    def test_unknown_cell_kind(self):
+        with pytest.raises(NetlistError, match="unknown cell kind"):
+            netlist_from_string("circuit x\ncell a analog 1.0 1.0\n")
+
+    def test_malformed_net_line(self):
+        text = "circuit x\ncell a comb 1.0 1.0\nnet n 1.0 a\n"
+        with pytest.raises(NetlistError, match="malformed net"):
+            netlist_from_string(text)
+
+    def test_empty_file(self):
+        with pytest.raises(NetlistError, match="no 'circuit'"):
+            netlist_from_string("# only a comment\n")
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = (
+            "# header\n\ncircuit tiny\n"
+            "cell a pi 1.0 0.0\n# a comment\ncell b po 1.0 0.0\n"
+            "net n 1.0 a b\n"
+        )
+        netlist = netlist_from_string(text)
+        assert netlist.num_cells == 2
+        assert netlist.num_nets == 1
+
+
+class TestPlacementRoundTrip:
+    def test_round_trip(self, tmp_path):
+        netlist = load_benchmark("mini64")
+        layout = Layout(netlist)
+        placement = random_placement(layout, seed=5)
+        path = tmp_path / "mini64.pl"
+        write_placement(placement, path)
+        rebuilt = read_placement(path, layout)
+        assert rebuilt.equals(placement)
+
+    def test_stream_round_trip(self):
+        netlist = load_benchmark("tiny16")
+        layout = Layout(netlist)
+        placement = random_placement(layout, seed=1)
+        buffer = io.StringIO()
+        write_placement(placement, buffer)
+        buffer.seek(0)
+        rebuilt = read_placement(buffer, layout)
+        assert rebuilt.equals(placement)
+
+    def test_circuit_mismatch_rejected(self):
+        netlist_a = load_benchmark("tiny16")
+        netlist_b = load_benchmark("mini64")
+        placement = random_placement(Layout(netlist_a), seed=1)
+        buffer = io.StringIO()
+        write_placement(placement, buffer)
+        buffer.seek(0)
+        with pytest.raises(PlacementError, match="is for circuit"):
+            read_placement(buffer, Layout(netlist_b))
+
+    def test_missing_cells_rejected(self):
+        netlist = load_benchmark("tiny16")
+        layout = Layout(netlist)
+        text = f"placement {netlist.name}\n{netlist.cell(0).name} 0\n"
+        with pytest.raises(PlacementError, match="misses cells"):
+            read_placement(io.StringIO(text), layout)
+
+    def test_unknown_cell_rejected(self):
+        netlist = load_benchmark("tiny16")
+        layout = Layout(netlist)
+        text = f"placement {netlist.name}\nnot_a_cell 0\n"
+        with pytest.raises(PlacementError, match="not in circuit"):
+            read_placement(io.StringIO(text), layout)

@@ -1,0 +1,57 @@
+"""Unit tests for the named (ISCAS-89-like) benchmark circuits."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.placement.iscas import (
+    BENCHMARK_SPECS,
+    PAPER_CIRCUITS,
+    benchmark_names,
+    load_benchmark,
+    paper_benchmarks,
+)
+
+#: Cell counts quoted in Section 5 of the paper.
+PAPER_SIZES = {"highway": 56, "c532": 395, "c1355": 1451, "c3540": 2243}
+
+
+class TestBenchmarkRegistry:
+    def test_paper_circuits_present(self):
+        for name in PAPER_CIRCUITS:
+            assert name in BENCHMARK_SPECS
+            assert name in benchmark_names()
+
+    def test_paper_sizes_match_section5(self):
+        for name, cells in PAPER_SIZES.items():
+            assert BENCHMARK_SPECS[name].num_cells == cells
+
+    def test_unknown_circuit_raises(self):
+        with pytest.raises(NetlistError, match="unknown benchmark"):
+            load_benchmark("c9999")
+
+
+class TestBenchmarkLoading:
+    @pytest.mark.parametrize("name", ["highway", "c532"])
+    def test_loaded_size_matches(self, name):
+        netlist = load_benchmark(name)
+        assert netlist.num_cells == PAPER_SIZES[name]
+        assert netlist.name == name
+
+    def test_cache_returns_same_object(self):
+        a = load_benchmark("highway")
+        b = load_benchmark("highway")
+        assert a is b
+
+    def test_cache_bypass_regenerates_identically(self):
+        cached = load_benchmark("highway")
+        fresh = load_benchmark("highway", use_cache=False)
+        assert fresh is not cached
+        assert fresh.num_nets == cached.num_nets
+        assert [n.members for n in fresh.nets] == [n.members for n in cached.nets]
+
+    def test_paper_benchmarks_returns_all_four(self):
+        circuits = paper_benchmarks()
+        assert set(circuits) == set(PAPER_CIRCUITS)
+        assert all(circuits[name].num_cells == PAPER_SIZES[name] for name in circuits)

@@ -1,0 +1,79 @@
+"""Unit tests for the row/slot layout geometry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import LayoutError
+from repro.placement import Layout, LayoutSpec, load_benchmark
+
+
+class TestLayoutSpec:
+    def test_defaults_valid(self):
+        spec = LayoutSpec()
+        assert spec.aspect_ratio == 1.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"aspect_ratio": 0.0},
+            {"row_height": -1.0},
+            {"slot_utilization": 0.0},
+            {"slot_utilization": 1.5},
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(LayoutError):
+            LayoutSpec(**kwargs)
+
+
+class TestLayoutGeometry:
+    @pytest.fixture(scope="class")
+    def layout(self):
+        return Layout(load_benchmark("mini64"))
+
+    def test_enough_slots_for_all_cells(self, layout):
+        assert layout.num_slots >= layout.netlist.num_cells
+
+    def test_slot_count_consistency(self, layout):
+        assert layout.num_slots == layout.num_rows * layout.slots_per_row
+        assert len(layout.slot_x) == layout.num_slots
+        assert len(layout.slot_y) == layout.num_slots
+        assert len(layout.slot_row) == layout.num_slots
+
+    def test_coordinates_within_region(self, layout):
+        assert np.all(layout.slot_x > 0)
+        assert np.all(layout.slot_x < layout.width)
+        assert np.all(layout.slot_y > 0)
+        assert np.all(layout.slot_y < layout.height)
+
+    def test_rows_are_consistent_with_y(self, layout):
+        # all slots of one row share the same y coordinate
+        for row in range(layout.num_rows):
+            ys = layout.slot_y[layout.slot_row == row]
+            assert np.allclose(ys, ys[0])
+
+    def test_half_perimeter(self, layout):
+        assert layout.half_perimeter() == pytest.approx(layout.width + layout.height)
+
+    def test_arrays_read_only(self, layout):
+        with pytest.raises(ValueError):
+            layout.slot_x[0] = 1.0
+
+    def test_roughly_square_by_default(self, layout):
+        ratio = layout.height / layout.width
+        assert 0.4 < ratio < 2.5
+
+    def test_utilization_below_one_adds_empty_slots(self):
+        netlist = load_benchmark("mini64")
+        loose = Layout(netlist, LayoutSpec(slot_utilization=0.5))
+        dense = Layout(netlist, LayoutSpec(slot_utilization=1.0))
+        assert loose.num_slots > dense.num_slots
+        assert loose.num_slots >= 2 * netlist.num_cells - loose.slots_per_row
+
+    def test_aspect_ratio_changes_shape(self):
+        netlist = load_benchmark("mini64")
+        wide = Layout(netlist, LayoutSpec(aspect_ratio=0.25))
+        tall = Layout(netlist, LayoutSpec(aspect_ratio=4.0))
+        assert wide.num_rows < tall.num_rows

@@ -1,0 +1,99 @@
+"""Unit tests for machines and cluster specifications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ClusterError
+from repro.pvm import (
+    ClusterSpec,
+    MachineSpec,
+    SpeedClass,
+    heterogeneous_cluster,
+    homogeneous_cluster,
+    paper_cluster,
+)
+
+
+class TestMachineSpec:
+    def test_effective_rate_accounts_for_load(self):
+        machine = MachineSpec(name="m", speed_factor=1.0, load=1.0)
+        assert machine.effective_rate == pytest.approx(0.5)
+
+    def test_of_class_uses_default_speed(self):
+        machine = MachineSpec.of_class("m", SpeedClass.MEDIUM)
+        assert machine.speed_factor == pytest.approx(SpeedClass.MEDIUM.default_speed)
+
+    def test_speed_class_ordering(self):
+        assert SpeedClass.HIGH.default_speed > SpeedClass.MEDIUM.default_speed
+        assert SpeedClass.MEDIUM.default_speed > SpeedClass.LOW.default_speed
+
+    def test_invalid_speed_rejected(self):
+        with pytest.raises(ClusterError):
+            MachineSpec(name="m", speed_factor=0.0)
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(ClusterError):
+            MachineSpec(name="m", load=-0.1)
+
+
+class TestClusterSpec:
+    def test_needs_at_least_one_machine(self):
+        with pytest.raises(ClusterError):
+            ClusterSpec(machines=())
+
+    def test_duplicate_machine_names_rejected(self):
+        machines = (MachineSpec(name="m"), MachineSpec(name="m"))
+        with pytest.raises(ClusterError):
+            ClusterSpec(machines=machines)
+
+    def test_compute_seconds_scales_with_speed(self):
+        cluster = heterogeneous_cluster(num_high=1, num_medium=0, num_low=1)
+        fast = cluster.compute_seconds(0, 100.0)
+        slow = cluster.compute_seconds(1, 100.0)
+        assert slow > fast
+
+    def test_machine_index_wraps_around(self):
+        cluster = homogeneous_cluster(3)
+        assert cluster.machine(5).name == cluster.machine(2).name
+
+    def test_transfer_seconds_grows_with_size(self):
+        cluster = homogeneous_cluster(2)
+        assert cluster.transfer_seconds(100_000) > cluster.transfer_seconds(100)
+        assert cluster.transfer_seconds(0) == pytest.approx(cluster.message_latency)
+
+
+class TestClusterFactories:
+    def test_paper_cluster_composition(self):
+        cluster = paper_cluster()
+        assert cluster.num_machines == 12
+        summary = cluster.speed_summary()
+        assert summary == {"high": 7, "medium": 3, "low": 2}
+
+    def test_paper_cluster_deterministic(self):
+        a = paper_cluster(seed=1)
+        b = paper_cluster(seed=1)
+        assert [m.load for m in a.machines] == [m.load for m in b.machines]
+
+    def test_paper_cluster_has_load_jitter(self):
+        cluster = paper_cluster(load_jitter=0.3)
+        loads = [m.load for m in cluster.machines]
+        assert max(loads) > 0.0
+
+    def test_homogeneous_cluster_identical_machines(self):
+        cluster = homogeneous_cluster(5)
+        rates = {m.effective_rate for m in cluster.machines}
+        assert len(rates) == 1
+
+    def test_homogeneous_cluster_invalid_size(self):
+        with pytest.raises(ClusterError):
+            homogeneous_cluster(0)
+
+    def test_heterogeneous_cluster_counts(self):
+        cluster = heterogeneous_cluster(num_high=2, num_medium=1, num_low=1)
+        assert cluster.num_machines == 4
+        assert cluster.speed_summary() == {"high": 2, "medium": 1, "low": 1}
+
+    def test_heterogeneous_cluster_empty_rejected(self):
+        with pytest.raises(ClusterError):
+            heterogeneous_cluster(num_high=0, num_medium=0, num_low=0)

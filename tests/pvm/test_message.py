@@ -1,0 +1,64 @@
+"""Unit tests for messages and payload size estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pvm import Message, estimate_payload_bytes
+
+
+class TestMessageMatching:
+    def make(self, tag="data", src=1):
+        return Message(
+            src=src, dst=2, tag=tag, payload=None, size_bytes=8, send_time=0.0, arrival_time=0.1
+        )
+
+    def test_match_any(self):
+        assert self.make().matches()
+
+    def test_match_by_tag(self):
+        assert self.make(tag="result").matches(tag="result")
+        assert not self.make(tag="result").matches(tag="other")
+
+    def test_match_by_src(self):
+        assert self.make(src=3).matches(src=3)
+        assert not self.make(src=3).matches(src=4)
+
+    def test_match_by_both(self):
+        message = self.make(tag="result", src=3)
+        assert message.matches(tag="result", src=3)
+        assert not message.matches(tag="result", src=4)
+
+
+class TestPayloadSizeEstimation:
+    def test_numpy_array_dominates(self):
+        small = estimate_payload_bytes(np.zeros(10, dtype=np.int64))
+        large = estimate_payload_bytes(np.zeros(10_000, dtype=np.int64))
+        assert large > small
+        assert large >= 80_000
+
+    def test_none_and_scalars_are_small(self):
+        assert estimate_payload_bytes(None) < 64
+        assert estimate_payload_bytes(42) < 64
+        assert estimate_payload_bytes(3.14) < 64
+
+    def test_strings_and_bytes(self):
+        assert estimate_payload_bytes("x" * 100) >= 100
+        assert estimate_payload_bytes(b"x" * 100) >= 100
+
+    def test_containers_recurse(self):
+        payload = {"solution": np.zeros(1000, dtype=np.int64), "cost": 0.5}
+        assert estimate_payload_bytes(payload) >= 8000
+
+    def test_objects_with_dict_recurse(self):
+        class Payload:
+            def __init__(self):
+                self.solution = np.zeros(500, dtype=np.int64)
+                self.cost = 1.0
+
+        assert estimate_payload_bytes(Payload()) >= 4000
+
+    def test_lists_and_tuples(self):
+        assert estimate_payload_bytes([1, 2, 3]) > estimate_payload_bytes([1])
+        assert estimate_payload_bytes((1.0, 2.0)) >= 32

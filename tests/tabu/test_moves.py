@@ -1,0 +1,151 @@
+"""Unit tests for swap/compound moves and the step-wise builder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TabuSearchError
+from repro.placement import CostEvaluator, Layout, load_benchmark, random_placement
+from repro.tabu import (
+    CompoundMove,
+    CompoundMoveBuilder,
+    SwapMove,
+    best_swap_of_candidates,
+    build_compound_move,
+    full_range,
+)
+
+
+@pytest.fixture()
+def evaluator():
+    layout = Layout(load_benchmark("mini64"))
+    return CostEvaluator(random_placement(layout, seed=13))
+
+
+class TestSwapMove:
+    def test_pair_is_canonical(self):
+        assert SwapMove(cell_a=7, cell_b=3, cost_after=0.5).pair == (3, 7)
+        assert SwapMove(cell_a=3, cell_b=7, cost_after=0.5).pair == (3, 7)
+
+
+class TestCompoundMoveProperties:
+    def test_gain_and_improving(self):
+        move = CompoundMove(
+            swaps=[SwapMove(0, 1, 0.4)], cost_before=0.5, cost_after=0.4, trials=5
+        )
+        assert move.gain == pytest.approx(0.1)
+        assert move.is_improving
+        assert move.depth == 1
+        assert move.pairs() == [(0, 1)]
+
+    def test_non_improving(self):
+        move = CompoundMove(swaps=[], cost_before=0.5, cost_after=0.6)
+        assert not move.is_improving
+        assert move.gain == pytest.approx(-0.1)
+
+
+class TestBestSwapOfCandidates:
+    def test_selects_minimum_cost(self, evaluator):
+        pairs = [(0, 1), (2, 3), (4, 5), (6, 7)]
+        best = best_swap_of_candidates(evaluator, pairs)
+        costs = [evaluator.evaluate_swap(a, b) for a, b in pairs]
+        assert best is not None
+        assert best.cost_after == pytest.approx(min(costs))
+
+    def test_empty_candidates(self, evaluator):
+        assert best_swap_of_candidates(evaluator, []) is None
+
+
+class TestBuildCompoundMove:
+    def test_invalid_parameters_rejected(self, evaluator, rng):
+        with pytest.raises(TabuSearchError):
+            build_compound_move(evaluator, full_range(64), pairs_per_step=0, depth=3, rng=rng)
+        with pytest.raises(TabuSearchError):
+            build_compound_move(evaluator, full_range(64), pairs_per_step=3, depth=0, rng=rng)
+
+    def test_cost_after_matches_evaluator_state(self, evaluator, rng):
+        move = build_compound_move(
+            evaluator, full_range(64), pairs_per_step=4, depth=3, rng=rng
+        )
+        assert move.cost_after == pytest.approx(evaluator.cost())
+        evaluator.verify_consistency()
+
+    def test_move_is_never_empty(self, evaluator, rng):
+        # tabu search relies on accepting (possibly degrading) moves
+        for _ in range(5):
+            move = build_compound_move(
+                evaluator, full_range(64), pairs_per_step=3, depth=2, rng=rng
+            )
+            assert move.depth >= 1
+
+    def test_respects_depth_limit(self, evaluator, rng):
+        move = build_compound_move(
+            evaluator, full_range(64), pairs_per_step=3, depth=4, rng=rng, early_accept=False
+        )
+        assert move.depth <= 4
+        assert move.trials <= 4 * 3
+
+    def test_best_prefix_is_best_seen(self, evaluator, rng):
+        # without early accept the final cost must be the minimum over all
+        # prefixes explored, which is <= the cost of the full-depth sequence
+        start_cost = evaluator.cost()
+        move = build_compound_move(
+            evaluator, full_range(64), pairs_per_step=5, depth=5, rng=rng, early_accept=False
+        )
+        assert move.cost_after <= start_cost or move.depth >= 1
+
+    def test_early_accept_stops_on_improvement(self, evaluator, rng):
+        move = build_compound_move(
+            evaluator, full_range(64), pairs_per_step=8, depth=5, rng=rng, early_accept=True
+        )
+        if move.truncated_early:
+            assert move.is_improving
+            assert move.depth <= 5
+
+
+class TestCompoundMoveBuilder:
+    def test_step_by_step_matches_semantics(self, evaluator, rng):
+        builder = CompoundMoveBuilder(
+            evaluator, full_range(64), pairs_per_step=4, depth=3, early_accept=False
+        )
+        steps = 0
+        while builder.wants_more_steps():
+            trials = builder.step(rng)
+            assert trials == 4
+            steps += 1
+        assert steps == 3
+        move = builder.finalize()
+        assert move.trials == 12
+        assert move.cost_after == pytest.approx(evaluator.cost())
+
+    def test_finalize_twice_rejected(self, evaluator, rng):
+        builder = CompoundMoveBuilder(evaluator, full_range(64), pairs_per_step=2, depth=1)
+        builder.step(rng)
+        builder.finalize()
+        with pytest.raises(TabuSearchError):
+            builder.finalize()
+
+    def test_step_after_finalize_rejected(self, evaluator, rng):
+        builder = CompoundMoveBuilder(evaluator, full_range(64), pairs_per_step=2, depth=2)
+        builder.step(rng)
+        builder.finalize()
+        with pytest.raises(TabuSearchError):
+            builder.step(rng)
+
+    def test_interrupted_builder_returns_partial_move(self, evaluator, rng):
+        builder = CompoundMoveBuilder(
+            evaluator, full_range(64), pairs_per_step=3, depth=10, early_accept=False
+        )
+        builder.step(rng)
+        builder.step(rng)
+        move = builder.finalize()  # interrupted after 2 of 10 steps
+        assert 1 <= move.depth <= 2
+        assert move.trials == 6
+
+    def test_cost_before_recorded(self, evaluator, rng):
+        start = evaluator.cost()
+        builder = CompoundMoveBuilder(evaluator, full_range(64), pairs_per_step=2, depth=1)
+        builder.step(rng)
+        move = builder.finalize()
+        assert move.cost_before == pytest.approx(start)

@@ -1,0 +1,204 @@
+"""Unit tests for the serial tabu-search engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TabuSearchError
+from repro.placement import CostEvaluator, Layout, load_benchmark, random_placement
+from repro.tabu import (
+    CompoundMove,
+    SwapMove,
+    TabuSearch,
+    TabuSearchParams,
+    TerminationCriteria,
+    full_range,
+    partition_cells,
+)
+
+
+def make_search(seed: int = 1, **param_overrides) -> TabuSearch:
+    layout = Layout(load_benchmark("mini64"))
+    evaluator = CostEvaluator(random_placement(layout, seed=seed))
+    params = TabuSearchParams(**param_overrides) if param_overrides else TabuSearchParams()
+    return TabuSearch(evaluator, params, seed=seed)
+
+
+class TestConstruction:
+    def test_invalid_candidate_moves_rejected(self):
+        layout = Layout(load_benchmark("tiny16"))
+        evaluator = CostEvaluator(random_placement(layout, seed=0))
+        with pytest.raises(TabuSearchError):
+            TabuSearch(evaluator, candidate_moves=0)
+
+    def test_candidate_ranges_must_match_count(self):
+        layout = Layout(load_benchmark("tiny16"))
+        evaluator = CostEvaluator(random_placement(layout, seed=0))
+        with pytest.raises(TabuSearchError):
+            TabuSearch(
+                evaluator,
+                candidate_moves=2,
+                candidate_ranges=[full_range(16)],
+            )
+
+    def test_initial_best_is_current(self):
+        search = make_search()
+        assert search.best_cost == pytest.approx(search.current_cost)
+        assert search.iteration == 0
+
+
+class TestStep:
+    def test_step_advances_iteration_and_tracks_best(self):
+        search = make_search()
+        result = search.step()
+        assert result.iteration == 1
+        assert search.iteration == 1
+        assert search.best_cost <= result.cost_after + 1e-12
+
+    def test_step_usually_accepts(self):
+        search = make_search()
+        accepted = sum(search.step().accepted for _ in range(10))
+        assert accepted >= 8  # with a fresh tabu list nearly everything is acceptable
+
+    def test_best_solution_matches_best_cost(self):
+        search = make_search()
+        for _ in range(15):
+            search.step()
+        best = search.best_solution
+        evaluator = CostEvaluator(
+            random_placement(search.evaluator.placement.layout, seed=0),
+            reference=search.evaluator.reference,
+        )
+        evaluator.install_solution(best)
+        # small tolerance: the search's timing term is a surrogate refreshed
+        # every few commits, the replay above is exact
+        assert evaluator.cost() == pytest.approx(search.best_cost, abs=0.05)
+
+
+class TestRun:
+    def test_run_improves_cost(self):
+        search = make_search()
+        initial = search.current_cost
+        result = search.run(TerminationCriteria(max_iterations=30))
+        assert result.best_cost < initial
+        assert result.iterations == 30
+        assert len(result.trace) == 30
+        assert result.evaluations > 0
+
+    def test_run_stops_at_target_cost(self):
+        search = make_search()
+        generous_target = search.current_cost * 0.999
+        result = search.run(TerminationCriteria(max_iterations=100, target_cost=generous_target))
+        assert result.iterations < 100
+
+    def test_trace_best_is_monotone(self):
+        search = make_search()
+        result = search.run(TerminationCriteria(max_iterations=25))
+        bests = [point[3] for point in result.trace]
+        assert all(b2 <= b1 + 1e-12 for b1, b2 in zip(bests, bests[1:]))
+
+    def test_determinism_same_seed(self):
+        a = make_search(seed=7).run(TerminationCriteria(max_iterations=15))
+        b = make_search(seed=7).run(TerminationCriteria(max_iterations=15))
+        assert a.best_cost == pytest.approx(b.best_cost)
+        assert np.array_equal(a.best_solution, b.best_solution)
+
+    def test_different_seeds_differ(self):
+        a = make_search(seed=7).run(TerminationCriteria(max_iterations=15))
+        b = make_search(seed=8).run(TerminationCriteria(max_iterations=15))
+        assert not np.array_equal(a.best_solution, b.best_solution)
+
+
+class TestTabuBehaviour:
+    def test_tabu_list_grows_and_expires(self):
+        search = make_search(tabu_tenure=4)
+        for _ in range(10):
+            search.step()
+        assert len(search.tabu_list) <= 4 * search.params.move_depth + 4
+
+    def test_zero_tenure_never_blocks(self):
+        search = make_search(tabu_tenure=0)
+        results = [search.step() for _ in range(10)]
+        assert all(not r.was_tabu for r in results)
+
+    def test_consider_candidates_rejects_all_tabu_without_aspiration(self):
+        search = make_search(aspiration="none", tabu_tenure=50)
+        # hand-craft a candidate, accept it, then re-offer the same candidate:
+        # the second time it must be rejected (tabu, no aspiration possible)
+        move = CompoundMove(
+            swaps=[SwapMove(1, 2, 0.0)], cost_before=1.0, cost_after=0.0, trials=1
+        )
+        first = search.consider_candidates([move])
+        assert first.accepted
+        second = search.consider_candidates([move])
+        assert not second.accepted
+        assert second.was_tabu
+
+    def test_aspiration_allows_tabu_move_that_beats_best(self):
+        search = make_search(aspiration="best", tabu_tenure=50)
+        move = CompoundMove(
+            swaps=[SwapMove(1, 2, 0.0)], cost_before=1.0, cost_after=0.0, trials=1
+        )
+        search.consider_candidates([move])
+        # the same pair again: tabu, but a much better cost may trigger aspiration
+        # (the reported cost is re-derived by the engine, so we only check the flags)
+        result = search.consider_candidates([move])
+        if result.accepted:
+            assert result.used_aspiration
+
+    def test_empty_candidates_stall(self):
+        search = make_search()
+        result = search.consider_candidates([])
+        assert not result.accepted
+        assert result.move is None
+
+
+class TestAdoptSolution:
+    def test_adopt_better_solution_updates_best(self):
+        search = make_search()
+        # run a second search to obtain a better solution
+        donor = make_search(seed=2)
+        donor.run(TerminationCriteria(max_iterations=30))
+        search.adopt_solution(donor.best_solution)
+        assert search.current_cost == pytest.approx(
+            search.evaluator.cost()
+        )
+
+    def test_adopt_resets_memory_when_requested(self):
+        search = make_search(tabu_tenure=10)
+        for _ in range(5):
+            search.step()
+        assert len(search.tabu_list) > 0
+        search.adopt_solution(search.best_solution, reset_memory=True)
+        assert len(search.tabu_list) == 0
+
+
+class TestDiversifyIntegration:
+    def test_diversify_depth_capped_by_range_size(self):
+        layout = Layout(load_benchmark("mini64"))
+        evaluator = CostEvaluator(random_placement(layout, seed=6))
+        small_range = partition_cells(64, 8)[0]  # 8 cells -> cap = 2 swaps
+        search = TabuSearch(evaluator, TabuSearchParams(), cell_range=small_range, seed=3)
+        search.diversify(depth=20)
+        # every performed swap records both of its cells in the frequency memory
+        swaps_performed = search.frequency_memory.counts.sum() // 2
+        assert swaps_performed <= max(1, len(small_range) // 4)
+
+    def test_diversify_changes_solution_but_keeps_best(self):
+        search = make_search()
+        search.run(TerminationCriteria(max_iterations=10))
+        best_before = search.best_cost
+        search.diversify(depth=5)
+        assert search.best_cost <= best_before + 1e-12
+
+    def test_multi_candidate_search_with_ranges(self):
+        layout = Layout(load_benchmark("mini64"))
+        evaluator = CostEvaluator(random_placement(layout, seed=4))
+        ranges = partition_cells(64, 3)
+        search = TabuSearch(
+            evaluator, TabuSearchParams(), candidate_moves=3, candidate_ranges=ranges, seed=5
+        )
+        initial = search.current_cost
+        result = search.run(TerminationCriteria(max_iterations=15))
+        assert result.best_cost < initial

@@ -1,0 +1,132 @@
+"""Unit tests for the tabu memory structures (short and long term)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TabuSearchError
+from repro.tabu import AttributeScheme, FrequencyMemory, MoveAttribute, TabuList, swap_attributes
+
+
+class TestMoveAttribute:
+    def test_pair_is_order_independent(self):
+        assert MoveAttribute.pair(3, 7) == MoveAttribute.pair(7, 3)
+
+    def test_cell_attribute(self):
+        assert MoveAttribute.cell(5).key == (5,)
+
+    def test_swap_attributes_schemes(self):
+        pair_attrs = swap_attributes(1, 2, AttributeScheme.PAIR)
+        cell_attrs = swap_attributes(1, 2, AttributeScheme.CELL)
+        assert len(pair_attrs) == 1
+        assert len(cell_attrs) == 2
+        assert pair_attrs[0].kind == "pair"
+        assert {a.key for a in cell_attrs} == {(1,), (2,)}
+
+
+class TestTabuList:
+    def test_negative_tenure_rejected(self):
+        with pytest.raises(TabuSearchError):
+            TabuList(-1)
+
+    def test_zero_tenure_never_tabu(self):
+        tabu = TabuList(0)
+        attrs = swap_attributes(1, 2)
+        tabu.record(attrs, iteration=1)
+        assert not tabu.is_tabu(attrs, iteration=1)
+        assert len(tabu) == 0
+
+    def test_recorded_attribute_is_tabu_within_tenure(self):
+        tabu = TabuList(3)
+        attrs = swap_attributes(1, 2)
+        tabu.record(attrs, iteration=10)
+        assert tabu.is_tabu(attrs, iteration=10)
+        assert tabu.is_tabu(attrs, iteration=12)
+        assert not tabu.is_tabu(attrs, iteration=13)
+
+    def test_unrelated_attribute_not_tabu(self):
+        tabu = TabuList(3)
+        tabu.record(swap_attributes(1, 2), iteration=0)
+        assert not tabu.is_tabu(swap_attributes(3, 4), iteration=1)
+
+    def test_reverse_swap_is_tabu_with_pair_scheme(self):
+        tabu = TabuList(5)
+        tabu.record(swap_attributes(1, 2), iteration=0)
+        assert tabu.is_tabu(swap_attributes(2, 1), iteration=1)
+
+    def test_expire_removes_stale_entries(self):
+        tabu = TabuList(2)
+        tabu.record(swap_attributes(1, 2), iteration=0)
+        tabu.record(swap_attributes(3, 4), iteration=5)
+        removed = tabu.expire(iteration=4)
+        assert removed == 1
+        assert len(tabu) == 1
+
+    def test_clear(self):
+        tabu = TabuList(2)
+        tabu.record(swap_attributes(1, 2), iteration=0)
+        tabu.clear()
+        assert len(tabu) == 0
+
+    def test_re_recording_extends_tenure(self):
+        tabu = TabuList(2)
+        attrs = swap_attributes(1, 2)
+        tabu.record(attrs, iteration=0)
+        tabu.record(attrs, iteration=5)
+        assert tabu.is_tabu(attrs, iteration=6)
+
+    def test_payload_round_trip(self):
+        tabu = TabuList(4)
+        tabu.record(swap_attributes(1, 2), iteration=3)
+        tabu.record(swap_attributes(5, 6, AttributeScheme.CELL), iteration=4)
+        payload = tabu.to_payload()
+        rebuilt = TabuList.from_payload(payload, tenure=4)
+        assert len(rebuilt) == len(tabu)
+        assert rebuilt.is_tabu(swap_attributes(2, 1), iteration=5)
+        assert rebuilt.is_tabu(swap_attributes(5, 9, AttributeScheme.CELL), iteration=5)
+
+    def test_membership_and_iteration(self):
+        tabu = TabuList(4)
+        attr = MoveAttribute.pair(1, 2)
+        tabu.record([attr], iteration=0)
+        assert attr in tabu
+        assert list(tabu) == [attr]
+
+
+class TestFrequencyMemory:
+    def test_invalid_size_rejected(self):
+        with pytest.raises(TabuSearchError):
+            FrequencyMemory(0)
+
+    def test_record_and_counts(self):
+        memory = FrequencyMemory(10)
+        memory.record_swap(1, 2)
+        memory.record_swap(1, 5)
+        assert memory.counts[1] == 2
+        assert memory.counts[2] == 1
+        assert memory.counts[0] == 0
+
+    def test_least_moved_prefers_untouched_cells(self):
+        memory = FrequencyMemory(6)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            memory.record_swap(0, 1)
+        candidates = np.array([0, 1, 4])
+        assert memory.least_moved(candidates, rng) == 4
+
+    def test_least_moved_empty_candidates_rejected(self):
+        memory = FrequencyMemory(6)
+        with pytest.raises(TabuSearchError):
+            memory.least_moved(np.array([], dtype=np.int64), np.random.default_rng(0))
+
+    def test_reset(self):
+        memory = FrequencyMemory(4)
+        memory.record_swap(0, 1)
+        memory.reset()
+        assert memory.counts.sum() == 0
+
+    def test_counts_read_only(self):
+        memory = FrequencyMemory(4)
+        with pytest.raises(ValueError):
+            memory.counts[0] = 5

@@ -1,0 +1,101 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.placement import Layout, load_benchmark
+from repro.placement.io import read_placement
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.circuit == "c532"
+        assert args.tsws == 4
+        assert args.sync == "heterogeneous"
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+
+class TestCircuitsCommand:
+    def test_lists_paper_circuits(self, capsys):
+        assert main(["circuits"]) == 0
+        out = capsys.readouterr().out
+        for name in ("highway", "c532", "c1355", "c3540"):
+            assert name in out
+
+
+class TestClassifyCommand:
+    def test_paper_configuration(self, capsys):
+        assert main(["classify", "--tsws", "4", "--clws", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "p-control" in out
+        assert "RS" in out
+
+    def test_single_tsw(self, capsys):
+        assert main(["classify", "--tsws", "1", "--clws", "1", "--no-diversify"]) == 0
+        assert "1-control" in capsys.readouterr().out
+
+
+class TestRunCommand:
+    def test_small_run_prints_summary(self, capsys):
+        code = main(
+            [
+                "run",
+                "--circuit", "mini64",
+                "--tsws", "2",
+                "--clws", "1",
+                "--global-iterations", "2",
+                "--local-iterations", "3",
+                "--cluster", "homogeneous:4",
+                "--trace",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best cost" in out
+        assert "Best cost vs time" in out
+
+    def test_save_placement(self, tmp_path, capsys):
+        target = tmp_path / "best.pl"
+        code = main(
+            [
+                "run",
+                "--circuit", "tiny16",
+                "--tsws", "1",
+                "--clws", "1",
+                "--global-iterations", "1",
+                "--local-iterations", "2",
+                "--cluster", "homogeneous:2",
+                "--save-placement", str(target),
+            ]
+        )
+        assert code == 0
+        assert target.exists()
+        netlist = load_benchmark("tiny16")
+        placement = read_placement(target, Layout(netlist))
+        placement.validate()
+
+    def test_bad_cluster_spec_is_reported(self, capsys):
+        code = main(["run", "--circuit", "tiny16", "--cluster", "quantum:3"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestFigureCommand:
+    def test_runs_fig9_on_a_small_circuit(self, capsys, monkeypatch):
+        # keep it quick: the tiny generated circuit and the quick scale
+        monkeypatch.setenv("REPRO_EXPERIMENT_SCALE", "quick")
+        code = main(["figure", "fig9", "--circuits", "mini64"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig9" in out
+        assert "diversified" in out
