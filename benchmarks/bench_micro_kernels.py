@@ -37,6 +37,22 @@ def test_bench_trial_swap_evaluation(benchmark, c532_evaluator):
     benchmark(trial)
 
 
+def test_bench_batch_swap_evaluation(benchmark, c532_evaluator):
+    """One 256-pair batched evaluation on c532 (the CLW's step-level kernel).
+
+    The acceptance bar for the batched engine is ≥ 5× over 256 scalar
+    ``evaluate_swap`` calls; compare against ``test_bench_trial_swap_evaluation``
+    (which times one scalar trial) — this whole 256-pair batch should cost
+    well under 256 of those.
+    """
+    rng = np.random.default_rng(2)
+    n = c532_evaluator.placement.num_cells
+    pairs = rng.integers(0, n, size=(256, 2))
+
+    result = benchmark(c532_evaluator.evaluate_swaps_batch, pairs)
+    assert result.shape == (256,)
+
+
 def test_bench_commit_swap(benchmark, c532_evaluator):
     """Cost of committing a swap (placement update + all incremental caches)."""
     rng = np.random.default_rng(1)

@@ -60,6 +60,10 @@ class FuzzyGoal:
         """Membership of ``value`` in the fuzzy set 'meets this goal'."""
         return DecreasingLinear(self.goal, self.upper).grade(value)
 
+    def membership_many(self, values: np.ndarray) -> np.ndarray:
+        """Vectorised membership of an array of crisp values."""
+        return DecreasingLinear(self.goal, self.upper)(np.asarray(values, dtype=np.float64))
+
     @classmethod
     def from_reference(
         cls, name: str, reference: float, *, goal_factor: float, upper_factor: float, weight: float = 1.0
@@ -129,6 +133,27 @@ class FuzzyGoalAggregator:
         weighted_mean = float(np.average(raw, weights=weights))
         return float(beta * raw.min() + (1.0 - beta) * weighted_mean)
 
+    def membership_batch(self, values: Mapping[str, np.ndarray]) -> np.ndarray:
+        """Aggregate membership of a whole batch of objective vectors at once.
+
+        ``values`` maps each goal name to an equal-length array of crisp
+        values; the result is the aggregate membership per batch entry,
+        numerically identical to calling :meth:`membership` per entry (same
+        operations, applied along an axis).
+        """
+        missing = [g.name for g in self._goals if g.name not in values]
+        if missing:
+            raise CostModelError(f"missing objective values for goals: {missing}")
+        mus = np.stack([g.membership_many(values[g.name]) for g in self._goals])
+        weights = np.array([g.weight for g in self._goals], dtype=np.float64)
+        beta = self._operator.beta
+        weighted_mean = np.average(mus, axis=0, weights=weights)
+        return beta * mus.min(axis=0) + (1.0 - beta) * weighted_mean
+
     def cost(self, values: Mapping[str, float]) -> float:
         """Scalar cost in ``[0, 1]``: ``1 - membership`` (lower is better)."""
         return 1.0 - self.membership(values)
+
+    def cost_batch(self, values: Mapping[str, np.ndarray]) -> np.ndarray:
+        """Batched scalar cost: ``1 - membership`` per batch entry."""
+        return 1.0 - self.membership_batch(values)

@@ -3,10 +3,15 @@
 A CLW serves its parent TSW: for every task it receives it installs the
 TSW's current solution, explores the neighbourhood restricted to its private
 cell range by building a compound move of configurable depth, and sends the
-best (sub-)move back.  Between depth steps it polls for an early-report
-request (:class:`~repro.parallel.messages.ReportNow`) from the parent — the
-mechanism the heterogeneous synchronisation uses to keep slow machines from
-stalling the whole search.
+best (sub-)move back.  Each depth step draws its whole candidate list up
+front and scores it with one call to the batched swap-evaluation kernel
+(:meth:`~repro.placement.cost.CostEvaluator.evaluate_swaps_batch`) — the
+per-trial work the simulated ``compute`` cost accounts for below is therefore
+a vectorised batch on the real hardware, which is where the wall-clock
+speedups of Figs. 6/8 come from.  Between depth steps the CLW polls for an
+early-report request (:class:`~repro.parallel.messages.ReportNow`) from the
+parent — the mechanism the heterogeneous synchronisation uses to keep slow
+machines from stalling the whole search.
 """
 
 from __future__ import annotations
@@ -89,7 +94,7 @@ def clw_process(
                     break
                 continue  # stale interrupt for an earlier round: ignore
             trials = builder.step(rng)
-            # one commit accompanies the trials of each step
+            # one commit accompanies the batch of trials of each step
             yield ctx.compute(trials + 1, label="explore")
 
         move = builder.finalize()

@@ -9,8 +9,8 @@ evaluation, and the fuzzy goal-based scalar cost.
 
 from .area import AreaState, full_area, row_widths
 from .cell import Cell, CellKind, Net
-from .cost import CostEvaluator, CostModelParams, ObjectiveVector, make_evaluator
-from .generator import CircuitSpec, generate_circuit
+from .cost import CostEvaluator, CostModelParams, EvaluatorState, ObjectiveVector, make_evaluator
+from .generator import CircuitSpec, build_chain_netlist, generate_circuit
 from .io import (
     netlist_from_string,
     netlist_to_string,
@@ -30,7 +30,7 @@ from .layout import Layout, LayoutSpec
 from .netlist import Netlist, NetlistBuilder, NetlistStats
 from .solution import Placement, random_placement
 from .timing import TimingAnalyzer, TimingModel, TimingResult, TimingState
-from .wirelength import WirelengthState, full_hpwl, net_hpwl
+from .wirelength import WirelengthState, full_hpwl, net_bboxes, net_hpwl
 
 __all__ = [
     "Cell",
@@ -40,6 +40,7 @@ __all__ = [
     "NetlistBuilder",
     "NetlistStats",
     "CircuitSpec",
+    "build_chain_netlist",
     "generate_circuit",
     "netlist_from_string",
     "netlist_to_string",
@@ -58,6 +59,7 @@ __all__ = [
     "random_placement",
     "WirelengthState",
     "full_hpwl",
+    "net_bboxes",
     "net_hpwl",
     "TimingAnalyzer",
     "TimingModel",
@@ -68,6 +70,7 @@ __all__ = [
     "row_widths",
     "CostEvaluator",
     "CostModelParams",
+    "EvaluatorState",
     "ObjectiveVector",
     "make_evaluator",
 ]

@@ -64,25 +64,78 @@ class AreaState:
         return self.max_row_width * self._layout.num_rows * self._layout.spec.row_height
 
     # ------------------------------------------------------------------ #
+    # snapshot / restore (used by the search loop to try candidates cheaply)
+    # ------------------------------------------------------------------ #
+    def save_state(self) -> np.ndarray:
+        """Copy of the per-row width sums, restorable via :meth:`restore_state`."""
+        return self._row_widths.copy()
+
+    def restore_state(self, state: np.ndarray) -> None:
+        """Restore a snapshot (the placement must be restored separately)."""
+        self._row_widths = state.copy()
+
+    # ------------------------------------------------------------------ #
     def _rows_of(self, cell_a: int, cell_b: int) -> tuple[int, int]:
         slot_row = self._layout.slot_row
         cts = self._placement.cell_to_slot
         return int(slot_row[cts[cell_a]]), int(slot_row[cts[cell_b]])
 
+    def deltas_for_swaps(self, cells_a, cells_b) -> np.ndarray:
+        """Area change of every candidate swap ``(a_i, b_i)`` in one batch.
+
+        A swap only changes the area when the two cells sit in different rows
+        and the widest row changes.  Instead of rebuilding the per-row sums
+        per trial, the kernel precomputes the three widest rows once; for any
+        pair at most two rows change, so the new maximum is
+        ``max(new_row_a, new_row_b, widest untouched row)`` and the widest
+        untouched row is always among the top three.
+        """
+        a = np.atleast_1d(np.asarray(cells_a, dtype=np.int64))
+        b = np.atleast_1d(np.asarray(cells_b, dtype=np.int64))
+        num_pairs = int(a.size)
+        out = np.zeros(num_pairs, dtype=np.float64)
+        if num_pairs == 0:
+            return out
+        slot_row = self._layout.slot_row
+        cts = self._placement.cell_to_slot
+        rows_a = slot_row[cts[a]]
+        rows_b = slot_row[cts[b]]
+        active = (a != b) & (rows_a != rows_b)
+        if not active.any():
+            return out
+        rw = self._row_widths
+        cur_max = float(rw.max())
+        # top-3 rows by width, padded so two excluded rows always leave a value
+        k = min(3, rw.size)
+        top = np.argpartition(rw, rw.size - k)[rw.size - k:]
+        top = top[np.argsort(rw[top])[::-1]]
+        top_rows = np.full(3, -1, dtype=np.int64)
+        top_vals = np.full(3, -np.inf, dtype=np.float64)
+        top_rows[:k] = top
+        top_vals[:k] = rw[top]
+
+        ra = rows_a[active]
+        rb = rows_b[active]
+        shift = self._widths[b[active]] - self._widths[a[active]]
+        new_a = rw[ra] + shift
+        new_b = rw[rb] - shift
+        untouched = np.where(
+            (top_rows[0] != ra) & (top_rows[0] != rb),
+            top_vals[0],
+            np.where((top_rows[1] != ra) & (top_rows[1] != rb), top_vals[1], top_vals[2]),
+        )
+        new_max = np.maximum(np.maximum(new_a, new_b), untouched)
+        scale = self._layout.num_rows * self._layout.spec.row_height
+        out[active] = (new_max - cur_max) * scale
+        return out
+
     def delta_for_swap(self, cell_a: int, cell_b: int) -> float:
         """Area change if ``cell_a`` and ``cell_b`` exchanged slots."""
         if cell_a == cell_b:
             return 0.0
-        row_a, row_b = self._rows_of(cell_a, cell_b)
-        if row_a == row_b:
-            return 0.0
-        wa = float(self._widths[cell_a])
-        wb = float(self._widths[cell_b])
-        new_rows = self._row_widths.copy()
-        new_rows[row_a] += wb - wa
-        new_rows[row_b] += wa - wb
-        scale = self._layout.num_rows * self._layout.spec.row_height
-        return float((new_rows.max() - self._row_widths.max()) * scale)
+        return float(self.deltas_for_swaps(
+            np.array([cell_a], dtype=np.int64), np.array([cell_b], dtype=np.int64)
+        )[0])
 
     def commit_swap(self, cell_a: int, cell_b: int) -> None:
         """Update the row sums after the placement swap was applied.

@@ -34,7 +34,7 @@ from .solution import Placement
 from .timing import TimingAnalyzer, TimingModel, TimingState
 from .wirelength import WirelengthState
 
-__all__ = ["ObjectiveVector", "CostModelParams", "CostEvaluator"]
+__all__ = ["ObjectiveVector", "CostModelParams", "CostEvaluator", "EvaluatorState"]
 
 #: Canonical objective names used throughout the library.
 WIRELENGTH = "wirelength"
@@ -121,6 +121,23 @@ class CostModelParams:
             raise CostModelError("timing_refresh_interval must be >= 1")
 
 
+@dataclass(frozen=True, slots=True)
+class EvaluatorState:
+    """Opaque snapshot of a :class:`CostEvaluator`'s full mutable state.
+
+    Produced by :meth:`CostEvaluator.save_state` and consumed by
+    :meth:`CostEvaluator.restore_state`; the tabu search uses it to rewind
+    trial compound moves without paying full cache updates twice (commit +
+    reverse commit) per candidate.
+    """
+
+    assignment: tuple
+    wirelength: tuple
+    area: np.ndarray
+    timing: tuple
+    cached_cost: Optional[float]
+
+
 class CostEvaluator:
     """Scalar cost of a placement, with incremental swap evaluation.
 
@@ -160,6 +177,10 @@ class CostEvaluator:
         #: Number of swap evaluations performed (trials + commits).  The
         #: simulated cluster uses this as the "work units" a process consumed.
         self.evaluations: int = 0
+        # Scalar cost of the *current* solution, invalidated on every
+        # mutation; avoids re-running the fuzzy aggregation for repeated
+        # cost() calls between commits (trial evaluation asks constantly).
+        self._cached_cost: Optional[float] = None
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -233,13 +254,33 @@ class CostEvaluator:
             / total_weight
         )
 
+    def aggregate_batch(
+        self, wirelength: np.ndarray, delay: np.ndarray, area: np.ndarray
+    ) -> np.ndarray:
+        """Scalar costs of a whole batch of objective vectors at once."""
+        if self._params.aggregation == "fuzzy":
+            return self._aggregator.cost_batch(
+                {WIRELENGTH: wirelength, DELAY: delay, AREA: area}
+            )
+        p = self._params
+        ref = self._reference
+        total_weight = p.wire_weight + p.delay_weight + p.area_weight
+        return (
+            p.wire_weight * np.asarray(wirelength, dtype=np.float64) / max(ref.wirelength, 1e-9)
+            + p.delay_weight * np.asarray(delay, dtype=np.float64) / max(ref.delay, 1e-9)
+            + p.area_weight * np.asarray(area, dtype=np.float64) / max(ref.area, 1e-9)
+        ) / total_weight
+
     def cost(self) -> float:
-        """Scalar cost of the current placement."""
-        return self.aggregate(self.objectives())
+        """Scalar cost of the current placement (cached between mutations)."""
+        if self._cached_cost is None:
+            self._cached_cost = self.aggregate(self.objectives())
+        return self._cached_cost
 
     def exact_cost(self) -> float:
         """Scalar cost with the timing surrogate refreshed to an exact STA."""
         self._timing.refresh()
+        self._cached_cost = None
         return self.cost()
 
     def memberships(self) -> Dict[str, float]:
@@ -249,21 +290,48 @@ class CostEvaluator:
     # ------------------------------------------------------------------ #
     # swap evaluation / mutation
     # ------------------------------------------------------------------ #
-    def evaluate_swap(self, cell_a: int, cell_b: int) -> float:
-        """Cost the solution would have if ``cell_a`` and ``cell_b`` swapped."""
-        if cell_a == cell_b:
-            return self.cost()
-        self.evaluations += 1
+    def evaluate_swaps_batch(self, pairs) -> np.ndarray:
+        """Costs the solution would have under each candidate swap of a batch.
+
+        ``pairs`` is any ``(n, 2)`` array-like of cell pairs (or a sequence of
+        2-tuples).  Each pair is scored independently against the *current*
+        solution — semantically ``n`` calls to :meth:`evaluate_swap`, but the
+        wirelength/area/timing deltas and the fuzzy aggregation are each
+        computed once for the whole batch in vectorised NumPy.  Nothing is
+        mutated.
+        """
+        arr = np.asarray(pairs, dtype=np.int64)
+        if arr.size == 0:
+            return np.zeros(0, dtype=np.float64)
+        arr = arr.reshape(-1, 2)
+        cells_a = arr[:, 0]
+        cells_b = arr[:, 1]
+        distinct = cells_a != cells_b
+        self.evaluations += int(np.count_nonzero(distinct))
         current = self.objectives()
-        hypothetical = ObjectiveVector(
-            wirelength=current.wirelength + self._wirelength.delta_for_swap(cell_a, cell_b),
-            delay=current.delay + self._timing.delta_for_swap(cell_a, cell_b),
-            area=current.area + self._area.delta_for_swap(cell_a, cell_b),
+        costs = self.aggregate_batch(
+            current.wirelength + self._wirelength.deltas_for_swaps(cells_a, cells_b),
+            current.delay + self._timing.deltas_for_swaps(cells_a, cells_b),
+            current.area + self._area.deltas_for_swaps(cells_a, cells_b),
         )
-        return self.aggregate(hypothetical)
+        if not distinct.all():
+            costs[~distinct] = self.cost()
+        return costs
+
+    def evaluate_swap(self, cell_a: int, cell_b: int) -> float:
+        """Cost the solution would have if ``cell_a`` and ``cell_b`` swapped.
+
+        A single-pair call into :meth:`evaluate_swaps_batch`, so scalar and
+        batched evaluation agree exactly.
+        """
+        return float(self.evaluate_swaps_batch(np.array([[cell_a, cell_b]], dtype=np.int64))[0])
 
     def swap_gain(self, cell_a: int, cell_b: int) -> float:
-        """Cost reduction achieved by swapping (positive = improvement)."""
+        """Cost reduction achieved by swapping (positive = improvement).
+
+        Uses the cached current cost, so one trial evaluation is the only
+        work done per call.
+        """
         return self.cost() - self.evaluate_swap(cell_a, cell_b)
 
     def commit_swap(self, cell_a: int, cell_b: int) -> float:
@@ -275,6 +343,7 @@ class CostEvaluator:
         self._wirelength.commit_swap(cell_a, cell_b)
         self._area.commit_swap(cell_a, cell_b)
         self._timing.commit_swap(cell_a, cell_b)
+        self._cached_cost = None
         return self.cost()
 
     def install_solution(self, cell_to_slot: np.ndarray) -> float:
@@ -288,10 +357,39 @@ class CostEvaluator:
         self._wirelength.rebuild()
         self._area.rebuild()
         self._timing.refresh()
+        self._cached_cost = None
 
     def snapshot(self) -> np.ndarray:
         """Copy of the current assignment, suitable for message passing."""
         return self._placement.to_array()
+
+    def save_state(self) -> EvaluatorState:
+        """Snapshot the solution and every incremental cache.
+
+        Restoring via :meth:`restore_state` is much cheaper than undoing a
+        sequence of swaps with reverse commits: it is a handful of array
+        copies instead of per-swap cache updates, and it restores the timing
+        surrogate exactly (reverse commits advance its refresh counter).
+        """
+        return EvaluatorState(
+            assignment=self._placement.save_state(),
+            wirelength=self._wirelength.save_state(),
+            area=self._area.save_state(),
+            timing=self._timing.save_state(),
+            cached_cost=self._cached_cost,
+        )
+
+    def restore_state(self, state: EvaluatorState) -> None:
+        """Rewind the evaluator to a snapshot from :meth:`save_state`.
+
+        The work counter (:attr:`evaluations`) is deliberately *not* rewound —
+        trials spent on an abandoned branch were still spent.
+        """
+        self._placement.restore_state(state.assignment)
+        self._wirelength.restore_state(state.wirelength)
+        self._area.restore_state(state.area)
+        self._timing.restore_state(state.timing)
+        self._cached_cost = state.cached_cost
 
     def verify_consistency(self, *, atol: float = 1e-6) -> None:
         """Check incremental caches against from-scratch recomputation.
@@ -307,6 +405,10 @@ class CostEvaluator:
             raise CostModelError(
                 f"wirelength cache drift: cached={self._wirelength.total}, exact={wl}"
             )
+        try:
+            self._wirelength.verify_consistency(atol=atol)
+        except ValueError as exc:
+            raise CostModelError(str(exc)) from exc
         area = full_area(self._placement)
         if abs(area - self._area.total) > atol * max(1.0, abs(area)):
             raise CostModelError(

@@ -26,7 +26,28 @@ from ..errors import NetlistError
 from .cell import CellKind
 from .netlist import Netlist, NetlistBuilder
 
-__all__ = ["CircuitSpec", "generate_circuit"]
+__all__ = ["CircuitSpec", "build_chain_netlist", "generate_circuit"]
+
+
+def build_chain_netlist(num_gates: int = 6, name: str = "chain") -> Netlist:
+    """A simple PI -> g0 -> g1 -> ... -> PO chain circuit.
+
+    Handy for tests and examples because the critical path and wirelength are
+    easy to reason about by hand: every gate has delay 1 and a slightly
+    increasing width, so a chain of ``n`` gates has a zero-wire-delay critical
+    path of exactly ``n``.
+    """
+    builder = NetlistBuilder(name)
+    builder.add_cell("pi0", kind=CellKind.PRIMARY_INPUT, delay=0.0, width=1.0)
+    previous = "pi0"
+    for index in range(num_gates):
+        gate = f"g{index}"
+        builder.add_cell(gate, delay=1.0, width=1.0 + 0.1 * index)
+        builder.add_net(f"n{index}", driver=previous, sinks=[gate])
+        previous = gate
+    builder.add_cell("po0", kind=CellKind.PRIMARY_OUTPUT, delay=0.0, width=1.0)
+    builder.add_net("n_out", driver=previous, sinks=["po0"])
+    return builder.build()
 
 
 @dataclass(frozen=True, slots=True)

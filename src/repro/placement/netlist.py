@@ -21,7 +21,29 @@ import numpy as np
 from ..errors import NetlistError
 from .cell import Cell, CellKind, Net
 
-__all__ = ["Netlist", "NetlistBuilder", "NetlistStats"]
+__all__ = ["Netlist", "NetlistBuilder", "NetlistStats", "csr_rows"]
+
+
+def csr_rows(flat: np.ndarray, ptr: np.ndarray, rows: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Gather several variable-length rows of a CSR structure at once.
+
+    Returns ``(values, counts)`` where ``values`` is the concatenation of
+    ``flat[ptr[r]:ptr[r+1]]`` for every ``r`` in ``rows`` and ``counts[i]`` is
+    the length of the ``i``-th row.  This is the core expansion primitive of
+    the batched swap-evaluation kernels: it replaces a Python loop over rows
+    with three vectorised operations.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    starts = ptr[rows]
+    counts = ptr[rows + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=flat.dtype), counts
+    # Index arithmetic: for each output position, the offset within its row is
+    # a global arange minus the cumulative length of all preceding rows.
+    offsets = np.cumsum(counts) - counts
+    within = np.arange(total, dtype=np.int64) - np.repeat(offsets, counts)
+    return flat[np.repeat(starts, counts) + within], counts
 
 
 @dataclass(frozen=True, slots=True)
@@ -120,6 +142,7 @@ class Netlist:
         # CSR-style flattened net membership: members of net i are
         # flat_members[net_ptr[i]:net_ptr[i+1]].
         counts = np.array([net.degree for net in self._nets], dtype=np.int64)
+        self._net_degrees = counts
         self._net_ptr = np.zeros(len(self._nets) + 1, dtype=np.int64)
         np.cumsum(counts, out=self._net_ptr[1:])
         if self._nets:
@@ -249,10 +272,46 @@ class Netlist:
         view.flags.writeable = False
         return view
 
+    @property
+    def cell_net_ptr(self) -> np.ndarray:
+        """CSR row pointer into :attr:`cell_net_flat` (length ``num_cells + 1``)."""
+        view = self._cell_net_ptr.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def cell_net_flat(self) -> np.ndarray:
+        """Flattened cell→net incidence array (nets of cell ``c`` are
+        ``cell_net_flat[cell_net_ptr[c]:cell_net_ptr[c+1]]``)."""
+        view = self._cell_net_flat.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def net_degrees(self) -> np.ndarray:
+        """Number of members of each net (read-only view)."""
+        view = self._net_degrees.view()
+        view.flags.writeable = False
+        return view
+
     def net_members(self, net_index: int) -> np.ndarray:
         """Cell indices attached to ``net_index`` (driver first)."""
         start, stop = self._net_ptr[net_index], self._net_ptr[net_index + 1]
         return self._flat_members[start:stop]
+
+    def net_members_of(self, net_indices: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Members of several nets at once: ``(flat_cells, counts)``."""
+        return csr_rows(self._flat_members, self._net_ptr, net_indices)
+
+    def nets_of_cells_flat(self, cell_indices: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Incident nets of several cells at once: ``(flat_nets, counts)``.
+
+        Unlike :meth:`nets_of_cells` this keeps per-cell segments (no
+        deduplication across cells), which is what the batch kernels need.
+        Within one cell's segment every net appears exactly once because net
+        members are validated to be distinct.
+        """
+        return csr_rows(self._cell_net_flat, self._cell_net_ptr, cell_indices)
 
     def nets_of_cell(self, cell_index: int) -> np.ndarray:
         """Indices of the nets incident to ``cell_index``."""

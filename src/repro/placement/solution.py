@@ -169,6 +169,21 @@ class Placement:
         self._slot_to_cell[:] = EMPTY_SLOT
         self._slot_to_cell[cts] = np.arange(n_cells, dtype=np.int64)
 
+    def save_state(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Copies of both assignment directions, for :meth:`restore_state`.
+
+        Unlike :meth:`to_array` / :meth:`set_assignment` the save/restore pair
+        skips re-validation and re-derivation of ``slot_to_cell`` — it exists
+        so the tabu search can rewind trial compound moves cheaply.
+        """
+        return self._cell_to_slot.copy(), self._slot_to_cell.copy()
+
+    def restore_state(self, state: Tuple[np.ndarray, np.ndarray]) -> None:
+        """Restore an assignment snapshot produced by :meth:`save_state`."""
+        cell_to_slot, slot_to_cell = state
+        self._cell_to_slot[:] = cell_to_slot
+        self._slot_to_cell[:] = slot_to_cell
+
     # ------------------------------------------------------------------ #
     # copying / serialisation / comparison
     # ------------------------------------------------------------------ #

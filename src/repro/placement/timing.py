@@ -231,11 +231,23 @@ class TimingAnalyzer:
                 x[cell] = ox
                 y[cell] = oy
         wpu = self._model.wire_delay_per_unit
+        path_arr = np.asarray(path, dtype=np.int64)
+        px = x[path_arr]
+        py = y[path_arr]
+        wire = wpu * float(np.sum(np.abs(np.diff(px)) + np.abs(np.diff(py))))
+        return self.path_intrinsic_delay(path) + wire
+
+    def path_intrinsic_delay(self, path: Sequence[int]) -> float:
+        """Sum of the intrinsic cell delays along ``path`` (placement-free).
+
+        The start cell always contributes; intermediate cells contribute; the
+        end point contributes only if it propagates (i.e. it is not a pure
+        endpoint like a PO or a flip-flop D input).
+        """
+        if len(path) < 2:
+            return 0.0
         delays = self._delays
         total = 0.0
-        # Intrinsic delays: the start cell always contributes; intermediate
-        # cells contribute; the end point contributes only if it propagates
-        # (i.e. it is not a pure endpoint like a PO or a flip-flop D input).
         for idx, cell in enumerate(path):
             is_last = idx == len(path) - 1
             if is_last and self._is_end[cell] and not self._is_start[cell]:
@@ -243,8 +255,6 @@ class TimingAnalyzer:
             if is_last and self._is_seq[cell]:
                 continue  # flip-flop D input endpoint
             total += float(delays[cell])
-        for a, b in zip(path[:-1], path[1:]):
-            total += wpu * (abs(float(x[a] - x[b])) + abs(float(y[a] - y[b])))
         return total
 
 
@@ -295,6 +305,13 @@ class TimingState:
         self._cached_delay = self._result.critical_delay
         self._path_cells = frozenset(self._result.critical_path)
         self._commits_since_refresh = 0
+        # Vectorised surrogate state: the path as an array, a dense membership
+        # mask, and the placement-independent intrinsic-delay part.
+        self._path_array = np.asarray(self._result.critical_path, dtype=np.int64)
+        on_path = np.zeros(self._placement.num_cells, dtype=bool)
+        on_path[self._path_array] = True
+        self._on_path = on_path
+        self._path_intrinsic = self._analyzer.path_intrinsic_delay(self._result.critical_path)
         return self._result
 
     def exact_delay(self) -> float:
@@ -302,20 +319,89 @@ class TimingState:
         return self._analyzer.analyze(self._placement).critical_delay
 
     # ------------------------------------------------------------------ #
+    # snapshot / restore (used by the search loop to try candidates cheaply)
+    # ------------------------------------------------------------------ #
+    def save_state(self) -> tuple:
+        """Snapshot of the surrogate state, restorable via :meth:`restore_state`.
+
+        The contained arrays are never mutated in place (``refresh`` rebuilds
+        them), so references suffice — no copies needed.
+        """
+        return (
+            self._result,
+            self._cached_delay,
+            self._path_cells,
+            self._commits_since_refresh,
+            self._path_array,
+            self._on_path,
+            self._path_intrinsic,
+        )
+
+    def restore_state(self, state: tuple) -> None:
+        """Restore a snapshot (the placement must be restored separately)."""
+        (
+            self._result,
+            self._cached_delay,
+            self._path_cells,
+            self._commits_since_refresh,
+            self._path_array,
+            self._on_path,
+            self._path_intrinsic,
+        ) = state
+
+    # ------------------------------------------------------------------ #
+    def deltas_for_swaps(self, cells_a, cells_b) -> np.ndarray:
+        """Estimated critical-delay change of every candidate swap in a batch.
+
+        The surrogate is the same as :meth:`delta_for_swap`: pairs touching
+        the cached critical path re-price the whole path with the two
+        positions exchanged; all other pairs score 0.  All touching pairs are
+        priced together as one ``(pairs × path)`` broadcast.
+        """
+        a = np.atleast_1d(np.asarray(cells_a, dtype=np.int64))
+        b = np.atleast_1d(np.asarray(cells_b, dtype=np.int64))
+        num_pairs = int(a.size)
+        out = np.zeros(num_pairs, dtype=np.float64)
+        path = self._path_array
+        if num_pairs == 0 or path.size < 2:
+            return out
+        touch = (self._on_path[a] | self._on_path[b]) & (a != b)
+        if not touch.any():
+            return out
+        ai = a[touch]
+        bi = b[touch]
+        cts = self._placement.cell_to_slot
+        slot_x = self._placement.layout.slot_x
+        slot_y = self._placement.layout.slot_y
+        # Only path cells and touched endpoints need coordinates — no
+        # O(num_cells) gather.
+        px = slot_x[cts[path]]
+        py = slot_y[cts[path]]
+        path_row = path[None, :]
+        mask_a = path_row == ai[:, None]
+        mask_b = path_row == bi[:, None]
+        nx = np.where(
+            mask_a, slot_x[cts[bi]][:, None],
+            np.where(mask_b, slot_x[cts[ai]][:, None], px[None, :]),
+        )
+        ny = np.where(
+            mask_a, slot_y[cts[bi]][:, None],
+            np.where(mask_b, slot_y[cts[ai]][:, None], py[None, :]),
+        )
+        wpu = self._analyzer.model.wire_delay_per_unit
+        wire = wpu * np.sum(np.abs(np.diff(nx, axis=1)) + np.abs(np.diff(ny, axis=1)), axis=1)
+        out[touch] = (self._path_intrinsic + wire) - self._cached_delay
+        return out
+
     def delta_for_swap(self, cell_a: int, cell_b: int) -> float:
         """Estimated critical-delay change if ``cell_a`` and ``cell_b`` swapped."""
         if cell_a == cell_b:
             return 0.0
-        path = self._result.critical_path
-        if len(path) < 2:
-            return 0.0
         if cell_a not in self._path_cells and cell_b not in self._path_cells:
             return 0.0
-        ax, ay = self._placement.position_of(cell_a)
-        bx, by = self._placement.position_of(cell_b)
-        overrides = {cell_a: (bx, by), cell_b: (ax, ay)}
-        new_delay = self._analyzer.path_delay(self._placement, path, overrides)
-        return float(new_delay - self._cached_delay)
+        return float(self.deltas_for_swaps(
+            np.array([cell_a], dtype=np.int64), np.array([cell_b], dtype=np.int64)
+        )[0])
 
     def commit_swap(self, cell_a: int, cell_b: int) -> None:
         """Update the cached path delay after the placement swap was applied."""

@@ -4,15 +4,23 @@ The wirelength of a net is estimated by the half-perimeter of the bounding
 box of its pins — the standard estimator for placement.  The total objective
 is the net-weight-weighted sum over all nets.
 
-Two access patterns are provided:
+Three access patterns are provided:
 
 * :func:`full_hpwl` — vectorised full evaluation over all nets at once, used
   when a solution arrives over the (simulated) network or when caches need a
   rebuild;
-* :class:`WirelengthState` — an incremental cache of per-net HPWL values that
-  can evaluate the *delta* of a candidate swap in time proportional to the
-  number of nets touching the two swapped cells, and commit it in the same
-  time.  The tabu-search inner loop only ever uses deltas.
+* :class:`WirelengthState` — an incremental cache of per-net bounding boxes
+  (``x_min/x_max/y_min/y_max`` plus the number of members sitting on each
+  bbox edge) that can evaluate the *delta* of a candidate swap with O(affected
+  nets) arithmetic and no member re-gather in the common case;
+* :meth:`WirelengthState.deltas_for_swaps` — the batched kernel: it scores an
+  entire candidate neighbourhood in a handful of NumPy operations (flat CSR
+  cell→net expansion, no per-trial ``union1d``), falling back to a vectorised
+  segment reduce only for the rare trials where a moved cell is the sole
+  support of a bbox edge.
+
+The tabu-search inner loop only ever uses deltas, so this module is the
+hottest code path of the whole reproduction: every CLW trial swap lands here.
 """
 
 from __future__ import annotations
@@ -23,7 +31,7 @@ import numpy as np
 
 from .solution import Placement
 
-__all__ = ["full_hpwl", "net_hpwl", "WirelengthState"]
+__all__ = ["full_hpwl", "net_hpwl", "net_bboxes", "WirelengthState"]
 
 
 def net_hpwl(placement: Placement, net_index: int) -> float:
@@ -68,14 +76,74 @@ def full_hpwl(placement: Placement) -> Tuple[np.ndarray, float]:
     return per_net, total
 
 
+def net_bboxes(
+    placement: Placement, nets: np.ndarray | None = None
+) -> Tuple[np.ndarray, ...]:
+    """Bounding boxes (and edge multiplicities) of ``nets`` in one pass.
+
+    Returns eight arrays aligned with ``nets`` (or with all nets when ``nets``
+    is ``None``): ``x_min, x_max, y_min, y_max`` and the number of member
+    pins sitting exactly on each of the four bbox edges.  The multiplicity
+    counts are what make O(1) incremental updates possible: a pin may leave a
+    bbox edge without shrinking the box whenever other pins still support it.
+    """
+    netlist = placement.netlist
+    layout = placement.layout
+    if nets is None:
+        members = netlist.flat_members
+        counts = netlist.net_degrees
+    else:
+        members, counts = netlist.net_members_of(nets)
+    num = int(counts.size)
+    if num == 0:
+        zero_f = np.zeros(0, dtype=np.float64)
+        zero_i = np.zeros(0, dtype=np.int64)
+        return zero_f, zero_f.copy(), zero_f.copy(), zero_f.copy(), zero_i, zero_i.copy(), zero_i.copy(), zero_i.copy()
+    slots = placement.cell_to_slot[members]
+    xs = layout.slot_x[slots]
+    ys = layout.slot_y[slots]
+    starts = np.zeros(num, dtype=np.int64)
+    np.cumsum(counts[:-1], out=starts[1:])
+    x_min = np.minimum.reduceat(xs, starts)
+    x_max = np.maximum.reduceat(xs, starts)
+    y_min = np.minimum.reduceat(ys, starts)
+    y_max = np.maximum.reduceat(ys, starts)
+    n_x_min = np.add.reduceat((xs == np.repeat(x_min, counts)).astype(np.int64), starts)
+    n_x_max = np.add.reduceat((xs == np.repeat(x_max, counts)).astype(np.int64), starts)
+    n_y_min = np.add.reduceat((ys == np.repeat(y_min, counts)).astype(np.int64), starts)
+    n_y_max = np.add.reduceat((ys == np.repeat(y_max, counts)).astype(np.int64), starts)
+    return x_min, x_max, y_min, y_max, n_x_min, n_x_max, n_y_min, n_y_max
+
+
+def _shrink_min(cur: np.ndarray, support: np.ndarray, frm: np.ndarray, to: np.ndarray):
+    """Fast-path new minimum after one pin moves ``frm → to``.
+
+    Returns ``(new_min, needs_fallback)``.  The fast path is exact except when
+    the moving pin was the *only* support of the current minimum and it lands
+    strictly inside the box — then the true new minimum lies somewhere among
+    the remaining pins and a segment reduce is required.
+    """
+    new = np.minimum(cur, to)
+    fallback = (frm == cur) & (support <= 1) & (to > cur)
+    return new, fallback
+
+
+def _shrink_max(cur: np.ndarray, support: np.ndarray, frm: np.ndarray, to: np.ndarray):
+    """Fast-path new maximum after one pin moves ``frm → to`` (see _shrink_min)."""
+    new = np.maximum(cur, to)
+    fallback = (frm == cur) & (support <= 1) & (to < cur)
+    return new, fallback
+
+
 class WirelengthState:
     """Incremental HPWL cache bound to one :class:`Placement`.
 
-    The cache holds the unweighted HPWL of every net and the weighted total.
-    ``delta_for_swap`` answers "how would the total change if cells *a* and
-    *b* exchanged slots?" without mutating anything; ``commit_swap`` must be
-    called *after* the placement has actually been swapped to keep the cache
-    in sync.
+    The cache holds, for every net, the bounding box of its pins and the
+    number of pins on each bbox edge, plus the unweighted HPWL and the
+    weighted total.  ``delta_for_swap`` / ``deltas_for_swaps`` answer "how
+    would the total change if cells *a* and *b* exchanged slots?" without
+    mutating anything; ``commit_swap`` must be called *after* the placement
+    has actually been swapped to keep the cache in sync.
     """
 
     def __init__(self, placement: Placement) -> None:
@@ -99,46 +167,166 @@ class WirelengthState:
 
     def rebuild(self) -> None:
         """Recompute the cache from scratch (used after bulk solution changes)."""
-        self._per_net, self._total = full_hpwl(self._placement)
+        (
+            self._x_min,
+            self._x_max,
+            self._y_min,
+            self._y_max,
+            self._n_x_min,
+            self._n_x_max,
+            self._n_y_min,
+            self._n_y_max,
+        ) = net_bboxes(self._placement)
+        self._per_net = (self._x_max - self._x_min) + (self._y_max - self._y_min)
+        weights = self._netlist.net_weights
+        self._total = float(np.dot(self._per_net, weights)) if self._per_net.size else 0.0
 
     # ------------------------------------------------------------------ #
-    def _affected_nets(self, cell_a: int, cell_b: int) -> np.ndarray:
-        nets_a = self._netlist.nets_of_cell(cell_a)
-        nets_b = self._netlist.nets_of_cell(cell_b)
-        if nets_a.size == 0:
-            return nets_b
-        if nets_b.size == 0:
-            return nets_a
-        return np.union1d(nets_a, nets_b)
+    # snapshot / restore (used by the search loop to try candidates cheaply)
+    # ------------------------------------------------------------------ #
+    def save_state(self) -> tuple:
+        """Copy of the full cache, restorable via :meth:`restore_state`."""
+        return (
+            self._per_net.copy(),
+            self._total,
+            self._x_min.copy(),
+            self._x_max.copy(),
+            self._y_min.copy(),
+            self._y_max.copy(),
+            self._n_x_min.copy(),
+            self._n_x_max.copy(),
+            self._n_y_min.copy(),
+            self._n_y_max.copy(),
+        )
 
-    def _net_hpwl_with_override(
-        self, net_index: int, cell_a: int, slot_a: int, cell_b: int, slot_b: int
-    ) -> float:
-        members = self._netlist.net_members(net_index)
-        slots = self._placement.cell_to_slot[members].copy()
-        # apply the hypothetical swap to the gathered slots only
-        slots[members == cell_a] = slot_a
-        slots[members == cell_b] = slot_b
-        xs = self._layout.slot_x[slots]
-        ys = self._layout.slot_y[slots]
-        return float(xs.max() - xs.min() + ys.max() - ys.min())
+    def restore_state(self, state: tuple) -> None:
+        """Restore a cache snapshot (the placement must be restored separately)."""
+        (per_net, total, x_min, x_max, y_min, y_max, n_x_min, n_x_max, n_y_min, n_y_max) = state
+        self._per_net = per_net.copy()
+        self._total = total
+        self._x_min = x_min.copy()
+        self._x_max = x_max.copy()
+        self._y_min = y_min.copy()
+        self._y_max = y_max.copy()
+        self._n_x_min = n_x_min.copy()
+        self._n_x_max = n_x_max.copy()
+        self._n_y_min = n_y_min.copy()
+        self._n_y_max = n_y_max.copy()
+
+    # ------------------------------------------------------------------ #
+    # batched trial evaluation — the hot kernel
+    # ------------------------------------------------------------------ #
+    def deltas_for_swaps(self, cells_a, cells_b) -> np.ndarray:
+        """Weighted-HPWL change of every candidate swap ``(a_i, b_i)``.
+
+        Both arguments are integer arrays of equal length; the result is a
+        float array of per-pair deltas (negative = improvement).  Every pair
+        is evaluated independently against the *current* placement, exactly
+        like repeated calls to :meth:`delta_for_swap`, but the whole batch is
+        computed with vectorised NumPy:
+
+        1. expand both endpoints of every pair to flat ``(pair, net)`` items
+           via the CSR cell→net incidence;
+        2. drop items of nets containing *both* endpoints (a swap permutes
+           their pins, so their bbox is unchanged) — found by sorting the flat
+           items instead of a per-pair ``union1d``;
+        3. update each item's bbox edge in O(1) using the cached edge
+           multiplicities;
+        4. re-reduce only the items where the moved pin was the sole support
+           of an edge it leaves (a single ``reduceat`` over those segments).
+        """
+        a = np.atleast_1d(np.asarray(cells_a, dtype=np.int64))
+        b = np.atleast_1d(np.asarray(cells_b, dtype=np.int64))
+        if a.shape != b.shape:
+            raise ValueError(f"cells_a and cells_b must match, got {a.shape} vs {b.shape}")
+        num_pairs = int(a.size)
+        out = np.zeros(num_pairs, dtype=np.float64)
+        if num_pairs == 0 or self._netlist.num_nets == 0:
+            return out
+
+        netlist = self._netlist
+        cts = self._placement.cell_to_slot
+        slot_x = self._layout.slot_x
+        slot_y = self._layout.slot_y
+        ax = slot_x[cts[a]]
+        ay = slot_y[cts[a]]
+        bx = slot_x[cts[b]]
+        by = slot_y[cts[b]]
+
+        # --- step 1: flat (pair, net) items for both endpoints ------------- #
+        nets_a, deg_a = netlist.nets_of_cells_flat(a)
+        nets_b, deg_b = netlist.nets_of_cells_flat(b)
+        pair_ids = np.arange(num_pairs, dtype=np.int64)
+        pair = np.concatenate([np.repeat(pair_ids, deg_a), np.repeat(pair_ids, deg_b)])
+        net = np.concatenate([nets_a, nets_b])
+        moved = np.concatenate([np.repeat(a, deg_a), np.repeat(b, deg_b)])
+        from_x = np.concatenate([np.repeat(ax, deg_a), np.repeat(bx, deg_b)])
+        from_y = np.concatenate([np.repeat(ay, deg_a), np.repeat(by, deg_b)])
+        to_x = np.concatenate([np.repeat(bx, deg_a), np.repeat(ax, deg_b)])
+        to_y = np.concatenate([np.repeat(by, deg_a), np.repeat(ay, deg_b)])
+        if net.size == 0:
+            return out
+
+        # --- step 2: drop self-swaps and shared nets ----------------------- #
+        active = (a != b)[pair]
+        order = np.lexsort((net, pair))
+        dup = (net[order][1:] == net[order][:-1]) & (pair[order][1:] == pair[order][:-1])
+        shared = np.zeros(net.size, dtype=bool)
+        shared[order[1:][dup]] = True
+        shared[order[:-1][dup]] = True
+        active &= ~shared
+        if not active.any():
+            return out
+        pair = pair[active]
+        net = net[active]
+        moved = moved[active]
+        from_x = from_x[active]
+        from_y = from_y[active]
+        to_x = to_x[active]
+        to_y = to_y[active]
+
+        # --- step 3: O(1) bbox-edge updates from the cache ----------------- #
+        new_x_min, fb_x_min = _shrink_min(self._x_min[net], self._n_x_min[net], from_x, to_x)
+        new_x_max, fb_x_max = _shrink_max(self._x_max[net], self._n_x_max[net], from_x, to_x)
+        new_y_min, fb_y_min = _shrink_min(self._y_min[net], self._n_y_min[net], from_y, to_y)
+        new_y_max, fb_y_max = _shrink_max(self._y_max[net], self._n_y_max[net], from_y, to_y)
+
+        # --- step 4: segment-reduce fallback for vacated edges ------------- #
+        fallback = fb_x_min | fb_x_max | fb_y_min | fb_y_max
+        if fallback.any():
+            idx = np.flatnonzero(fallback)
+            members, counts = netlist.net_members_of(net[idx])
+            moved_rep = np.repeat(moved[idx], counts)
+            mx = np.where(members == moved_rep, np.repeat(to_x[idx], counts), slot_x[cts[members]])
+            my = np.where(members == moved_rep, np.repeat(to_y[idx], counts), slot_y[cts[members]])
+            starts = np.zeros(idx.size, dtype=np.int64)
+            np.cumsum(counts[:-1], out=starts[1:])
+            new_x_min[idx] = np.minimum.reduceat(mx, starts)
+            new_x_max[idx] = np.maximum.reduceat(mx, starts)
+            new_y_min[idx] = np.minimum.reduceat(my, starts)
+            new_y_max[idx] = np.maximum.reduceat(my, starts)
+
+        new_hpwl = (new_x_max - new_x_min) + (new_y_max - new_y_min)
+        per_item = netlist.net_weights[net] * (new_hpwl - self._per_net[net])
+        out[:] = np.bincount(pair, weights=per_item, minlength=num_pairs)
+        return out
 
     def delta_for_swap(self, cell_a: int, cell_b: int) -> float:
         """Weighted-HPWL change if ``cell_a`` and ``cell_b`` swapped slots.
 
         Negative values mean the swap *improves* (shortens) the wirelength.
+        A single-pair call into the batched kernel, so scalar and batched
+        evaluation agree bit-for-bit.
         """
         if cell_a == cell_b:
             return 0.0
-        slot_a = self._placement.slot_of(cell_a)
-        slot_b = self._placement.slot_of(cell_b)
-        weights = self._netlist.net_weights
-        delta = 0.0
-        for net in self._affected_nets(cell_a, cell_b):
-            new_value = self._net_hpwl_with_override(int(net), cell_a, slot_b, cell_b, slot_a)
-            delta += weights[net] * (new_value - self._per_net[net])
-        return float(delta)
+        return float(self.deltas_for_swaps(
+            np.array([cell_a], dtype=np.int64), np.array([cell_b], dtype=np.int64)
+        )[0])
 
+    # ------------------------------------------------------------------ #
+    # committed updates
+    # ------------------------------------------------------------------ #
     def commit_swap(self, cell_a: int, cell_b: int) -> None:
         """Update the cache after ``placement.swap_cells(cell_a, cell_b)``.
 
@@ -146,16 +334,55 @@ class WirelengthState:
         """
         if cell_a == cell_b:
             return
-        weights = self._netlist.net_weights
-        for net in self._affected_nets(cell_a, cell_b):
-            new_value = net_hpwl(self._placement, int(net))
-            self._total += weights[net] * (new_value - self._per_net[net])
-            self._per_net[net] = new_value
+        nets = np.concatenate(
+            [self._netlist.nets_of_cell(cell_a), self._netlist.nets_of_cell(cell_b)]
+        )
+        self.recompute_nets(nets)
+
+    def verify_consistency(self, *, atol: float = 1e-6) -> None:
+        """Check the bbox/multiplicity caches against a fresh recompute.
+
+        The totals alone cannot reveal a stale edge multiplicity (it only
+        changes which fast/fallback branch a future trial takes), so this
+        compares every cached array.  Raises ``ValueError`` on divergence.
+        """
+        fresh = net_bboxes(self._placement)
+        cached = (
+            self._x_min, self._x_max, self._y_min, self._y_max,
+            self._n_x_min, self._n_x_max, self._n_y_min, self._n_y_max,
+        )
+        names = ("x_min", "x_max", "y_min", "y_max",
+                 "n_x_min", "n_x_max", "n_y_min", "n_y_max")
+        for name, have, want in zip(names, cached, fresh):
+            if not np.allclose(have, want, atol=atol):
+                bad = int(np.flatnonzero(~np.isclose(have, want, atol=atol))[0])
+                raise ValueError(
+                    f"wirelength bbox cache drift in {name} at net {bad}: "
+                    f"cached={have[bad]}, exact={want[bad]}"
+                )
 
     def recompute_nets(self, nets: Iterable[int]) -> None:
-        """Refresh specific nets (used when a whole new solution is installed)."""
-        weights = self._netlist.net_weights
-        for net in nets:
-            new_value = net_hpwl(self._placement, int(net))
-            self._total += weights[net] * (new_value - self._per_net[net])
-            self._per_net[net] = new_value
+        """Refresh specific nets from the placement's current state.
+
+        One vectorised segment reduce over all affected nets — committed swaps
+        are rare relative to trials, so exact bbox + multiplicity recomputation
+        here keeps the fast trial path simple.
+        """
+        nets = np.unique(np.asarray(tuple(nets) if not isinstance(nets, np.ndarray) else nets, dtype=np.int64))
+        if nets.size == 0:
+            return
+        x_min, x_max, y_min, y_max, n_x_min, n_x_max, n_y_min, n_y_max = net_bboxes(
+            self._placement, nets
+        )
+        new_per = (x_max - x_min) + (y_max - y_min)
+        weights = self._netlist.net_weights[nets]
+        self._total += float(np.dot(weights, new_per - self._per_net[nets]))
+        self._per_net[nets] = new_per
+        self._x_min[nets] = x_min
+        self._x_max[nets] = x_max
+        self._y_min[nets] = y_min
+        self._y_max[nets] = y_max
+        self._n_x_min[nets] = n_x_min
+        self._n_x_max[nets] = n_x_max
+        self._n_y_min[nets] = n_y_min
+        self._n_y_max[nets] = n_y_max

@@ -129,6 +129,11 @@ def sample_candidate_pairs(
         raise TabuSearchError(f"count must be positive, got {count}")
     if num_cells < 2:
         raise TabuSearchError("need at least two cells to form a swap pair")
+    # The draws stay scalar and interleaved (first, second, first, second, ...)
+    # on purpose: this preserves the exact RNG stream of the original
+    # implementation, so seeded runs keep their trajectories.  Sampling is a
+    # few draws per step — the hot path is the batched *evaluation* of the
+    # sampled pairs, not their generation.
     pairs: List[Tuple[int, int]] = []
     for _ in range(count):
         first = cell_range.sample(rng)

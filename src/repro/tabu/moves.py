@@ -3,8 +3,10 @@
 The elementary move of the paper is a *swap* of two cells.  A CLW does not
 apply single swaps blindly; it builds a **compound move** of depth ``d``:
 
-1. at each of the ``d`` steps it trial-evaluates ``m`` candidate pairs (first
-   cell from its range, second from anywhere);
+1. at each of the ``d`` steps it draws all ``m`` candidate pairs up front
+   (first cell from its range, second from anywhere) and scores them with a
+   single batched evaluation
+   (:meth:`~repro.placement.cost.CostEvaluator.evaluate_swaps_batch`);
 2. it commits the best of the ``m`` trials and continues from there;
 3. if at any step the accumulated cost is already better than the cost at the
    start of the compound move, it stops early ("the move is accepted without
@@ -103,15 +105,18 @@ def best_swap_of_candidates(
 ) -> Optional[SwapMove]:
     """Trial-evaluate candidate pairs and return the one with the lowest cost.
 
-    Returns ``None`` when ``pairs`` is empty.  Ties are broken in favour of
-    the first candidate (deterministic given the candidate order).
+    The whole candidate list is scored with one call to
+    :meth:`~repro.placement.cost.CostEvaluator.evaluate_swaps_batch` instead
+    of per-pair scalar trials.  Returns ``None`` when ``pairs`` is empty.
+    Ties are broken in favour of the first candidate (``argmin`` returns the
+    first minimum, matching the scalar loop's strict-less comparison).
     """
-    best: Optional[SwapMove] = None
-    for cell_a, cell_b in pairs:
-        cost = evaluator.evaluate_swap(cell_a, cell_b)
-        if best is None or cost < best.cost_after:
-            best = SwapMove(cell_a=cell_a, cell_b=cell_b, cost_after=cost)
-    return best
+    if not len(pairs):
+        return None
+    costs = evaluator.evaluate_swaps_batch(pairs)
+    best_index = int(np.argmin(costs))
+    cell_a, cell_b = pairs[best_index]
+    return SwapMove(cell_a=int(cell_a), cell_b=int(cell_b), cost_after=float(costs[best_index]))
 
 
 class CompoundMoveBuilder:
@@ -157,9 +162,11 @@ class CompoundMoveBuilder:
         # The best prefix is the shortest non-empty prefix with the lowest
         # cost: even when every prefix degrades the cost, the CLW must still
         # report a (least-degrading) move — tabu search relies on accepting
-        # bad moves.
+        # bad moves.  A state snapshot is kept at the best prefix so finalize
+        # can rewind with array copies instead of reverse commits.
         self._best_prefix_len = 0
         self._best_prefix_cost = float("inf")
+        self._best_prefix_state = None
         self._trials = 0
         self._truncated_early = False
         self._finalized = False
@@ -202,11 +209,17 @@ class CompoundMoveBuilder:
         self._evaluator.commit_swap(best.cell_a, best.cell_b)
         self._committed.append(best)
         current_cost = self._evaluator.cost()
-        if current_cost < self._best_prefix_cost:
+        new_best = current_cost < self._best_prefix_cost
+        if new_best:
             self._best_prefix_cost = current_cost
             self._best_prefix_len = len(self._committed)
         if self._early_accept and current_cost < self._cost_before:
             self._truncated_early = True
+        # Snapshot the new best prefix only when a later step could commit
+        # past it — on the final step (or an early accept, the common case)
+        # finalize ends exactly here and the copy would be discarded.
+        if new_best and self.wants_more_steps():
+            self._best_prefix_state = self._evaluator.save_state()
         return len(pairs)
 
     def finalize(self) -> CompoundMove:
@@ -214,11 +227,12 @@ class CompoundMoveBuilder:
         if self._finalized:
             raise TabuSearchError("finalize() called twice")
         self._finalized = True
-        # Roll back any swaps beyond the best prefix so the evaluator ends on
-        # the best solution seen during the exploration.
-        while len(self._committed) > self._best_prefix_len:
-            swap = self._committed.pop()
-            self._evaluator.commit_swap(swap.cell_a, swap.cell_b)  # swap is its own inverse
+        # Rewind to the best prefix so the evaluator ends on the best solution
+        # seen during the exploration — a snapshot restore, not a chain of
+        # reverse commits.
+        if len(self._committed) > self._best_prefix_len:
+            del self._committed[self._best_prefix_len:]
+            self._evaluator.restore_state(self._best_prefix_state)
         return CompoundMove(
             swaps=list(self._committed),
             cost_before=self._cost_before,

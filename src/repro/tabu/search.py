@@ -224,8 +224,15 @@ class TabuSearch:
     # the core iteration
     # ------------------------------------------------------------------ #
     def _build_candidates(self) -> List[CompoundMove]:
-        """Generate candidate compound moves, restoring the state after each."""
+        """Generate candidate compound moves, restoring the state after each.
+
+        The starting solution is captured once as a cheap snapshot; after
+        each candidate the evaluator is rewound with a state restore instead
+        of reverse-committing every swap (which would pay full cache updates
+        twice per candidate — commit + reverse commit).
+        """
         candidates: List[CompoundMove] = []
+        start_state = self._evaluator.save_state()
         for cand_range in self._candidate_ranges:
             move = build_compound_move(
                 self._evaluator,
@@ -235,9 +242,8 @@ class TabuSearch:
                 rng=self._rng,
                 early_accept=self._params.early_accept,
             )
-            # undo so every candidate is built from the same starting solution
-            for cell_a, cell_b in reversed(move.pairs()):
-                self._evaluator.commit_swap(cell_a, cell_b)
+            # rewind so every candidate is built from the same starting solution
+            self._evaluator.restore_state(start_state)
             candidates.append(move)
         return candidates
 

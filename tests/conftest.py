@@ -11,32 +11,12 @@ import numpy as np
 import pytest
 
 from repro.placement import (
-    CellKind,
     CostEvaluator,
     Layout,
-    NetlistBuilder,
+    build_chain_netlist,
     load_benchmark,
     random_placement,
 )
-
-
-def build_chain_netlist(num_gates: int = 6, name: str = "chain"):
-    """A simple PI -> g0 -> g1 -> ... -> PO chain with one side branch per gate.
-
-    Handy for tests because the critical path and wirelength are easy to
-    reason about by hand.
-    """
-    builder = NetlistBuilder(name)
-    builder.add_cell("pi0", kind=CellKind.PRIMARY_INPUT, delay=0.0, width=1.0)
-    previous = "pi0"
-    for index in range(num_gates):
-        gate = f"g{index}"
-        builder.add_cell(gate, delay=1.0, width=1.0 + 0.1 * index)
-        builder.add_net(f"n{index}", driver=previous, sinks=[gate])
-        previous = gate
-    builder.add_cell("po0", kind=CellKind.PRIMARY_OUTPUT, delay=0.0, width=1.0)
-    builder.add_net("n_out", driver=previous, sinks=["po0"])
-    return builder.build()
 
 
 @pytest.fixture

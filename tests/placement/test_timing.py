@@ -10,12 +10,11 @@ from repro.placement import (
     CellKind,
     Layout,
     NetlistBuilder,
+    build_chain_netlist,
     load_benchmark,
     random_placement,
 )
 from repro.placement.timing import TimingAnalyzer, TimingModel, TimingState
-
-from ..conftest import build_chain_netlist
 
 
 class TestTimingModel:
