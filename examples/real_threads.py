@@ -10,7 +10,9 @@ This example demonstrates that the *process code itself* is backend-agnostic:
 the identical generator-based master, TSW and CLW bodies run unchanged on the
 :class:`~repro.pvm.ThreadKernel`, exchanging messages through real
 thread-safe mailboxes.  Compare the solution quality (equivalent) and note
-that the wall-clock times should *not* be interpreted as speedup.
+that the wall-clock times should *not* be interpreted as speedup.  For real
+multi-core speedups see ``examples/real_processes.py`` and the
+``processes`` backend.
 
 Run it with::
 

@@ -61,7 +61,14 @@ from .placement import (
     paper_benchmarks,
     random_placement,
 )
-from .pvm import ClusterSpec, SimKernel, ThreadKernel, homogeneous_cluster, paper_cluster
+from .pvm import (
+    ClusterSpec,
+    ProcessKernel,
+    SimKernel,
+    ThreadKernel,
+    homogeneous_cluster,
+    paper_cluster,
+)
 from .tabu import TabuSearch, TabuSearchParams, TerminationCriteria
 
 __version__ = "1.0.0"
@@ -100,6 +107,7 @@ __all__ = [
     "ClusterSpec",
     "SimKernel",
     "ThreadKernel",
+    "ProcessKernel",
     "paper_cluster",
     "homogeneous_cluster",
     # parallel

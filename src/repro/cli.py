@@ -67,7 +67,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="'paper' (12 heterogeneous machines) or 'homogeneous:<N>'",
     )
     run_parser.add_argument(
-        "--backend", choices=["simulated", "threads"], default="simulated"
+        "--backend", choices=["simulated", "threads", "processes"], default="simulated"
     )
     run_parser.add_argument(
         "--save-placement", metavar="FILE", default=None,

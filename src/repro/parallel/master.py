@@ -125,9 +125,16 @@ def master_process(ctx, problem: PlacementProblem, params: ParallelSearchParams)
         while pending:
             reply = yield ctx.recv(tag=Tags.TSW_RESULT)
             result: TswResult = reply.payload
-            if result.global_iteration != global_iteration:
-                continue  # defensive: one result per TSW per iteration
+            # Account for the sender *before* the staleness check: under a
+            # truly asynchronous backend a late or duplicate report from an
+            # earlier iteration may be the only message this TSW sends this
+            # round, and skipping the discard would wedge the collect loop
+            # forever (tests/parallel/test_stale_results.py).
             pending.discard(reply.src)
+            if result.global_iteration != global_iteration:
+                continue  # stale: sender accounted for, result ignored
+            if any(r.tsw_index == result.tsw_index for r in results):
+                continue  # duplicate of an already-recorded result
             results.append(result)
             worker_points.extend(result.trace)
             if (
@@ -139,6 +146,11 @@ def master_process(ctx, problem: PlacementProblem, params: ParallelSearchParams)
                 for pid in pending:
                     yield ctx.send(pid, Tags.REPORT_NOW, ReportNow(round_id=global_iteration))
                 interrupt_sent = True
+
+        # Arrival order is nondeterministic on the real backends; order the
+        # round's results by worker index so everything downstream (records,
+        # cost ties) is independent of message timing.
+        results.sort(key=lambda r: r.tsw_index)
 
         # Adopt the best reported solution.  The master re-evaluates the
         # winner with its own (exact) evaluator so that the best-cost trace

@@ -10,7 +10,9 @@ initial solution so that costs are comparable across processes).
 In the real PVM implementation this data would be shipped to every spawned
 task; in the single-OS-process simulation it is simply shared (it is never
 mutated), which also keeps simulated message sizes realistic — the messages
-carry only solutions, exactly as the paper describes.
+carry only solutions, exactly as the paper describes.  The multiprocessing
+backend does ship it: the whole (picklable, immutable) instance crosses the
+process boundary exactly once per worker, at spawn time.
 """
 
 from __future__ import annotations

@@ -26,6 +26,7 @@ from ..errors import ParallelSearchError
 from ..placement.cost import ObjectiveVector
 from ..placement.netlist import Netlist
 from ..pvm.cluster import ClusterSpec, paper_cluster
+from ..pvm.process_backend import ProcessKernel
 from ..pvm.simulator import ProcessInfo, SimKernel, SimStats
 from ..pvm.threads_backend import ThreadKernel
 from .config import ParallelSearchParams
@@ -34,7 +35,7 @@ from .problem import PlacementProblem
 
 __all__ = ["ParallelSearchResult", "run_parallel_search", "build_problem"]
 
-Backend = Literal["simulated", "threads"]
+Backend = Literal["simulated", "threads", "processes"]
 
 
 @dataclass
@@ -50,7 +51,8 @@ class ParallelSearchResult:
     #: (virtual time, best cost) trace recorded by the master.
     trace: List[Tuple[float, float]]
     global_records: List[GlobalIterationRecord]
-    #: Virtual makespan of the run (wall-clock seconds for the threads backend).
+    #: Virtual makespan of the run (wall-clock seconds for the real
+    #: threads/processes backends).
     virtual_runtime: float
     sim_stats: Optional[SimStats]
     process_infos: List[ProcessInfo] = field(default_factory=list)
@@ -93,6 +95,7 @@ def run_parallel_search(
     backend: Backend = "simulated",
     problem: Optional[PlacementProblem] = None,
     master_machine: int = 0,
+    join_timeout: float = 3600.0,
 ) -> ParallelSearchResult:
     """Run the full master/TSW/CLW parallel tabu search.
 
@@ -106,14 +109,19 @@ def run_parallel_search(
         Cluster to run on; defaults to the paper's twelve-machine testbed.
     backend:
         ``"simulated"`` (deterministic virtual time; the default used by all
-        experiments) or ``"threads"`` (real threads, wall-clock time, GIL
-        caveats apply).
+        experiments), ``"threads"`` (real threads, wall-clock time, GIL
+        caveats apply) or ``"processes"`` (real OS processes, wall-clock
+        time, true multi-core parallelism).
     problem:
         Pre-built problem instance; pass it to share the reference objective
         vector across several runs of the same circuit (as the speedup
         experiments must).
     master_machine:
         Machine index the master process is pinned to.
+    join_timeout:
+        One overall wall-clock deadline (seconds) for the whole run on the
+        real backends (``"threads"`` / ``"processes"``) — not a per-worker
+        allowance.
     """
     params = params or ParallelSearchParams()
     cluster = cluster or paper_cluster()
@@ -130,14 +138,17 @@ def run_parallel_search(
         virtual_runtime = stats.virtual_makespan
         process_infos = kernel.all_processes()
         sim_stats: Optional[SimStats] = stats
-    elif backend == "threads":
-        thread_kernel = ThreadKernel(cluster)
-        master_pid = thread_kernel.spawn(
-            master_process, problem, params, name="master", machine_index=master_machine
-        )
-        thread_kernel.join_all(timeout=3600.0)
-        master_result = thread_kernel.result_of(master_pid)
-        virtual_runtime = thread_kernel.now
+    elif backend in ("threads", "processes"):
+        real_kernel = ThreadKernel(cluster) if backend == "threads" else ProcessKernel(cluster)
+        try:
+            master_pid = real_kernel.spawn(
+                master_process, problem, params, name="master", machine_index=master_machine
+            )
+            real_kernel.join_all(timeout=join_timeout)
+            master_result = real_kernel.result_of(master_pid)
+            virtual_runtime = real_kernel.now
+        finally:
+            real_kernel.shutdown()
         process_infos = []
         sim_stats = None
     else:

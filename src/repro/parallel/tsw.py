@@ -23,7 +23,6 @@ from .._rng import derive_seed
 from ..tabu.candidate import CellRange
 from ..tabu.moves import CompoundMove, SwapMove
 from ..tabu.search import TabuSearch
-from ..tabu.tabu_list import TabuList
 from .clw import clw_process
 from .config import ParallelSearchParams
 from .messages import ClwResult, ClwTask, GlobalStart, ReportNow, Tags, TswResult, TswSummary
@@ -105,8 +104,7 @@ def tsw_process(
         else:
             search.adopt_solution(start.solution)
         if start.tabu_payload is not None:
-            adopted = TabuList.from_payload(start.tabu_payload, params.tabu.tabu_tenure)
-            search._tabu = adopted  # noqa: SLF001 - deliberate protocol hook
+            search.adopt_tabu_list(start.tabu_payload)
         yield ctx.compute(problem.install_work_units(), label="install")
 
         # ---- diversification within this TSW's private range -------------
@@ -134,9 +132,15 @@ def tsw_process(
             while pending:
                 reply = yield ctx.recv(tag=Tags.CLW_RESULT)
                 result: ClwResult = reply.payload
-                if result.round_id != round_counter:
-                    continue  # defensive: should not happen (one result per round)
+                # Discard the sender before the staleness check — a late or
+                # duplicate result from an earlier round must still release
+                # its CLW from `pending`, or an asynchronous backend wedges
+                # here (tests/parallel/test_stale_results.py).
                 pending.discard(reply.src)
+                if result.round_id != round_counter:
+                    continue  # stale: sender accounted for, result ignored
+                if any(r.clw_index == result.clw_index for r in results):
+                    continue  # duplicate of an already-recorded result
                 results.append(result)
                 if (
                     sync.is_heterogeneous
@@ -148,6 +152,9 @@ def tsw_process(
                         yield ctx.send(pid, Tags.REPORT_NOW, ReportNow(round_id=round_counter))
                     interrupt_sent = True
 
+            # Arrival order is nondeterministic on the real backends; order by
+            # CLW index so candidate tie-breaking is timing-independent.
+            results.sort(key=lambda r: r.clw_index)
             candidates = [_result_to_candidate(result) for result in results]
             evals_before = evaluator.evaluations
             search.consider_candidates(candidates)

@@ -1,9 +1,11 @@
-"""PVM-like substrate: heterogeneous cluster, message passing and two kernels.
+"""PVM-like substrate: heterogeneous cluster, message passing and three kernels.
 
 The default kernel is the deterministic discrete-event simulator
 (:class:`~repro.pvm.simulator.SimKernel`); a real-thread kernel
 (:class:`~repro.pvm.threads_backend.ThreadKernel`) runs the same process code
-on OS threads for demonstration purposes (see DESIGN.md).
+on OS threads (GIL-bound, demonstration only), and a real-process kernel
+(:class:`~repro.pvm.process_backend.ProcessKernel`) runs it on OS processes
+for true multi-core wall-clock speedups.
 """
 
 from .cluster import ClusterSpec, heterogeneous_cluster, homogeneous_cluster, paper_cluster
@@ -20,6 +22,7 @@ from .process import (
     Spawn,
     Syscall,
 )
+from .process_backend import ProcessKernel
 from .simulator import ProcessInfo, ProcessState, SimKernel, SimStats
 from .threads_backend import ThreadKernel
 
@@ -46,4 +49,5 @@ __all__ = [
     "SimKernel",
     "SimStats",
     "ThreadKernel",
+    "ProcessKernel",
 ]

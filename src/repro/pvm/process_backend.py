@@ -1,0 +1,482 @@
+"""Real-OS-process execution backend: true multi-core parallelism.
+
+The :class:`ProcessKernel` runs the *same* generator-based master/TSW/CLW
+process code as the simulator and the thread backend, but on real OS
+processes created with the ``multiprocessing`` *spawn* context — so the
+batched numpy work inside every worker runs on its own core, outside the
+GIL.  This is the backend that turns the paper's claim into measurable
+wall-clock speedup (see ``benchmarks/bench_wallclock_parallel.py``).
+
+Execution model
+---------------
+
+* The kernel lives in the launching process.  Every worker is one OS
+  process; it receives its immutable start-up state (identity, machine spec,
+  process function and arguments — including the shared, immutable
+  :class:`~repro.parallel.problem.PlacementProblem`) when it is spawned and
+  never again: steady-state messages carry only solutions.  (A
+  worker-initiated spawn serialises the arguments twice — once through the
+  router queue, once into the child — which is negligible next to the
+  child's interpreter boot.)
+* Each worker owns one ``multiprocessing`` inbox queue.  ``Receive`` pops
+  from it with the same tag/src filtering as the other backends (messages
+  that do not match are buffered locally, preserving arrival order).
+* ``Send``, ``Spawn`` and process exit are *requests* shipped to a single
+  router queue that a thread in the kernel process drains: sends are
+  delivered to the destination inbox, spawns create a new OS process and the
+  child pid is returned to the requester over a private pipe, exits record
+  the worker's result.
+* ``Compute`` throttles: the driver measures the real time the process body
+  spent computing since it was last resumed and sleeps it longer by the
+  machine's slowdown factor ``1 / effective_rate - 1`` from the
+  :class:`~repro.pvm.cluster.ClusterSpec` — a machine of speed 0.5 takes
+  twice the reference wall-clock time, emulating the paper's heterogeneous
+  LAN on homogeneous hardware.  On the reference machines (rate 1.0, e.g.
+  every machine of ``homogeneous_cluster``) it is a no-op.
+* ``GetTime`` returns wall-clock seconds since the kernel was created,
+  measured against a ``time.time()`` epoch shared with every worker (the
+  monotonic clock is not guaranteed comparable across processes).
+
+Everything that crosses a process boundary — :class:`Message` envelopes,
+protocol payloads, syscalls, process functions (by module reference),
+results — must pickle; ``tests/parallel/test_backend_parity.py`` locks this
+in for the whole protocol.
+"""
+
+from __future__ import annotations
+
+import inspect
+import pickle
+import queue as queue_module
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+import multiprocessing
+from multiprocessing.connection import Connection
+
+from ..errors import ProcessError
+from .cluster import ClusterSpec
+from .kernel_base import RealKernelBase, WorkerRecord
+from .machine import MachineSpec
+from .message import Message, estimate_payload_bytes
+from .process import (
+    Compute,
+    GetTime,
+    ProcessContext,
+    ProcessFunction,
+    Receive,
+    Send,
+    Sleep,
+    Spawn,
+    Syscall,
+)
+
+__all__ = ["ProcessKernel"]
+
+
+# --------------------------------------------------------------------------- #
+# worker side
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class _WorkerBootstrap:
+    """Everything a worker process needs, pickled once at spawn time."""
+
+    pid: int
+    name: str
+    parent: Optional[int]
+    machine_index: int
+    machine: MachineSpec
+    epoch: float
+    func: ProcessFunction
+    args: Tuple[Any, ...]
+    kwargs: Dict[str, Any]
+
+
+class _QueueMailbox:
+    """Tag/source-filtered view of one worker's multiprocessing inbox.
+
+    Messages popped from the queue that do not match the current filter are
+    buffered locally in arrival order and served to later receives, mirroring
+    the mailbox semantics of the simulator and the thread backend.
+    """
+
+    def __init__(self, inbox: Any) -> None:
+        self._inbox = inbox
+        self._buffer: List[Message] = []
+
+    def _scan(self, tag: Optional[str], src: Optional[int]) -> Optional[Message]:
+        for index, message in enumerate(self._buffer):
+            if message.matches(tag=tag, src=src):
+                return self._buffer.pop(index)
+        return None
+
+    def _drain_nowait(self) -> None:
+        while True:
+            try:
+                self._buffer.append(self._inbox.get_nowait())
+            except queue_module.Empty:
+                return
+
+    def get(
+        self, *, tag: Optional[str], src: Optional[int], blocking: bool, timeout: Optional[float]
+    ) -> Optional[Message]:
+        found = self._scan(tag, src)
+        if found is not None:
+            return found
+        if not blocking:
+            self._drain_nowait()
+            return self._scan(tag, src)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            wait_for = 1.0
+            if deadline is not None:
+                wait_for = deadline - time.monotonic()
+                if wait_for <= 0:
+                    return None
+                wait_for = min(wait_for, 1.0)
+            try:
+                self._buffer.append(self._inbox.get(timeout=wait_for))
+            except queue_module.Empty:
+                continue
+            found = self._scan(tag, src)
+            if found is not None:
+                return found
+
+
+def _ensure_picklable(value: Any) -> Tuple[Any, Optional[BaseException]]:
+    """Pass ``value`` through if it pickles, else substitute a ProcessError."""
+    try:
+        pickle.dumps(value)
+        return value, None
+    except Exception:  # noqa: BLE001 - any pickling failure degrades the same way
+        return None, ProcessError(f"unpicklable value could not cross processes: {value!r}")
+
+
+class _WorkerRuntime:
+    """Syscall interpreter running inside one worker OS process."""
+
+    def __init__(
+        self, bootstrap: _WorkerBootstrap, router: Any, inbox: Any, control: Connection
+    ) -> None:
+        self._bootstrap = bootstrap
+        self._router = router
+        self._mailbox = _QueueMailbox(inbox)
+        self._control = control
+        # extra wall-clock seconds slept per second of real compute
+        self._slowdown = max(0.0, 1.0 / bootstrap.machine.effective_rate - 1.0)
+
+    @property
+    def _now(self) -> float:
+        return time.time() - self._bootstrap.epoch
+
+    def run(self) -> None:
+        bootstrap = self._bootstrap
+        context = ProcessContext(
+            pid=bootstrap.pid,
+            parent=bootstrap.parent,
+            name=bootstrap.name,
+            machine_index=bootstrap.machine_index,
+            machine=bootstrap.machine,
+        )
+        result: Any = None
+        error: Optional[BaseException] = None
+        try:
+            generator = bootstrap.func(context, *bootstrap.args, **bootstrap.kwargs)
+            if not hasattr(generator, "send"):
+                raise ProcessError(
+                    f"process function {getattr(bootstrap.func, '__name__', bootstrap.func)!r} "
+                    "must be a generator function"
+                )
+            value: Any = None
+            resumed_at = time.perf_counter()
+            while True:
+                try:
+                    syscall = generator.send(value)
+                except StopIteration as stop:
+                    result = stop.value
+                    break
+                computed = time.perf_counter() - resumed_at
+                value = self._handle(syscall, computed)
+                resumed_at = time.perf_counter()
+        except BaseException as exc:  # noqa: BLE001 - shipped to the kernel process
+            error = exc
+        if error is None:
+            result, error = _ensure_picklable(result)
+        else:
+            error, degraded = _ensure_picklable(error)
+            error = error if degraded is None else degraded
+        self._router.put(("exit", bootstrap.pid, result, error))
+
+    def _handle(self, syscall: Syscall, computed_seconds: float) -> Any:
+        if isinstance(syscall, Compute):
+            # The real computation already ran at full host speed; emulate the
+            # assigned machine by sleeping the slowdown surplus.
+            if self._slowdown > 0.0 and computed_seconds > 0.0:
+                time.sleep(computed_seconds * self._slowdown)
+            return None
+        if isinstance(syscall, Sleep):
+            time.sleep(syscall.seconds)
+            return None
+        if isinstance(syscall, GetTime):
+            return self._now
+        if isinstance(syscall, Send):
+            now = self._now
+            message = Message(
+                src=self._bootstrap.pid,
+                dst=syscall.dst,
+                tag=syscall.tag,
+                payload=syscall.payload,
+                size_bytes=estimate_payload_bytes(syscall.payload),
+                send_time=now,
+                arrival_time=now,
+            )
+            self._router.put(("send", message))
+            return None
+        if isinstance(syscall, Receive):
+            return self._mailbox.get(
+                tag=syscall.tag,
+                src=syscall.src,
+                blocking=syscall.blocking,
+                timeout=syscall.timeout,
+            )
+        if isinstance(syscall, Spawn):
+            self._router.put(("spawn", self._bootstrap.pid, syscall))
+            kind, payload = self._control.recv()
+            if kind != "spawned":
+                raise ProcessError(f"spawn failed in kernel process: {payload}")
+            return payload
+        raise ProcessError(f"unsupported syscall {syscall!r}")
+
+
+def _worker_main(
+    bootstrap: _WorkerBootstrap, router: Any, inbox: Any, control: Connection
+) -> None:
+    """Entry point of every worker OS process."""
+    _WorkerRuntime(bootstrap, router, inbox, control).run()
+
+
+# --------------------------------------------------------------------------- #
+# kernel side
+# --------------------------------------------------------------------------- #
+@dataclass
+class _ProcessRecord(WorkerRecord):
+    process: Optional[multiprocessing.process.BaseProcess] = None
+    inbox: Any = None
+    control: Optional[Connection] = None  # kernel-side end of the spawn-reply pipe
+    done: threading.Event = field(default_factory=threading.Event)
+    #: When a hard death (process exited, no exit message) was first seen.
+    #: Persists across _wait_record calls so the report grace accumulates
+    #: even under join_all's short wait slices.
+    death_detected_at: Optional[float] = None
+
+
+class ProcessKernel(RealKernelBase):
+    """Run generator-based processes on real OS processes (wall-clock time).
+
+    Shares spawn/join/result semantics with
+    :class:`~repro.pvm.threads_backend.ThreadKernel` through
+    :class:`~repro.pvm.kernel_base.RealKernelBase`.  Call :meth:`shutdown`
+    (or use the kernel as a context manager) when done so the router thread
+    and any straggler processes are reaped.
+    """
+
+    def __init__(self, cluster: ClusterSpec, *, start_method: str = "spawn") -> None:
+        super().__init__(cluster)
+        self._mp = multiprocessing.get_context(start_method)
+        self._epoch = time.time()
+        self._router_queue = self._mp.Queue()
+        self._closed = False
+        self._router_thread = threading.Thread(
+            target=self._route, name="pvm-router", daemon=True
+        )
+        self._router_thread.start()
+
+    @property
+    def now(self) -> float:
+        """Wall-clock seconds since the kernel was created."""
+        return time.time() - self._epoch
+
+    # ------------------------------------------------------------------ #
+    def spawn(
+        self,
+        func: ProcessFunction,
+        *args: Any,
+        machine_index: Optional[int] = None,
+        name: str = "",
+        parent: Optional[int] = None,
+        **kwargs: Any,
+    ) -> int:
+        """Start a process in its own OS process and return its pid."""
+        if self._closed:
+            raise ProcessError("kernel has been shut down")
+        if not inspect.isgeneratorfunction(func):
+            raise ProcessError(
+                f"process function {getattr(func, '__name__', func)!r} must be a generator function"
+            )
+        pid, machine_index = self._allocate(machine_index)
+        record = _ProcessRecord(
+            pid=pid, name=name or f"proc{pid}", parent=parent, machine_index=machine_index
+        )
+        record.inbox = self._mp.Queue()
+        kernel_conn, worker_conn = self._mp.Pipe()
+        record.control = kernel_conn
+        bootstrap = _WorkerBootstrap(
+            pid=pid,
+            name=record.name,
+            parent=parent,
+            machine_index=machine_index,
+            machine=self._cluster.machine(machine_index),
+            epoch=self._epoch,
+            func=func,
+            args=args,
+            kwargs=dict(kwargs),
+        )
+        process = self._mp.Process(
+            target=_worker_main,
+            args=(bootstrap, self._router_queue, record.inbox, worker_conn),
+            name=record.name,
+            daemon=True,
+        )
+        record.process = process
+        # _wait_record distinguishes the registered-but-not-started window
+        # from a hard death via Process.exitcode (None until the process has
+        # started and exited).
+        self._register_and_start(record, process.start)
+        worker_conn.close()  # the worker holds its own handle now
+        return pid
+
+    def _mark_unrunnable(self, record: WorkerRecord) -> None:
+        assert isinstance(record, _ProcessRecord)
+        record.done.set()
+
+    #: How long a dead (exited) process gets to have its final exit message
+    #: drained by the router before being declared dead-without-reporting.
+    #: The clock persists on the record, so short join_all wait slices still
+    #: accumulate toward it.
+    death_report_grace: float = 10.0
+
+    def _wait_record(self, record: WorkerRecord, timeout: Optional[float]) -> bool:
+        assert isinstance(record, _ProcessRecord) and record.process is not None
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            if deadline is None:
+                wait_for = 0.05
+            else:
+                # honour a zero/exhausted budget: poll without blocking
+                wait_for = min(0.05, max(0.0, deadline - time.monotonic()))
+            if record.done.wait(wait_for):
+                # Reap the OS process — unless it never started (spawn
+                # failure), where join() would assert.
+                if record.process.is_alive() or record.process.exitcode is not None:
+                    record.process.join(timeout=5.0)
+                return True
+            if not record.process.is_alive() and record.process.exitcode is not None:
+                # Started and exited (exitcode None would mean the spawn is
+                # still mid-flight): give the router time to drain a final
+                # exit message — on a loaded machine it can lag well behind
+                # the worker's death — then record the hard death.
+                now = time.monotonic()
+                if record.death_detected_at is None:
+                    record.death_detected_at = now
+                elif now - record.death_detected_at >= self.death_report_grace:
+                    record.error = ProcessError(
+                        f"process {record.name!r} died without reporting "
+                        f"(exitcode {record.process.exitcode})"
+                    )
+                    record.finished = True
+                    record.done.set()
+                    return True
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+
+    # ------------------------------------------------------------------ #
+    def _route(self) -> None:
+        """Drain worker requests: deliver sends, perform spawns, record exits."""
+        while True:
+            try:
+                item = self._router_queue.get(timeout=1.0)
+            except queue_module.Empty:
+                if self._closed:
+                    return
+                continue
+            except (EOFError, OSError):
+                return
+            except Exception:  # noqa: BLE001 - e.g. a payload that fails to *un*pickle
+                if self._closed:
+                    return
+                continue
+            if item is None:
+                return
+            try:
+                self._dispatch(item)
+            except Exception:  # noqa: BLE001 - one dead worker must not stop routing
+                # e.g. BrokenPipeError replying to a requester that was
+                # killed: drop the request, keep serving the other workers.
+                continue
+
+    def _dispatch(self, item: Tuple[Any, ...]) -> None:
+        kind = item[0]
+        if kind == "send":
+            _, message = item
+            try:
+                dst = self._record(message.dst)
+            except ProcessError:
+                return  # message to a pid this kernel never spawned: drop
+            assert isinstance(dst, _ProcessRecord)
+            dst.inbox.put(replace(message, arrival_time=self.now))
+        elif kind == "spawn":
+            _, requester_pid, syscall = item
+            requester = self._record(requester_pid)
+            assert isinstance(requester, _ProcessRecord) and requester.control is not None
+            try:
+                child = self.spawn(
+                    syscall.func,
+                    *syscall.args,
+                    machine_index=syscall.machine_index,
+                    name=syscall.name,
+                    parent=requester_pid,
+                    **syscall.kwargs,
+                )
+                requester.control.send(("spawned", child))
+            except Exception as error:  # noqa: BLE001 - reported to the requester
+                requester.control.send(("spawn-error", repr(error)))
+        elif kind == "exit":
+            _, pid, result, error = item
+            record = self._record(pid)
+            assert isinstance(record, _ProcessRecord)
+            if record.finished and record.death_detected_at is None:
+                # Already marked by something other than hard-death detection
+                # (e.g. a spawn failure): keep the first outcome.
+                return
+            # A genuine exit message overrides a *synthesized*
+            # died-without-reporting error — the router was merely slow to
+            # drain it, and the worker's real result is strictly better.
+            record.result = result
+            record.error = error
+            record.finished = True
+            record.done.set()
+
+    # ------------------------------------------------------------------ #
+    def shutdown(self) -> None:
+        """Stop the router thread and reap every worker process."""
+        if self._closed:
+            return
+        self._closed = True
+        self._router_queue.put(None)
+        self._router_thread.join(timeout=10.0)
+        with self._lock:
+            records = list(self._records.values())
+        for record in records:
+            assert isinstance(record, _ProcessRecord)
+            if record.process is not None and record.process.is_alive():
+                record.process.terminate()
+                record.process.join(timeout=5.0)
+            if record.control is not None:
+                record.control.close()
+            if record.inbox is not None:
+                record.inbox.cancel_join_thread()
+                record.inbox.close()
+        self._router_queue.cancel_join_thread()
+        self._router_queue.close()

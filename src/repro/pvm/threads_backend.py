@@ -14,20 +14,21 @@ wall-clock time:
 This backend demonstrates that the parallel-tabu-search protocol is not tied
 to the simulator.  Because of the CPython GIL the wall-clock speedups it
 produces are *not* meaningful measurements (the repro band for this paper
-explicitly flags this), which is why every figure benchmark uses the
-simulated backend.
+explicitly flags this) — for true multi-core speedups use the
+:class:`~repro.pvm.process_backend.ProcessKernel`, which runs the identical
+process code on real OS processes.
 """
 
 from __future__ import annotations
 
-import itertools
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, List, Optional
 
 from ..errors import ProcessError
 from .cluster import ClusterSpec
+from .kernel_base import RealKernelBase, WorkerRecord
 from .message import Message, estimate_payload_bytes
 from .process import (
     Compute,
@@ -75,34 +76,18 @@ class _Mailbox:
                 self._condition.wait(wait_for if wait_for is not None else 1.0)
 
 
-@dataclass(slots=True)
-class _ThreadRecord:
-    pid: int
-    name: str
-    parent: Optional[int]
-    machine_index: int
+@dataclass
+class _ThreadRecord(WorkerRecord):
     thread: Optional[threading.Thread] = None
     mailbox: _Mailbox = field(default_factory=_Mailbox)
-    result: Any = None
-    error: Optional[BaseException] = None
-    finished: bool = False
 
 
-class ThreadKernel:
+class ThreadKernel(RealKernelBase):
     """Run generator-based processes on real threads (wall-clock time)."""
 
     def __init__(self, cluster: ClusterSpec) -> None:
-        self._cluster = cluster
-        self._records: Dict[int, _ThreadRecord] = {}
-        self._next_pid = itertools.count(1)
-        self._next_machine = 0
-        self._lock = threading.Lock()
+        super().__init__(cluster)
         self._start_time = time.monotonic()
-
-    @property
-    def cluster(self) -> ClusterSpec:
-        """The cluster description (machine speeds are ignored by this backend)."""
-        return self._cluster
 
     @property
     def now(self) -> float:
@@ -120,16 +105,10 @@ class ThreadKernel:
         **kwargs: Any,
     ) -> int:
         """Start a process in its own thread and return its pid."""
-        with self._lock:
-            pid = next(self._next_pid)
-            if machine_index is None:
-                machine_index = self._next_machine
-                self._next_machine = (self._next_machine + 1) % self._cluster.num_machines
-            machine_index %= self._cluster.num_machines
-            record = _ThreadRecord(
-                pid=pid, name=name or f"proc{pid}", parent=parent, machine_index=machine_index
-            )
-            self._records[pid] = record
+        pid, machine_index = self._allocate(machine_index)
+        record = _ThreadRecord(
+            pid=pid, name=name or f"proc{pid}", parent=parent, machine_index=machine_index
+        )
         context = ProcessContext(
             pid=pid,
             parent=parent,
@@ -146,38 +125,27 @@ class ThreadKernel:
             target=self._drive, args=(record, generator), name=record.name, daemon=True
         )
         record.thread = thread
-        thread.start()
+        # _wait_record tolerates the tiny registered-but-not-started window.
+        self._register_and_start(record, thread.start)
         return pid
 
-    def join(self, pid: int, timeout: Optional[float] = None) -> None:
-        """Wait for a process to finish."""
-        record = self._record(pid)
-        assert record.thread is not None
-        record.thread.join(timeout)
-        if record.thread.is_alive():
-            raise ProcessError(f"process {record.name!r} did not finish within {timeout} s")
-
-    def join_all(self, timeout: Optional[float] = None) -> None:
-        """Wait for every spawned process to finish."""
-        for pid in list(self._records):
-            self.join(pid, timeout)
-
-    def result_of(self, pid: int) -> Any:
-        """Return value of a finished process."""
-        record = self._record(pid)
-        if record.error is not None:
-            raise ProcessError(f"process {record.name!r} failed") from record.error
-        if not record.finished:
-            raise ProcessError(f"process {record.name!r} has not finished")
-        return record.result
+    def _wait_record(self, record: WorkerRecord, timeout: Optional[float]) -> bool:
+        assert isinstance(record, _ThreadRecord) and record.thread is not None
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
+            try:
+                record.thread.join(remaining)
+            except RuntimeError:
+                # Registered but not yet started (spawn is mid-flight): a
+                # not-started thread cannot be joined — wait the window out.
+                if deadline is not None and time.monotonic() >= deadline:
+                    return False
+                time.sleep(0.005)
+                continue
+            return not record.thread.is_alive()
 
     # ------------------------------------------------------------------ #
-    def _record(self, pid: int) -> _ThreadRecord:
-        try:
-            return self._records[pid]
-        except KeyError:
-            raise ProcessError(f"unknown process id {pid}") from None
-
     def _drive(self, record: _ThreadRecord, generator: Any) -> None:
         value: Any = None
         try:
@@ -199,6 +167,7 @@ class ThreadKernel:
             return self.now
         if isinstance(syscall, Send):
             dst = self._record(syscall.dst)
+            assert isinstance(dst, _ThreadRecord)
             now = self.now
             message = Message(
                 src=record.pid,

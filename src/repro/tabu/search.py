@@ -192,6 +192,23 @@ class TabuSearch:
             self._tabu.clear()
         return cost
 
+    def adopt_tabu_list(
+        self,
+        payload: Sequence[Tuple[str, Tuple[int, ...], int]],
+        tenure: Optional[int] = None,
+    ) -> TabuList:
+        """Install a tabu list received from outside (master / parent TSW).
+
+        The paper's protocol ships the incumbent's tabu list together with
+        the solution; this is the public hook for it — backends must not
+        reach into the search's internals.  ``payload`` is
+        :meth:`TabuList.to_payload` output; ``tenure`` defaults to the
+        search's configured ``tabu_tenure``.  Returns the installed list.
+        """
+        effective_tenure = self._params.tabu_tenure if tenure is None else tenure
+        self._tabu = TabuList.from_payload(payload, effective_tenure)
+        return self._tabu
+
     def note_best(self) -> None:
         """Record the current solution as best if it improves on the incumbent."""
         cost = self._evaluator.cost()

@@ -1,0 +1,215 @@
+"""Unit tests for the real-OS-process backend running the same process code.
+
+The process bodies live at module level because the spawn context ships them
+to the workers by pickled module reference.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import time
+
+import pytest
+
+from repro.errors import ProcessError
+from repro.pvm import ProcessKernel, homogeneous_cluster
+from repro.pvm.message import Message
+from repro.pvm.process_backend import _QueueMailbox
+
+
+# --------------------------------------------------------------------------- #
+# process bodies (must be module-level for the spawn context)
+# --------------------------------------------------------------------------- #
+def echo_child(ctx):
+    message = yield ctx.recv(tag="ping")
+    yield ctx.send(message.src, "pong", message.payload + 1)
+    return "ok"
+
+
+def echo_parent(ctx):
+    child_pid = yield ctx.spawn(echo_child, name="child")
+    yield ctx.send(child_pid, "ping", 1)
+    reply = yield ctx.recv(tag="pong")
+    return reply.payload
+
+
+def square_worker(ctx, value):
+    yield ctx.compute(1.0)
+    yield ctx.send(ctx.parent, "result", value * value)
+    return None
+
+
+def fan_out_parent(ctx, count):
+    for value in range(count):
+        yield ctx.spawn(square_worker, value)
+    total = 0
+    for _ in range(count):
+        message = yield ctx.recv(tag="result")
+        total += message.payload
+    return total
+
+
+def probing_proc(ctx):
+    nothing = yield ctx.probe(tag="never")
+    timed_out = yield ctx.recv_timeout(0.05, tag="never")
+    return (nothing, timed_out)
+
+
+def failing_proc(ctx):
+    yield ctx.compute(1.0)
+    raise RuntimeError("kaput")
+
+
+def unpicklable_result_proc(ctx):
+    yield ctx.compute(1.0)
+    return lambda: None  # lambdas do not pickle
+
+
+def sleeper_proc(ctx, seconds):
+    yield ctx.sleep(seconds)
+    return "slept"
+
+
+def hard_dying_proc(ctx):
+    import os
+
+    yield ctx.compute(1.0)
+    os._exit(3)  # simulates a crash: the exit message is never sent
+
+
+def stuck_proc(ctx):
+    yield ctx.recv(tag="never-sent")
+    return None
+
+
+def not_a_generator(ctx):
+    return 1
+
+
+def make_kernel() -> ProcessKernel:
+    return ProcessKernel(homogeneous_cluster(4))
+
+
+class TestProcessKernel:
+    def test_send_recv_round_trip_with_spawn(self):
+        with make_kernel() as kernel:
+            pid = kernel.spawn(echo_parent, name="parent")
+            # The child is spawned *while* join_all runs — the re-scanning
+            # join must pick it up too.
+            kernel.join_all(timeout=60.0)
+            assert kernel.result_of(pid) == 2
+
+    def test_fan_out_fan_in(self):
+        with make_kernel() as kernel:
+            pid = kernel.spawn(fan_out_parent, 3, name="parent")
+            kernel.join_all(timeout=60.0)
+            assert kernel.result_of(pid) == sum(v * v for v in range(3))
+
+    def test_probe_and_timeout(self):
+        with make_kernel() as kernel:
+            pid = kernel.spawn(probing_proc)
+            kernel.join(pid, timeout=60.0)
+            assert kernel.result_of(pid) == (None, None)
+
+    def test_process_error_reported_on_result(self):
+        with make_kernel() as kernel:
+            pid = kernel.spawn(failing_proc)
+            kernel.join(pid, timeout=60.0)
+            with pytest.raises(ProcessError):
+                kernel.result_of(pid)
+
+    def test_unpicklable_result_degrades_to_error(self):
+        with make_kernel() as kernel:
+            pid = kernel.spawn(unpicklable_result_proc)
+            kernel.join(pid, timeout=60.0)
+            with pytest.raises(ProcessError):
+                kernel.result_of(pid)
+
+    def test_non_generator_rejected(self):
+        with make_kernel() as kernel:
+            with pytest.raises(ProcessError, match="generator"):
+                kernel.spawn(not_a_generator)
+
+    def test_unknown_pid(self):
+        with make_kernel() as kernel:
+            with pytest.raises(ProcessError, match="unknown"):
+                kernel.result_of(123)
+
+    def test_join_all_overall_deadline(self):
+        with make_kernel() as kernel:
+            kernel.spawn(sleeper_proc, 60.0)
+            start = time.monotonic()
+            with pytest.raises(ProcessError):
+                kernel.join_all(timeout=0.5)
+            # one overall deadline, not one allowance per worker
+            assert time.monotonic() - start < 30.0
+
+    def test_hard_death_fails_join_all_fast(self):
+        """A worker that dies without reporting must be detected within the
+        death-report grace, and join_all must then abort within the failure
+        grace instead of burning the whole deadline."""
+        with make_kernel() as kernel:
+            kernel.death_report_grace = 0.5
+            kernel.failure_grace = 0.5
+            kernel.spawn(stuck_proc, name="stuck")
+            dead_pid = kernel.spawn(hard_dying_proc, name="crasher")
+            start = time.monotonic()
+            with pytest.raises(ProcessError, match="crasher"):
+                kernel.join_all(timeout=60.0)
+            assert time.monotonic() - start < 30.0
+            with pytest.raises(ProcessError):
+                kernel.result_of(dead_pid)
+
+    def test_now_increases(self):
+        kernel = make_kernel()
+        try:
+            first = kernel.now
+            assert kernel.now >= first >= 0.0
+        finally:
+            kernel.shutdown()
+
+    def test_spawn_after_shutdown_rejected(self):
+        kernel = make_kernel()
+        kernel.shutdown()
+        with pytest.raises(ProcessError, match="shut down"):
+            kernel.spawn(sleeper_proc, 0.0)
+
+
+class TestQueueMailbox:
+    """Filter semantics of the worker-side mailbox (no processes involved)."""
+
+    @staticmethod
+    def message(src: int, tag: str, payload=None) -> Message:
+        return Message(
+            src=src, dst=9, tag=tag, payload=payload, size_bytes=8,
+            send_time=0.0, arrival_time=0.0,
+        )
+
+    def test_non_matching_messages_are_buffered_in_order(self):
+        inbox: queue_module.Queue = queue_module.Queue()
+        mailbox = _QueueMailbox(inbox)
+        inbox.put(self.message(1, "other", "first"))
+        inbox.put(self.message(2, "wanted", "hit"))
+        inbox.put(self.message(1, "other", "second"))
+        got = mailbox.get(tag="wanted", src=None, blocking=True, timeout=1.0)
+        assert got.payload == "hit"
+        # buffered messages are served later, preserving arrival order
+        first = mailbox.get(tag="other", src=None, blocking=False, timeout=None)
+        second = mailbox.get(tag="other", src=None, blocking=False, timeout=None)
+        assert (first.payload, second.payload) == ("first", "second")
+
+    def test_src_filter(self):
+        inbox: queue_module.Queue = queue_module.Queue()
+        mailbox = _QueueMailbox(inbox)
+        inbox.put(self.message(1, "t", "from-1"))
+        inbox.put(self.message(2, "t", "from-2"))
+        got = mailbox.get(tag="t", src=2, blocking=True, timeout=1.0)
+        assert got.payload == "from-2"
+
+    def test_blocking_timeout_returns_none(self):
+        mailbox = _QueueMailbox(queue_module.Queue())
+        assert mailbox.get(tag="t", src=None, blocking=True, timeout=0.05) is None
+
+    def test_probe_returns_none_when_empty(self):
+        mailbox = _QueueMailbox(queue_module.Queue())
+        assert mailbox.get(tag=None, src=None, blocking=False, timeout=None) is None

@@ -99,3 +99,66 @@ class TestThreadKernel:
         kernel = make_kernel()
         first = kernel.now
         assert kernel.now >= first >= 0.0
+
+    def test_join_all_includes_workers_spawned_while_joining(self):
+        """Regression: join_all used to snapshot the record table once, so a
+        worker spawned after the snapshot (the master→TSW→CLW pattern) was
+        never joined and could still be running when join_all returned."""
+        import time as _time
+
+        def late_child(ctx):
+            _time.sleep(0.25)  # real work happens inside the body on this backend
+            yield ctx.compute(1.0)
+            return "late"
+
+        def parent(ctx):
+            _time.sleep(0.2)
+            child_pid = yield ctx.spawn(late_child, name="late_child")
+            return child_pid
+
+        kernel = make_kernel()
+        parent_pid = kernel.spawn(parent, name="parent")
+        kernel.join_all(timeout=10.0)
+        child_pid = kernel.result_of(parent_pid)
+        # must not raise "has not finished": the late child was joined too
+        assert kernel.result_of(child_pid) == "late"
+
+    def test_join_all_overall_deadline(self):
+        import time as _time
+
+        def sleeper(ctx):
+            _time.sleep(30.0)  # real delay; ctx.sleep is a no-op on this backend
+            yield ctx.compute(1.0)
+            return None
+
+        kernel = make_kernel()
+        for _ in range(3):
+            kernel.spawn(sleeper)
+        start = _time.monotonic()
+        with pytest.raises(ProcessError):
+            kernel.join_all(timeout=0.3)
+        # one overall deadline for the whole join, not 0.3 s per worker
+        assert _time.monotonic() - start < 5.0
+
+    def test_join_all_fails_fast_after_a_worker_error(self):
+        """A dead worker usually leaves the survivors blocked on messages that
+        will never arrive; join_all must abort after the failure grace instead
+        of waiting out the whole deadline."""
+        import time as _time
+
+        def failing(ctx):
+            yield ctx.compute(1.0)
+            raise RuntimeError("kaput")
+
+        def stuck(ctx):
+            yield ctx.recv(tag="never-sent")
+            return None
+
+        kernel = make_kernel()
+        kernel.failure_grace = 0.5
+        kernel.spawn(stuck, name="stuck")
+        kernel.spawn(failing, name="failing")
+        start = _time.monotonic()
+        with pytest.raises(ProcessError, match="failing"):
+            kernel.join_all(timeout=60.0)
+        assert _time.monotonic() - start < 10.0

@@ -173,6 +173,24 @@ class TestAdoptSolution:
         search.adopt_solution(search.best_solution, reset_memory=True)
         assert len(search.tabu_list) == 0
 
+    def test_adopt_tabu_list_installs_payload(self):
+        donor = make_search(seed=2, tabu_tenure=10)
+        for _ in range(5):
+            donor.step()
+        payload = donor.tabu_list.to_payload()
+        assert payload  # the donor actually recorded attributes
+        search = make_search(tabu_tenure=10)
+        installed = search.adopt_tabu_list(payload)
+        assert search.tabu_list is installed
+        assert search.tabu_list.to_payload() == payload
+        assert search.tabu_list.tenure == search.params.tabu_tenure
+
+    def test_adopt_tabu_list_explicit_tenure(self):
+        search = make_search(tabu_tenure=10)
+        installed = search.adopt_tabu_list((), tenure=3)
+        assert installed.tenure == 3
+        assert len(installed) == 0
+
 
 class TestDiversifyIntegration:
     def test_diversify_depth_capped_by_range_size(self):
