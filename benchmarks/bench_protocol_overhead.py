@@ -1,0 +1,353 @@
+#!/usr/bin/env python
+"""Per-iteration overhead of the parallel protocol on c532.
+
+PR 1 made trial evaluation cheap and PR 2 made the search truly parallel;
+what bounded the speedup afterwards was *everything around* the search:
+full-solution pickles on every hop, full cache rebuilds on every install and
+a ~200 µs commit.  PR 3 attacked exactly that (delta protocol, resident
+solutions, incremental installs, in-place commits, shared-memory problem
+shipping); this benchmark measures the result and guards it:
+
+* **wire bytes** — pickled size of every solution-bearing message in full
+  and delta form, plus the byte accounting of a whole simulated run;
+* **kernel latencies** — ``commit_swap``, delta adoption via
+  ``apply_swaps``, full ``install_solution`` and the exact STA;
+* **path cost** — wall-clock milliseconds one parallel search path spends
+  per local iteration (serial ms/iter is the lower bound; the gap is the
+  protocol overhead).  Two parallel runs of different lengths give a
+  steady-state estimate with the process spawn/join fixed cost cancelled
+  out.
+
+Results land in ``BENCH_protocol.json`` (override with the
+``BENCH_PROTOCOL_JSON`` env var); CI uploads the file per run.  Enforced
+bars (each overridable by env var, retried once against runner noise):
+
+* ``commit_swap``  <= 60 µs absolute, OR <= 0.08x the 256-pair batch
+  evaluation (machine-speed calibration: the seed ratio was ~0.23) —
+  ``REPRO_PROTOCOL_COMMIT_BAR_US`` / ``REPRO_PROTOCOL_COMMIT_BAR_RATIO``
+* steady-state path cost <= 17 ms/iter with 4 TSWs
+  (``REPRO_PROTOCOL_PATH_BAR_MS``, enforced on runners with >= 4 cores only,
+  like the wall-clock bar)
+* protocol overhead (path cost minus serial ms/iter, measured in the same
+  window so machine throttling cancels) <= 5 ms/iter
+  (``REPRO_PROTOCOL_OVERHEAD_BAR_MS``, enforced on every runner)
+
+Run it directly (the spawn context requires the ``__main__`` guard)::
+
+    PYTHONPATH=src python benchmarks/bench_protocol_overhead.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    ParallelSearchParams,
+    TabuSearch,
+    TabuSearchParams,
+    TerminationCriteria,
+    homogeneous_cluster,
+    load_benchmark,
+    run_parallel_search,
+)
+from repro.parallel import build_problem
+from repro.parallel.delta import DeltaEncoder, swap_list_between
+from repro.parallel.messages import ClwTask, GlobalStart
+
+CIRCUIT = "c532"
+SEED = 2003
+COMMIT_BAR_US = float(os.environ.get("REPRO_PROTOCOL_COMMIT_BAR_US", "60"))
+COMMIT_BAR_RATIO = float(os.environ.get("REPRO_PROTOCOL_COMMIT_BAR_RATIO", "0.08"))
+PATH_BAR_MS = float(os.environ.get("REPRO_PROTOCOL_PATH_BAR_MS", "17"))
+OVERHEAD_BAR_MS = float(os.environ.get("REPRO_PROTOCOL_OVERHEAD_BAR_MS", "5"))
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _time_us(func, repeats: int, warmup: int = 20) -> float:
+    for _ in range(warmup):
+        func()
+    start = time.perf_counter()
+    for _ in range(repeats):
+        func()
+    return (time.perf_counter() - start) / repeats * 1e6
+
+
+def measure_wire_bytes(problem) -> dict:
+    """Pickled bytes of the protocol's solution-bearing messages."""
+    rng = np.random.default_rng(1)
+    solution = problem.random_solution(SEED)
+    target = solution.copy()
+    for _ in range(4):  # one accepted compound move worth of change
+        cell_a, cell_b = rng.integers(0, solution.size, size=2)
+        target[[cell_a, cell_b]] = target[[cell_b, cell_a]]
+
+    encoder = DeltaEncoder()
+    full_payload = encoder.encode(0, solution, version=0)
+    delta_payload = encoder.encode(0, target, version=1)
+    legacy_task = len(pickle.dumps(ClwTask(round_id=1, solution=solution)))
+    full_task = len(pickle.dumps(ClwTask(round_id=1, solution=full_payload)))
+    delta_task = len(pickle.dumps(ClwTask(round_id=2, solution=delta_payload)))
+    legacy_start = len(
+        pickle.dumps(GlobalStart(global_iteration=0, solution=solution))
+    )
+    full_start = len(
+        pickle.dumps(GlobalStart(global_iteration=0, solution=full_payload))
+    )
+    return {
+        "clw_task_legacy_full_int64": legacy_task,
+        "clw_task_full_int32": full_task,
+        "clw_task_delta_4_swaps": delta_task,
+        "global_start_legacy_full_int64": legacy_start,
+        "global_start_full_int32": full_start,
+        "delta_vs_legacy_ratio": legacy_task / delta_task,
+    }
+
+
+def measure_simulated_run_bytes(netlist) -> dict:
+    """Byte accounting of a whole simulated parallel run (delta protocol)."""
+    params = ParallelSearchParams(
+        num_tsws=2,
+        clws_per_tsw=2,
+        global_iterations=3,
+        tabu=TabuSearchParams(local_iterations=5, pairs_per_step=8, move_depth=3),
+        seed=7,
+    )
+    result = run_parallel_search(netlist, params, backend="simulated")
+    stats = result.sim_stats
+    local_iterations = params.global_iterations * params.tabu.local_iterations
+    return {
+        "total_messages": stats.total_messages,
+        "total_bytes": stats.total_bytes,
+        "bytes_per_local_iteration": stats.total_bytes / local_iterations,
+        "best_cost": result.best_cost,
+    }
+
+
+def measure_kernel_latencies(problem) -> dict:
+    """Microsecond costs of the install/commit path on c532."""
+    evaluator = problem.make_evaluator(problem.random_solution(SEED))
+    rng = np.random.default_rng(2)
+    n = problem.num_cells
+    pairs = [(int(a), int(b)) for a, b in rng.integers(0, n, size=(512, 2))]
+    state = {"i": 0}
+
+    def commit():
+        cell_a, cell_b = pairs[state["i"] % len(pairs)]
+        state["i"] += 1
+        evaluator.commit_swap(cell_a, cell_b)
+
+    commit_us = min(_time_us(commit, 2000) for _ in range(2))
+    # machine-speed calibration: the PR 1 batch kernel is the stable yardstick
+    batch_pairs = rng.integers(0, n, size=(256, 2))
+
+    def batch():
+        evaluator.evaluate_swaps_batch(batch_pairs)
+
+    batch_us = min(_time_us(batch, 150, warmup=4) for _ in range(2))
+
+    base = evaluator.snapshot()
+    target = base.copy()
+    for cell_a, cell_b in pairs[:6]:
+        target[[cell_a, cell_b]] = target[[cell_b, cell_a]]
+    delta = swap_list_between(base, target)
+    back = swap_list_between(target, base)
+    flips = {"forward": True}
+
+    def adopt_delta():
+        evaluator.apply_swaps(delta if flips["forward"] else back, exact_timing=True)
+        flips["forward"] = not flips["forward"]
+
+    adopt_us = min(_time_us(adopt_delta, 200, warmup=4) for _ in range(2))
+
+    other = problem.random_solution(SEED + 1)
+    current = {"flip": False}
+
+    def install_full():
+        current["flip"] = not current["flip"]
+        evaluator.install_solution(other if current["flip"] else base)
+
+    install_us = min(_time_us(install_full, 200, warmup=4) for _ in range(2))
+    sta_us = min(
+        _time_us(lambda: evaluator._timing.exact_delay(), 300, warmup=4)
+        for _ in range(2)
+    )
+    return {
+        "commit_swap_us": commit_us,
+        "batch_eval_256_us": batch_us,
+        "commit_vs_batch_ratio": commit_us / batch_us,
+        "delta_adopt_6_swaps_us": adopt_us,
+        "install_solution_full_us": install_us,
+        "exact_sta_us": sta_us,
+    }
+
+
+def measure_path_cost(problem, netlist, iterations: int, num_tsws: int) -> dict:
+    """Wall-clock ms one parallel path spends per local iteration.
+
+    The parallel run puts ``2 * num_tsws + 1`` processes on the available
+    cores; with full utilisation the per-path-iteration cost is
+    ``t_parallel * min(cpus, procs) / (num_tsws * iterations)``.  Process
+    spawn/join is a fixed cost independent of the iteration count, so two
+    runs of different lengths isolate the steady-state slope:
+    ``(t_long - t_short) / (iters_long - iters_short)``.
+    """
+    global_iterations = 3
+    short_locals = max(1, iterations // (6 * global_iterations))
+    long_locals = max(short_locals + 1, iterations // global_iterations)
+    tabu = dict(pairs_per_step=256, move_depth=6, early_accept=False)
+
+    serial_iterations = global_iterations * long_locals
+    evaluator = problem.make_evaluator(problem.random_solution(SEED))
+    search = TabuSearch(
+        evaluator,
+        TabuSearchParams(local_iterations=serial_iterations, **tabu),
+        seed=SEED,
+    )
+    start = time.perf_counter()
+    search.run(TerminationCriteria(max_iterations=serial_iterations))
+    serial_seconds = time.perf_counter() - start
+    serial_ms = serial_seconds / serial_iterations * 1e3
+
+    def run_parallel(local_iterations):
+        params = ParallelSearchParams(
+            num_tsws=num_tsws,
+            clws_per_tsw=1,
+            global_iterations=global_iterations,
+            sync_mode="homogeneous",
+            diversify=False,
+            tabu=TabuSearchParams(local_iterations=local_iterations, **tabu),
+            seed=SEED,
+        )
+        start = time.perf_counter()
+        result = run_parallel_search(
+            netlist,
+            params,
+            backend="processes",
+            cluster=homogeneous_cluster(2 * num_tsws + 1),
+            problem=problem,
+            join_timeout=3600.0,
+        )
+        assert result.best_cost < result.initial_cost
+        return time.perf_counter() - start
+
+    cpus = _available_cpus()
+    effective_cores = min(cpus, 2 * num_tsws + 1)
+
+    def measure_once():
+        short_seconds = run_parallel(short_locals)
+        long_seconds = run_parallel(long_locals)
+        slope = (long_seconds - short_seconds) / (
+            global_iterations * (long_locals - short_locals)
+        )
+        return short_seconds, long_seconds, slope * effective_cores / num_tsws * 1e3
+
+    short_seconds, long_seconds, path_ms = measure_once()
+    attempts = 1
+    over_absolute = path_ms > PATH_BAR_MS and cpus >= 4
+    over_relative = path_ms - serial_ms > OVERHEAD_BAR_MS
+    if over_absolute or over_relative:
+        # one retry against noisy neighbours, keep the better run
+        retry = measure_once()
+        attempts = 2
+        if retry[2] < path_ms:
+            short_seconds, long_seconds, path_ms = retry
+    inclusive_ms = (
+        long_seconds * effective_cores / (num_tsws * global_iterations * long_locals) * 1e3
+    )
+    return {
+        "iterations_per_path": global_iterations * long_locals,
+        "num_tsws": num_tsws,
+        "cpu_count": cpus,
+        "effective_cores": effective_cores,
+        "serial_ms_per_iter": serial_ms,
+        "parallel_seconds_short": short_seconds,
+        "parallel_seconds_long": long_seconds,
+        "parallel_path_ms_per_iter": path_ms,
+        "parallel_path_ms_per_iter_with_spawn": inclusive_ms,
+        "overhead_ms_per_iter": path_ms - serial_ms,
+        "attempts": attempts,
+    }
+
+
+def run_benchmark() -> dict:
+    netlist = load_benchmark(CIRCUIT)
+    params = ParallelSearchParams(tabu=TabuSearchParams(), seed=SEED)
+    problem = build_problem(netlist, params)
+    iterations = int(os.environ.get("REPRO_PROTOCOL_ITERS", "300"))
+    report = {
+        "circuit": CIRCUIT,
+        "wire_bytes": measure_wire_bytes(problem),
+        "simulated_run": measure_simulated_run_bytes(netlist),
+        "latencies": measure_kernel_latencies(problem),
+        "path_cost": measure_path_cost(problem, netlist, iterations, num_tsws=4),
+        "bars": {
+            "commit_swap_us": COMMIT_BAR_US,
+            "commit_vs_batch_ratio": COMMIT_BAR_RATIO,
+            "path_ms_per_iter": PATH_BAR_MS,
+            "overhead_ms_per_iter": OVERHEAD_BAR_MS,
+        },
+    }
+    return report
+
+
+def main() -> int:
+    report = run_benchmark()
+    out_path = Path(os.environ.get("BENCH_PROTOCOL_JSON", "BENCH_protocol.json"))
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"wrote {out_path}")
+
+    failures = []
+    commit_us = report["latencies"]["commit_swap_us"]
+    commit_ratio = report["latencies"]["commit_vs_batch_ratio"]
+    if commit_us > COMMIT_BAR_US and commit_ratio > COMMIT_BAR_RATIO:
+        # a throttled runner slows both kernels alike, so a real regression
+        # must fail the absolute bar AND the machine-calibrated ratio
+        failures.append(
+            f"commit_swap {commit_us:.1f} us exceeds the {COMMIT_BAR_US:.0f} us bar "
+            f"and its batch-calibrated ratio {commit_ratio:.3f} exceeds "
+            f"{COMMIT_BAR_RATIO:.3f} (seed: ~0.23)"
+        )
+    path = report["path_cost"]
+    if path["cpu_count"] >= 4 and path["parallel_path_ms_per_iter"] > PATH_BAR_MS:
+        failures.append(
+            f"parallel path cost {path['parallel_path_ms_per_iter']:.1f} ms/iter "
+            f"exceeds the {PATH_BAR_MS:.0f} ms bar on a {path['cpu_count']}-core machine"
+        )
+    elif path["cpu_count"] < 4:
+        print(
+            f"note: only {path['cpu_count']} core(s) available — the "
+            f"{PATH_BAR_MS:.0f} ms/iter path bar was not enforced"
+        )
+    if path["overhead_ms_per_iter"] > OVERHEAD_BAR_MS:
+        failures.append(
+            f"protocol overhead {path['overhead_ms_per_iter']:.1f} ms/iter "
+            f"exceeds the {OVERHEAD_BAR_MS:.0f} ms bar (path "
+            f"{path['parallel_path_ms_per_iter']:.1f} vs serial "
+            f"{path['serial_ms_per_iter']:.1f})"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def test_protocol_overhead():
+    """Pytest entry point (not collected by default: bench_* naming)."""
+    assert main() == 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,7 +27,9 @@ Method
 Results are written to ``BENCH_wallclock.json`` (override with the
 ``BENCH_WALLCLOCK_JSON`` env var); CI uploads the file per run to track the
 wall-clock trajectory alongside ``BENCH_micro.json``.  On a runner with at
-least four cores the 4-TSW configuration must reach >= 2x.
+least four cores the 4-TSW configuration must reach >= 2.5x (raised from 2x
+once the delta protocol cut the per-iteration path overhead); the 8-TSW row
+is informational — it oversubscribes a 4-core runner by design.
 
 Environment knobs:
 
@@ -60,7 +62,7 @@ from repro.parallel import build_problem
 
 CIRCUIT = "c532"
 SEED = 2003
-SPEEDUP_BAR = 2.0  # acceptance: >= 2x with 4 TSWs on a >= 4-core runner
+SPEEDUP_BAR = 2.5  # acceptance: >= 2.5x with 4 TSWs on a >= 4-core runner
 
 
 def _available_cpus() -> int:
@@ -150,6 +152,9 @@ def run_benchmark(tsw_counts, iterations):
                 "attempts": attempts,
                 "best_cost": result.best_cost,
                 "initial_cost": result.initial_cost,
+                # only the 4-TSW row is enforced; larger configurations
+                # oversubscribe the CI runner and are tracked informationally
+                "informational": num_tsws != 4,
             }
         )
         print(
@@ -202,6 +207,14 @@ def main() -> int:
             )
             return 1
         print(f"4-TSW speedup {four_tsw['speedup']:.2f}x >= {SPEEDUP_BAR}x bar")
+        eight_tsw = next(
+            (row for row in report["parallel"] if row["num_tsws"] == 8), None
+        )
+        if eight_tsw is not None:
+            print(
+                f"8-TSW speedup {eight_tsw['speedup']:.2f}x (informational: "
+                f"8 TSWs oversubscribe a {cpu_count}-core runner)"
+            )
     elif four_tsw is not None:
         print(
             f"note: only {cpu_count} core(s) available — the {SPEEDUP_BAR}x bar "

@@ -1,17 +1,25 @@
 """Candidate List Worker (CLW) process — Figure 4 of the paper.
 
-A CLW serves its parent TSW: for every task it receives it installs the
-TSW's current solution, explores the neighbourhood restricted to its private
-cell range by building a compound move of configurable depth, and sends the
-best (sub-)move back.  Each depth step draws its whole candidate list up
-front and scores it with one call to the batched swap-evaluation kernel
-(:meth:`~repro.placement.cost.CostEvaluator.evaluate_swaps_batch`) — the
-per-trial work the simulated ``compute`` cost accounts for below is therefore
-a vectorised batch on the real hardware, which is where the wall-clock
-speedups of Figs. 6/8 come from.  Between depth steps the CLW polls for an
-early-report request (:class:`~repro.parallel.messages.ReportNow`) from the
-parent — the mechanism the heterogeneous synchronisation uses to keep slow
-machines from stalling the whole search.
+A CLW serves its parent TSW: for every task it receives it adopts the TSW's
+current solution, explores the neighbourhood restricted to its private cell
+range by building a compound move of configurable depth, and sends the best
+(sub-)move back.  Each depth step draws its whole candidate list up front and
+scores it with one call to the batched swap-evaluation kernel
+(:meth:`~repro.placement.cost.CostEvaluator.evaluate_swaps_batch`).
+
+The CLW keeps its solution *resident*: after finishing a task it rewinds the
+evaluator to the task base, so the next task's
+:class:`~repro.parallel.delta.SolutionPayload` can arrive as a swap-list
+delta (often one accepted compound move — a handful of swaps) and be applied
+with :meth:`~repro.placement.cost.CostEvaluator.apply_swaps` instead of a
+full install and cache rebuild.  An empty delta (the TSW's solution did not
+change) skips the install outright.  On a base-version or checksum mismatch
+the CLW answers a ``needs_full`` NACK and the TSW re-sends the task in full.
+
+Between depth steps the CLW polls for an early-report request
+(:class:`~repro.parallel.messages.ReportNow`) from the parent — the mechanism
+the heterogeneous synchronisation uses to keep slow machines from stalling
+the whole search.
 """
 
 from __future__ import annotations
@@ -22,10 +30,25 @@ from .._rng import derive_seed, make_rng
 from ..tabu.candidate import CellRange
 from ..tabu.moves import CompoundMoveBuilder
 from ..tabu.params import TabuSearchParams
+from .delta import ResidentSolution, as_payload, solution_crc
 from .messages import ClwResult, ClwSummary, ClwTask, ReportNow, Tags
 from .problem import PlacementProblem
 
 __all__ = ["clw_process"]
+
+
+def _nack(clw_index: int, round_id: int) -> ClwResult:
+    """A ``needs_full`` reply: the delta task could not be applied."""
+    return ClwResult(
+        clw_index=clw_index,
+        round_id=round_id,
+        pairs=(),
+        cost_before=0.0,
+        cost_after=0.0,
+        trials=0,
+        interrupted=False,
+        needs_full=True,
+    )
 
 
 def clw_process(
@@ -55,6 +78,8 @@ def clw_process(
     """
     rng = make_rng(derive_seed(seed, "clw", clw_index), ctx.name)
     evaluator = None
+    resident = ResidentSolution()
+    base_state = None  # evaluator snapshot at the current task base
     tasks_done = 0
     total_trials = 0
     interruptions = 0
@@ -69,13 +94,47 @@ def clw_process(
         if message.tag != Tags.CLW_TASK:
             continue
         task: ClwTask = message.payload
+        payload = as_payload(task.solution, version=task.round_id)
 
+        # ---- adopt the task solution (full, delta, or unchanged) ----------
         if evaluator is None:
-            evaluator = problem.make_evaluator(task.solution)
+            if not payload.is_full:
+                # first contact must ship full; NACK so the TSW recovers
+                yield ctx.send(ctx.parent, Tags.CLW_RESULT, _nack(clw_index, task.round_id))
+                continue
+            evaluator = problem.make_evaluator(payload.full_solution())
+            adopt_swaps = -1
+            yield ctx.compute(problem.install_work_units(), label="install")
         else:
-            evaluator.install_solution(task.solution)
-        yield ctx.compute(problem.install_work_units(), label="install")
+            plan, data = resident.plan(payload)
+            if plan == "full":
+                evaluator.install_solution(data)
+                adopt_swaps = -1
+                yield ctx.compute(problem.install_work_units(), label="install")
+            elif plan == "delta" and data.shape[0] == 0:
+                adopt_swaps = 0  # unchanged solution: skip the install
+            elif plan == "delta":
+                evaluator.apply_swaps(data, exact_timing=True)
+                if solution_crc(evaluator.snapshot()) != payload.target_crc:
+                    # resident base diverged from the sender's record — the
+                    # evaluator now holds a wrong solution, but the recovery
+                    # shipment is a full install that overwrites everything
+                    resident.version = -1
+                    yield ctx.send(
+                        ctx.parent, Tags.CLW_RESULT, _nack(clw_index, task.round_id)
+                    )
+                    continue
+                adopt_swaps = int(data.shape[0])
+                yield ctx.compute(
+                    problem.adopt_work_units(adopt_swaps), label="install"
+                )
+            else:  # mismatch: delta against a base we do not hold
+                yield ctx.send(ctx.parent, Tags.CLW_RESULT, _nack(clw_index, task.round_id))
+                continue
+        resident.adopted(payload)
+        base_state = evaluator.save_state()
 
+        # ---- explore the neighbourhood ------------------------------------
         builder = CompoundMoveBuilder(
             evaluator,
             cell_range,
@@ -108,8 +167,13 @@ def clw_process(
             cost_after=move.cost_after,
             trials=move.trials,
             interrupted=interrupted,
+            step_costs=tuple(swap.cost_after for swap in move.swaps),
+            adopt_swaps=adopt_swaps,
         )
         yield ctx.send(ctx.parent, Tags.CLW_RESULT, result)
+        # Rewind to the task base: the resident solution the next delta
+        # applies to is the task solution, not the explored best prefix.
+        evaluator.restore_state(base_state)
 
     return ClwSummary(
         clw_index=clw_index,

@@ -15,7 +15,7 @@ The master
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -23,6 +23,7 @@ from .._rng import derive_seed
 from ..placement.cost import ObjectiveVector
 from ..tabu.candidate import partition_cells
 from .config import ParallelSearchParams
+from .delta import DeltaEncoder, decode_solution, swap_list_between
 from .messages import GlobalStart, ReportNow, Tags, TswResult
 from .problem import PlacementProblem
 from .sync import SyncPolicy
@@ -108,19 +109,30 @@ def master_process(ctx, problem: PlacementProblem, params: ParallelSearchParams)
         tsw_pids.append(pid)
 
     total_tsw_evaluations = 0
+    # Per-TSW resident tracking: broadcasts go out as swap-list deltas
+    # against each TSW's previously *reported* solution (what it keeps
+    # resident after normalising), falling back to full shipment on first
+    # contact, after a needs_full NACK, or when the searches diverged.
+    encoder = DeltaEncoder()
 
     # ---- global iterations --------------------------------------------------
     for global_iteration in range(params.global_iterations):
-        start = GlobalStart(
-            global_iteration=global_iteration,
-            solution=best_solution.copy(),
-            tabu_payload=best_tabu_payload,
-        )
+        broadcast_solution = best_solution.copy()
         for pid in tsw_pids:
-            yield ctx.send(pid, Tags.GLOBAL_START, start)
+            payload = encoder.encode(pid, broadcast_solution, version=global_iteration)
+            yield ctx.send(
+                pid,
+                Tags.GLOBAL_START,
+                GlobalStart(
+                    global_iteration=global_iteration,
+                    solution=payload,
+                    tabu_payload=best_tabu_payload,
+                ),
+            )
 
         pending: Set[int] = set(tsw_pids)
         results: List[TswResult] = []
+        decoded_solutions: Dict[int, np.ndarray] = {}
         interrupt_sent = False
         while pending:
             reply = yield ctx.recv(tag=Tags.TSW_RESULT)
@@ -132,9 +144,44 @@ def master_process(ctx, problem: PlacementProblem, params: ParallelSearchParams)
             # forever (tests/parallel/test_stale_results.py).
             pending.discard(reply.src)
             if result.global_iteration != global_iteration:
-                continue  # stale: sender accounted for, result ignored
+                # stale: sender accounted for, result ignored; its resident
+                # state is no longer trustworthy
+                encoder.invalidate(reply.src)
+                continue
+            if result.needs_full:
+                # the TSW could not apply the delta — re-broadcast in full
+                encoder.invalidate(reply.src)
+                payload = encoder.encode(
+                    reply.src, broadcast_solution, version=global_iteration
+                )
+                yield ctx.send(
+                    reply.src,
+                    Tags.GLOBAL_START,
+                    GlobalStart(
+                        global_iteration=global_iteration,
+                        solution=payload,
+                        tabu_payload=best_tabu_payload,
+                    ),
+                )
+                pending.add(reply.src)
+                continue
             if any(r.tsw_index == result.tsw_index for r in results):
+                encoder.invalidate(reply.src)
                 continue  # duplicate of an already-recorded result
+            decoded = decode_solution(
+                result.best_solution,
+                broadcast_solution,
+                expected_base_version=global_iteration,
+            )
+            if decoded is None:
+                # undecodable report: ignore it, and ship this TSW a full
+                # solution next round
+                encoder.invalidate(reply.src)
+                continue
+            decoded_solutions[result.tsw_index] = decoded
+            # after reporting, the TSW normalises onto its reported best —
+            # record it so the next broadcast can be a delta
+            encoder.set_resident(reply.src, global_iteration, decoded)
             results.append(result)
             worker_points.extend(result.trace)
             if (
@@ -155,21 +202,30 @@ def master_process(ctx, problem: PlacementProblem, params: ParallelSearchParams)
         # Adopt the best reported solution.  The master re-evaluates the
         # winner with its own (exact) evaluator so that the best-cost trace
         # and the final result use one canonical cost, independent of the
-        # per-worker timing-surrogate state.
+        # per-worker timing-surrogate state.  The evaluator holds the
+        # broadcast solution, so each candidate is reached by committing its
+        # delta and rejected candidates are rewound with a state restore —
+        # no full cache rebuilds on this path either.
         results_by_cost = sorted(results, key=lambda r: r.best_cost)
         winner: Optional[TswResult] = None
+        base_state = evaluator.save_state()
         for result in results_by_cost:
             if result.best_cost >= best_cost:
                 break
-            evaluator.install_solution(np.asarray(result.best_solution, dtype=np.int64))
-            yield ctx.compute(problem.install_work_units(), label="select-best")
+            candidate = decoded_solutions[result.tsw_index]
+            delta = swap_list_between(broadcast_solution, candidate)
+            evaluator.apply_swaps(delta)
+            yield ctx.compute(
+                problem.adopt_work_units(int(delta.shape[0])), label="select-best"
+            )
             exact_cost = evaluator.exact_cost()
             if exact_cost < best_cost:
                 best_cost = exact_cost
-                best_solution = np.asarray(result.best_solution, dtype=np.int64).copy()
+                best_solution = candidate.copy()
                 winner = result
                 break
             # the reported cost was optimistic; try the next-best result
+            evaluator.restore_state(base_state)
         if winner is not None:
             best_tabu_payload = winner.tabu_payload
         total_tsw_evaluations = sum(result.evaluations for result in results)

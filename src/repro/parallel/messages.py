@@ -19,9 +19,11 @@ sees the embedded NumPy solution arrays.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Optional, Tuple, Union
 
 import numpy as np
+
+from .delta import SolutionPayload
 
 __all__ = [
     "Tags",
@@ -48,10 +50,18 @@ class Tags:
 
 @dataclass
 class GlobalStart:
-    """Master → TSW: begin a global iteration from the given solution."""
+    """Master → TSW: begin a global iteration from the given solution.
+
+    ``solution`` is either a raw assignment array (legacy full shipment, kept
+    for tests and tooling) or a :class:`~repro.parallel.delta.SolutionPayload`
+    whose delta form applies to the solution the TSW *reported* for global
+    iteration ``base_version`` — exactly what the TSW keeps resident after
+    reporting.  A TSW that cannot apply a delta answers with a ``needs_full``
+    :class:`TswResult` and the master re-broadcasts in full.
+    """
 
     global_iteration: int
-    solution: np.ndarray
+    solution: Union[np.ndarray, SolutionPayload]
     #: Tabu list associated with the solution (``TabuList.to_payload()``), or
     #: ``None`` for the very first iteration.
     tabu_payload: Optional[tuple] = None
@@ -72,10 +82,20 @@ class ReportNow:
 
 @dataclass
 class ClwTask:
-    """TSW → CLW: explore the neighbourhood of this solution."""
+    """TSW → CLW: explore the neighbourhood of this solution.
+
+    ``solution`` is either a raw assignment array (legacy full shipment) or a
+    :class:`~repro.parallel.delta.SolutionPayload`; the delta form applies to
+    the task solution of round ``base_version``, which the CLW restores after
+    finishing each task (so its resident state is always the last task base,
+    not the explored best prefix).  An empty delta means the TSW's solution
+    did not change since the last round — the CLW skips the install outright.
+    On a base-version mismatch the CLW answers a ``needs_full``
+    :class:`ClwResult` and the TSW re-sends the task in full.
+    """
 
     round_id: int
-    solution: np.ndarray
+    solution: Union[np.ndarray, SolutionPayload]
 
 
 @dataclass
@@ -90,6 +110,17 @@ class ClwResult:
     cost_after: float
     trials: int
     interrupted: bool
+    #: Cost after each prefix step, aligned with ``pairs`` — the per-step
+    #: trajectory of the compound move, so the TSW can reconstruct the
+    #: intermediate costs instead of stamping every step with the final one.
+    step_costs: Tuple[float, ...] = ()
+    #: Set when the CLW could not apply a delta task (base-version mismatch):
+    #: the result carries no move and the TSW must re-send the task in full.
+    needs_full: bool = False
+    #: How the task solution was adopted: ``-1`` full install, otherwise the
+    #: number of delta swaps applied (0 = unchanged solution, install
+    #: skipped).  Observability for tests and the protocol-overhead bench.
+    adopt_swaps: int = -1
 
 
 @dataclass
@@ -98,12 +129,20 @@ class TswResult:
 
     tsw_index: int
     global_iteration: int
-    best_solution: np.ndarray
+    #: Best solution found this round: a raw array (legacy) or a
+    #: :class:`~repro.parallel.delta.SolutionPayload` whose delta form applies
+    #: to the master's broadcast of the same global iteration (which the
+    #: master retains, so no mismatch is possible on this hop).
+    best_solution: Union[np.ndarray, SolutionPayload]
     best_cost: float
     local_iterations_done: int
     interrupted: bool
     evaluations: int
     tabu_payload: tuple = ()
+    #: Set when the TSW could not apply a delta broadcast (base-version
+    #: mismatch): the result carries no solution and the master re-sends the
+    #: :class:`GlobalStart` in full to this TSW.
+    needs_full: bool = False
     #: (virtual time, best cost so far) recorded after every local iteration
     #: of this global round.  The master merges these per-worker traces into
     #: the fine-grained best-cost-versus-time series the speedup experiments

@@ -87,3 +87,54 @@ class PlacementProblem:
         work-unit accounting of swap evaluations.
         """
         return max(2.0, self.netlist.num_nets / 50.0)
+
+    def adopt_work_units(self, num_swaps: int) -> float:
+        """Work units charged for applying a swap-list delta to the resident
+        solution — proportional to the delta length, capped at a full
+        install (beyond that the sender ships full anyway)."""
+        return min(self.install_work_units(), max(1.0, float(2 * num_swaps)))
+
+    # ------------------------------------------------------------------ #
+    # shared-memory shipment (multiprocessing backend)
+    # ------------------------------------------------------------------ #
+    def __shm_export__(self):
+        """Opt in to shared-memory spawn shipment (see :mod:`repro.pvm.shm`).
+
+        All size-proportional state — the netlist CSR structures and the
+        layout coordinate tables — goes into one shared block; the worker
+        receives a handle plus the small name/parameter metadata and rebuilds
+        the problem *around* the attached arrays with zero copies.
+        """
+        netlist_arrays, netlist_meta = self.netlist.export_arrays()
+        layout_arrays, layout_meta = self.layout.export_arrays()
+        arrays = {f"netlist.{key}": value for key, value in netlist_arrays.items()}
+        arrays.update({f"layout.{key}": value for key, value in layout_arrays.items()})
+        meta = {
+            "netlist": netlist_meta,
+            "layout": layout_meta,
+            "cost_params": self.cost_params,
+            "reference": self.reference,
+        }
+        return arrays, meta, f"{__name__}:restore_shared_problem"
+
+
+def restore_shared_problem(arrays, meta) -> PlacementProblem:
+    """Rebuild a :class:`PlacementProblem` from a shared-memory array pack."""
+    netlist_arrays = {
+        key.split(".", 1)[1]: value
+        for key, value in arrays.items()
+        if key.startswith("netlist.")
+    }
+    layout_arrays = {
+        key.split(".", 1)[1]: value
+        for key, value in arrays.items()
+        if key.startswith("layout.")
+    }
+    netlist = Netlist.from_arrays(netlist_arrays, meta["netlist"])
+    layout = Layout.from_arrays(netlist, layout_arrays, meta["layout"])
+    return PlacementProblem(
+        netlist=netlist,
+        layout=layout,
+        cost_params=meta["cost_params"],
+        reference=meta["reference"],
+    )

@@ -13,11 +13,30 @@ over its private copy of the solution.  Per global iteration it
 4. reports its best solution, cost and tabu list to the master — either after
    finishing all local iterations or as soon as the master requests an early
    report.
+
+Solution state is *resident* on every hop of this process:
+
+* **master → TSW** — the broadcast arrives as a
+  :class:`~repro.parallel.delta.SolutionPayload` whose delta form applies to
+  the solution this TSW *reported* last round; after reporting, the TSW
+  normalises its evaluator onto that reported best, so both ends track the
+  same base.  A mismatch is answered with a ``needs_full``
+  :class:`~repro.parallel.messages.TswResult` and the master re-broadcasts in
+  full.
+* **TSW → CLW** — each local iteration's task ships the delta between the
+  CLW's resident solution (the previous task base) and the current one —
+  usually just the previously accepted compound move, or nothing at all when
+  the iteration stalled.  A CLW ``needs_full`` NACK triggers a full re-send
+  of the same task.
+* **TSW → master** — the report ships the best solution as a delta against
+  this round's broadcast, which the master retains.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Set
+
+import numpy as np
 
 from .._rng import derive_seed
 from ..tabu.candidate import CellRange
@@ -25,18 +44,31 @@ from ..tabu.moves import CompoundMove, SwapMove
 from ..tabu.search import TabuSearch
 from .clw import clw_process
 from .config import ParallelSearchParams
+from .delta import DeltaEncoder, ResidentSolution, as_payload, solution_crc, swap_list_between
 from .messages import ClwResult, ClwTask, GlobalStart, ReportNow, Tags, TswResult, TswSummary
 from .problem import PlacementProblem
 from .sync import SyncPolicy
 
 __all__ = ["tsw_process"]
 
+#: Key under which the TSW's encoder tracks what the master knows resident.
+_MASTER = "master"
+
 
 def _result_to_candidate(result: ClwResult) -> CompoundMove:
-    """Convert a CLW's wire-format result into a candidate compound move."""
+    """Convert a CLW's wire-format result into a candidate compound move.
+
+    ``step_costs`` carries the cost after each prefix step, so intermediate
+    :class:`SwapMove`\\ s keep their own trial costs (a legacy result without
+    per-step costs falls back to stamping the final cost on every step).
+    """
+    if result.step_costs and len(result.step_costs) == len(result.pairs):
+        costs = [float(c) for c in result.step_costs]
+    else:
+        costs = [result.cost_after] * len(result.pairs)
     swaps = [
-        SwapMove(cell_a=int(a), cell_b=int(b), cost_after=result.cost_after)
-        for a, b in result.pairs
+        SwapMove(cell_a=int(a), cell_b=int(b), cost_after=cost)
+        for (a, b), cost in zip(result.pairs, costs)
     ]
     return CompoundMove(
         swaps=swaps,
@@ -44,6 +76,20 @@ def _result_to_candidate(result: ClwResult) -> CompoundMove:
         cost_after=result.cost_after,
         trials=result.trials,
         truncated_early=result.interrupted,
+    )
+
+
+def _needs_full_result(tsw_index: int, global_iteration: int) -> TswResult:
+    """A ``needs_full`` reply: the delta broadcast could not be applied."""
+    return TswResult(
+        tsw_index=tsw_index,
+        global_iteration=global_iteration,
+        best_solution=np.zeros(0, dtype=np.int64),
+        best_cost=float("inf"),
+        local_iterations_done=0,
+        interrupted=False,
+        evaluations=0,
+        needs_full=True,
     )
 
 
@@ -72,9 +118,13 @@ def tsw_process(
             name=f"tsw{tsw_index}.clw{clw_index}",
         )
         clw_pids.append(pid)
+    clw_index_of = {pid: index for index, pid in enumerate(clw_pids)}
 
     evaluator = None
     search: Optional[TabuSearch] = None
+    resident = ResidentSolution()  # what we hold vs the master's broadcasts
+    clw_encoder = DeltaEncoder()  # what each CLW holds resident
+    master_encoder = DeltaEncoder()  # what the master knows about us
     round_counter = 0
     global_iterations_done = 0
     local_iterations_done = 0
@@ -91,21 +141,65 @@ def tsw_process(
         if message.tag != Tags.GLOBAL_START:
             continue
         start: GlobalStart = message.payload
+        payload = as_payload(start.solution, version=start.global_iteration)
 
         # ---- adopt the master's solution (and its tabu list) -------------
         if evaluator is None:
-            evaluator = problem.make_evaluator(start.solution)
+            if not payload.is_full:
+                yield ctx.send(
+                    ctx.parent,
+                    Tags.TSW_RESULT,
+                    _needs_full_result(tsw_index, start.global_iteration),
+                )
+                continue
+            solution = payload.full_solution()
+            evaluator = problem.make_evaluator(solution)
             search = TabuSearch(
                 evaluator,
                 params.tabu,
                 cell_range=tsw_range,
                 seed=derive_seed(seed, "tsw-search", tsw_index),
             )
+            yield ctx.compute(problem.install_work_units(), label="install")
         else:
-            search.adopt_solution(start.solution)
+            plan, data = resident.plan(payload)
+            if plan == "mismatch":
+                yield ctx.send(
+                    ctx.parent,
+                    Tags.TSW_RESULT,
+                    _needs_full_result(tsw_index, start.global_iteration),
+                )
+                continue
+            if plan == "full":
+                search.adopt_solution(data)
+                yield ctx.compute(problem.install_work_units(), label="install")
+            elif data.shape[0]:
+                # apply on the evaluator only and verify the checksum BEFORE
+                # the search records anything — a wrong-base delta must not
+                # pollute the best-solution tracking
+                evaluator.apply_swaps(data, exact_timing=True)
+                if solution_crc(evaluator.snapshot()) != payload.target_crc:
+                    resident.version = -1
+                    yield ctx.send(
+                        ctx.parent,
+                        Tags.TSW_RESULT,
+                        _needs_full_result(tsw_index, start.global_iteration),
+                    )
+                    continue
+                search.note_best()
+                yield ctx.compute(
+                    problem.adopt_work_units(int(data.shape[0])), label="install"
+                )
+            # empty delta: the incumbent did not change — nothing to install
+            # (the post-report normalisation left the evaluator in the same
+            # exactly-refreshed state a full install would produce)
+        resident.adopted(payload)
+        # the master knows exactly what we hold now: this round's broadcast
+        master_encoder.set_resident(
+            _MASTER, start.global_iteration, evaluator.snapshot()
+        )
         if start.tabu_payload is not None:
             search.adopt_tabu_list(start.tabu_payload)
-        yield ctx.compute(problem.install_work_units(), label="install")
 
         # ---- diversification within this TSW's private range -------------
         if params.diversify and params.tabu.diversification_depth > 0:
@@ -124,8 +218,13 @@ def tsw_process(
             solution = evaluator.snapshot()
             pending: Set[int] = set(clw_pids)
             for pid in clw_pids:
+                task_payload = clw_encoder.encode(
+                    clw_index_of[pid], solution, version=round_counter
+                )
                 yield ctx.send(
-                    pid, Tags.CLW_TASK, ClwTask(round_id=round_counter, solution=solution)
+                    pid,
+                    Tags.CLW_TASK,
+                    ClwTask(round_id=round_counter, solution=task_payload),
                 )
             results: List[ClwResult] = []
             interrupt_sent = False
@@ -138,9 +237,28 @@ def tsw_process(
                 # here (tests/parallel/test_stale_results.py).
                 pending.discard(reply.src)
                 if result.round_id != round_counter:
-                    continue  # stale: sender accounted for, result ignored
+                    # stale: sender accounted for, result ignored; its
+                    # resident state is no longer trustworthy
+                    clw_encoder.invalidate(result.clw_index)
+                    continue
+                if result.needs_full:
+                    # the CLW could not apply the delta — re-send in full
+                    clw_encoder.invalidate(result.clw_index)
+                    task_payload = clw_encoder.encode(
+                        result.clw_index, solution, version=round_counter
+                    )
+                    yield ctx.send(
+                        reply.src,
+                        Tags.CLW_TASK,
+                        ClwTask(round_id=round_counter, solution=task_payload),
+                    )
+                    pending.add(reply.src)
+                    continue
                 if any(r.clw_index == result.clw_index for r in results):
-                    continue  # duplicate of an already-recorded result
+                    # duplicate of an already-recorded result: a double-report
+                    # means the CLW's resident state can no longer be trusted
+                    clw_encoder.invalidate(result.clw_index)
+                    continue
                 results.append(result)
                 if (
                     sync.is_heterogeneous
@@ -176,10 +294,14 @@ def tsw_process(
 
         # ---- report to the master ----------------------------------------
         global_iterations_done += 1
+        best_solution = search.best_solution
+        report_payload = master_encoder.encode(
+            _MASTER, best_solution, version=start.global_iteration
+        )
         result = TswResult(
             tsw_index=tsw_index,
             global_iteration=start.global_iteration,
-            best_solution=search.best_solution,
+            best_solution=report_payload,
             best_cost=search.best_cost,
             local_iterations_done=locals_this_round,
             interrupted=interrupted,
@@ -188,6 +310,17 @@ def tsw_process(
             trace=tuple(local_trace),
         )
         yield ctx.send(ctx.parent, Tags.TSW_RESULT, result)
+        # Normalise the resident solution onto the reported best — the base
+        # the master encodes the next broadcast against.  Applied even when
+        # no swaps are needed: the exact timing refresh leaves the evaluator
+        # in the same canonical state a full install of the reported best
+        # would, so an empty delta next round is interchangeable with one.
+        normalize = swap_list_between(evaluator.snapshot(), best_solution)
+        evaluator.apply_swaps(normalize, exact_timing=True)
+        if normalize.shape[0]:
+            yield ctx.compute(
+                problem.adopt_work_units(int(normalize.shape[0])), label="normalize"
+            )
 
     best_cost = search.best_cost if search is not None else float("inf")
     evaluations = evaluator.evaluations if evaluator is not None else 0

@@ -137,6 +137,27 @@ class AreaState:
             np.array([cell_a], dtype=np.int64), np.array([cell_b], dtype=np.int64)
         )[0])
 
+    def apply_moved_cells(self, cells: np.ndarray, old_rows: np.ndarray) -> None:
+        """Update row sums after a whole swap sequence moved ``cells``.
+
+        ``old_rows`` are the rows the cells occupied *before* the sequence;
+        the placement must already reflect the final assignment.  Intermediate
+        hops cancel, so only the net start→end row change of each touched
+        cell matters.
+        """
+        cells = np.asarray(cells, dtype=np.int64)
+        if cells.size == 0:
+            return
+        new_rows = self._layout.slot_row[self._placement.cell_to_slot[cells]]
+        moved = new_rows != old_rows
+        if not moved.any():
+            return
+        widths = self._widths[cells[moved]]
+        rows = self._layout.num_rows
+        self._row_widths += np.bincount(
+            new_rows[moved], weights=widths, minlength=rows
+        ) - np.bincount(old_rows[moved], weights=widths, minlength=rows)
+
     def commit_swap(self, cell_a: int, cell_b: int) -> None:
         """Update the row sums after the placement swap was applied.
 

@@ -174,6 +174,15 @@ class CostEvaluator:
         self._area = AreaState(placement)
         self._reference = reference or self.objectives()
         self._aggregator = self._build_aggregator(self._reference)
+        # Constants for the scalar fast path of cost(): identical arithmetic
+        # to FuzzyGoalAggregator.cost (same operation order, so bit-identical
+        # results) without the per-call dict/array churn — cost() runs after
+        # every committed swap.
+        goals = self._aggregator.goals
+        self._goal_bounds = tuple((g.goal, g.upper) for g in goals)
+        self._goal_weights = tuple(g.weight for g in goals)
+        self._goal_weight_sum = float(np.add.reduce(np.array(self._goal_weights)))
+        self._beta = float(self._aggregator.beta)
         #: Number of swap evaluations performed (trials + commits).  The
         #: simulated cluster uses this as the "work units" a process consumed.
         self.evaluations: int = 0
@@ -274,7 +283,28 @@ class CostEvaluator:
     def cost(self) -> float:
         """Scalar cost of the current placement (cached between mutations)."""
         if self._cached_cost is None:
-            self._cached_cost = self.aggregate(self.objectives())
+            if self._params.aggregation == "fuzzy":
+                values = (
+                    self._wirelength.total,
+                    self._timing.critical_delay,
+                    self._area.total,
+                )
+                mus = []
+                weighted = 0.0
+                for value, (goal, upper), weight in zip(
+                    values, self._goal_bounds, self._goal_weights
+                ):
+                    scaled = (upper - value) / (upper - goal)
+                    mu = min(1.0, max(0.0, scaled))
+                    mus.append(mu)
+                    # left-to-right accumulation matches np.average's
+                    # sequential reduce, keeping the result bit-identical
+                    weighted += mu * weight
+                weighted /= self._goal_weight_sum
+                beta = self._beta
+                self._cached_cost = 1.0 - (beta * min(mus) + (1.0 - beta) * weighted)
+            else:
+                self._cached_cost = self.aggregate(self.objectives())
         return self._cached_cost
 
     def exact_cost(self) -> float:
@@ -343,6 +373,53 @@ class CostEvaluator:
         self._wirelength.commit_swap(cell_a, cell_b)
         self._area.commit_swap(cell_a, cell_b)
         self._timing.commit_swap(cell_a, cell_b)
+        self._cached_cost = None
+        return self.cost()
+
+    def apply_swaps(self, pairs, *, exact_timing: bool = False) -> float:
+        """Commit a short swap sequence against the resident state.
+
+        The delta form of the parallel protocol: instead of installing a full
+        solution and rebuilding every cache, the few swaps that separate the
+        resident solution from the target are committed as one bulk update —
+        the placement is swapped through, the affected nets' bboxes are
+        re-reduced once, the area row sums are scatter-updated from the net
+        start→end row changes, and the timing state is advanced once.
+
+        With ``exact_timing=True`` the timing analysis is refreshed exactly,
+        leaving the evaluator in the same state a full
+        :meth:`install_solution` of the target would produce — this is what
+        the worker adopt paths use, so delta shipment and full shipment are
+        interchangeable; like an install, such an adoption does *not* count
+        toward :attr:`evaluations` (it is protocol bookkeeping, not search
+        work).  Without it, the surrogate advances as if the swaps had been
+        committed one by one and the swaps count as work (a single-pair call
+        degenerates to :meth:`commit_swap`).
+        """
+        arr = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        if arr.size:
+            arr = arr[arr[:, 0] != arr[:, 1]]
+        if arr.size == 0:
+            if exact_timing:
+                self._timing.refresh()
+                self._cached_cost = None
+            return self.cost()
+        if len(arr) == 1 and not exact_timing:
+            return self.commit_swap(int(arr[0, 0]), int(arr[0, 1]))
+        if not exact_timing:
+            self.evaluations += len(arr)
+        cells = np.unique(arr)
+        old_rows = self._placement.layout.slot_row[
+            self._placement.cell_to_slot[cells]
+        ]
+        for cell_a, cell_b in arr.tolist():
+            self._placement.swap_cells(cell_a, cell_b)
+        self._wirelength.recompute_cells(cells)
+        self._area.apply_moved_cells(cells, old_rows)
+        if exact_timing:
+            self._timing.refresh()
+        else:
+            self._timing.apply_bulk(cells, len(arr))
         self._cached_cost = None
         return self.cost()
 

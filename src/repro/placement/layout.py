@@ -104,6 +104,44 @@ class Layout:
             arr.flags.writeable = False
 
     # ------------------------------------------------------------------ #
+    # array (shared-memory) round trip
+    # ------------------------------------------------------------------ #
+    def export_arrays(self):
+        """Geometry tables and scalar metadata for shared-memory shipment."""
+        arrays = {
+            "slot_x": self._slot_x,
+            "slot_y": self._slot_y,
+            "slot_row": self._slot_row,
+        }
+        meta = {
+            "num_rows": self._num_rows,
+            "slots_per_row": self._slots_per_row,
+            "num_slots": self._num_slots,
+            "slot_pitch": self._slot_pitch,
+            "spec": self._spec,
+        }
+        return arrays, meta
+
+    @classmethod
+    def from_arrays(cls, netlist: Netlist, arrays, meta) -> "Layout":
+        """Rebuild a layout around (possibly shared-memory) coordinate tables.
+
+        Skips :meth:`_build` — the geometry arrays reference ``arrays``
+        directly, so views into a shared block stay zero-copy.
+        """
+        layout = object.__new__(cls)
+        layout._netlist = netlist
+        layout._spec = meta["spec"]
+        layout._num_rows = meta["num_rows"]
+        layout._slots_per_row = meta["slots_per_row"]
+        layout._num_slots = meta["num_slots"]
+        layout._slot_pitch = meta["slot_pitch"]
+        layout._slot_x = arrays["slot_x"]
+        layout._slot_y = arrays["slot_y"]
+        layout._slot_row = arrays["slot_row"]
+        return layout
+
+    # ------------------------------------------------------------------ #
     @property
     def netlist(self) -> Netlist:
         """The circuit this layout was built for."""

@@ -96,6 +96,14 @@ class Netlist:
         whose member indices refer to ``cells``.
     """
 
+    #: Encoding order of :class:`CellKind` in the shared-memory array form.
+    _KIND_ORDER = (
+        CellKind.COMBINATIONAL,
+        CellKind.SEQUENTIAL,
+        CellKind.PRIMARY_INPUT,
+        CellKind.PRIMARY_OUTPUT,
+    )
+
     def __init__(self, name: str, cells: Sequence[Cell], nets: Sequence[Net]) -> None:
         self._name = name
         self._cells: Tuple[Cell, ...] = tuple(cells)
@@ -103,6 +111,100 @@ class Netlist:
         self._validate()
         self._build_arrays()
         self._build_adjacency()
+
+    # ------------------------------------------------------------------ #
+    # array (shared-memory) round trip
+    # ------------------------------------------------------------------ #
+    def export_arrays(self) -> Tuple[Dict[str, np.ndarray], Dict[str, object]]:
+        """Split the netlist into numeric arrays and small Python metadata.
+
+        The arrays carry everything size-proportional (per-cell attributes
+        and both CSR incidence structures); ``meta`` carries the names.  The
+        multiprocessing backend places the arrays in shared memory so a spawn
+        ships a handle instead of a pickle — see :meth:`from_arrays`.
+        """
+        kind_index = {kind: code for code, kind in enumerate(self._KIND_ORDER)}
+        arrays = {
+            "cell_widths": self._widths,
+            "cell_delays": self._delays,
+            "cell_kinds": np.array(
+                [kind_index[c.kind] for c in self._cells], dtype=np.int8
+            ),
+            "net_weights": self._net_weights,
+            "net_ptr": self._net_ptr,
+            "flat_members": self._flat_members,
+            "cell_net_ptr": self._cell_net_ptr,
+            "cell_net_flat": self._cell_net_flat,
+        }
+        meta = {
+            "name": self._name,
+            "cell_names": [c.name for c in self._cells],
+            "net_names": [n.name for n in self._nets],
+        }
+        return arrays, meta
+
+    @classmethod
+    def from_arrays(
+        cls, arrays: Dict[str, np.ndarray], meta: Dict[str, object]
+    ) -> "Netlist":
+        """Rebuild a netlist around (possibly shared-memory) arrays.
+
+        The numeric members reference ``arrays`` directly — no copies, so
+        views into a shared block stay zero-copy — and validation is skipped:
+        the arrays came from a validated instance's :meth:`export_arrays`.
+        Only the object view (cells, nets, fan-in/fan-out tuples) is rebuilt.
+        """
+        netlist = object.__new__(cls)
+        netlist._name = meta["name"]
+        widths = arrays["cell_widths"]
+        delays = arrays["cell_delays"]
+        kinds = arrays["cell_kinds"]
+        cell_names = meta["cell_names"]
+        netlist._cells = tuple(
+            Cell(
+                name=cell_names[index],
+                index=index,
+                width=float(widths[index]),
+                delay=float(delays[index]),
+                kind=cls._KIND_ORDER[int(kinds[index])],
+            )
+            for index in range(len(cell_names))
+        )
+        net_names = meta["net_names"]
+        net_ptr = arrays["net_ptr"]
+        flat = arrays["flat_members"].tolist()
+        weights = arrays["net_weights"]
+        nets = []
+        for index in range(len(net_names)):
+            members = flat[int(net_ptr[index]) : int(net_ptr[index + 1])]
+            nets.append(
+                Net(
+                    name=net_names[index],
+                    index=index,
+                    driver=members[0],
+                    sinks=tuple(members[1:]),
+                    weight=float(weights[index]),
+                )
+            )
+        netlist._nets = tuple(nets)
+        netlist._widths = widths
+        netlist._delays = delays
+        netlist._net_weights = weights
+        netlist._net_ptr = net_ptr
+        netlist._flat_members = arrays["flat_members"]
+        netlist._net_degrees = np.diff(net_ptr)
+        netlist._cell_net_ptr = arrays["cell_net_ptr"]
+        netlist._cell_net_flat = arrays["cell_net_flat"]
+        # fanout/fanin tuples (timing structure) from the rebuilt nets
+        fanout: List[List[int]] = [[] for _ in netlist._cells]
+        fanin: List[List[int]] = [[] for _ in netlist._cells]
+        for net in netlist._nets:
+            for sink in net.sinks:
+                fanout[net.driver].append(sink)
+                fanin[sink].append(net.driver)
+        netlist._fanout = tuple(tuple(lst) for lst in fanout)
+        netlist._fanin = tuple(tuple(lst) for lst in fanin)
+        return netlist
 
     # ------------------------------------------------------------------ #
     # construction helpers

@@ -72,6 +72,14 @@ from .process import (
     Spawn,
     Syscall,
 )
+from .shm import (
+    SharedArrayPack,
+    SharedObjectRef,
+    close_attachments,
+    export_shared,
+    resolve_shared_refs,
+    substitute_shared_refs,
+)
 
 __all__ = ["ProcessKernel"]
 
@@ -92,6 +100,10 @@ class _WorkerBootstrap:
     func: ProcessFunction
     args: Tuple[Any, ...]
     kwargs: Dict[str, Any]
+    #: The parent's inbox queue, inherited at spawn so child→parent messages
+    #: (the per-iteration CLW results and TSW reports) skip the router hop
+    #: entirely and land in the parent's mailbox with one queue operation.
+    parent_inbox: Any = None
 
 
 class _QueueMailbox:
@@ -183,7 +195,10 @@ class _WorkerRuntime:
         result: Any = None
         error: Optional[BaseException] = None
         try:
-            generator = bootstrap.func(context, *bootstrap.args, **bootstrap.kwargs)
+            # shared-memory handles arrive in place of large immutable
+            # arguments (e.g. the PlacementProblem); attach and rebuild
+            args = resolve_shared_refs(bootstrap.args)
+            generator = bootstrap.func(context, *args, **bootstrap.kwargs)
             if not hasattr(generator, "send"):
                 raise ProcessError(
                     f"process function {getattr(bootstrap.func, '__name__', bootstrap.func)!r} "
@@ -208,6 +223,7 @@ class _WorkerRuntime:
             error, degraded = _ensure_picklable(error)
             error = error if degraded is None else degraded
         self._router.put(("exit", bootstrap.pid, result, error))
+        close_attachments()
 
     def _handle(self, syscall: Syscall, computed_seconds: float) -> Any:
         if isinstance(syscall, Compute):
@@ -232,7 +248,16 @@ class _WorkerRuntime:
                 send_time=now,
                 arrival_time=now,
             )
-            self._router.put(("send", message))
+            if (
+                self._bootstrap.parent_inbox is not None
+                and syscall.dst == self._bootstrap.parent
+            ):
+                # fast path: the hot upward messages go straight into the
+                # parent's mailbox (one queue hop instead of two + a router
+                # thread wake-up)
+                self._bootstrap.parent_inbox.put(message)
+            else:
+                self._router.put(("send", message))
             return None
         if isinstance(syscall, Receive):
             return self._mailbox.get(
@@ -242,6 +267,9 @@ class _WorkerRuntime:
                 timeout=syscall.timeout,
             )
         if isinstance(syscall, Spawn):
+            # a shared-memory-backed argument (the problem a TSW hands its
+            # CLWs) goes back on the wire as its tiny ref, not a re-pickle
+            syscall = replace(syscall, args=substitute_shared_refs(syscall.args))
             self._router.put(("spawn", self._bootstrap.pid, syscall))
             kind, payload = self._control.recv()
             if kind != "spawned":
@@ -288,6 +316,10 @@ class ProcessKernel(RealKernelBase):
         self._epoch = time.time()
         self._router_queue = self._mp.Queue()
         self._closed = False
+        # shared-memory exports: id(object) -> (object, ref) — the object is
+        # kept referenced so its id cannot be recycled — plus packs to unlink
+        self._shm_refs: Dict[int, Tuple[Any, SharedObjectRef]] = {}
+        self._shm_packs: List[SharedArrayPack] = []
         self._router_thread = threading.Thread(
             target=self._route, name="pvm-router", daemon=True
         )
@@ -316,12 +348,21 @@ class ProcessKernel(RealKernelBase):
                 f"process function {getattr(func, '__name__', func)!r} must be a generator function"
             )
         pid, machine_index = self._allocate(machine_index)
+        args = self._share_large_args(args)
         record = _ProcessRecord(
             pid=pid, name=name or f"proc{pid}", parent=parent, machine_index=machine_index
         )
         record.inbox = self._mp.Queue()
         kernel_conn, worker_conn = self._mp.Pipe()
         record.control = kernel_conn
+        parent_inbox = None
+        if parent is not None:
+            try:
+                parent_record = self._record(parent)
+            except ProcessError:
+                parent_record = None
+            if isinstance(parent_record, _ProcessRecord):
+                parent_inbox = parent_record.inbox
         bootstrap = _WorkerBootstrap(
             pid=pid,
             name=record.name,
@@ -332,6 +373,7 @@ class ProcessKernel(RealKernelBase):
             func=func,
             args=args,
             kwargs=dict(kwargs),
+            parent_inbox=parent_inbox,
         )
         process = self._mp.Process(
             target=_worker_main,
@@ -346,6 +388,37 @@ class ProcessKernel(RealKernelBase):
         self._register_and_start(record, process.start)
         worker_conn.close()  # the worker holds its own handle now
         return pid
+
+    def _share_large_args(self, args: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        """Replace shm-exportable arguments with shared-memory refs.
+
+        Each distinct object is exported once per kernel; every spawn after
+        the first ships the same tiny handle.  Worker-initiated spawns arrive
+        with refs already substituted by the worker runtime and pass through
+        untouched.
+        """
+        shared = []
+        for value in args:
+            if isinstance(value, SharedObjectRef) or not hasattr(value, "__shm_export__"):
+                shared.append(value)
+                continue
+            # check-then-export under the lock: the user thread and the
+            # router thread (worker-initiated spawns) may race on the same
+            # object, and a double export would duplicate the shared block
+            with self._lock:
+                entry = self._shm_refs.get(id(value))
+                if entry is None:
+                    exported = export_shared(value)
+                    if exported is None:  # pragma: no cover - checked above
+                        shared.append(value)
+                        continue
+                    ref, pack = exported
+                    self._shm_refs[id(value)] = (value, ref)
+                    self._shm_packs.append(pack)
+                else:
+                    ref = entry[1]
+            shared.append(ref)
+        return tuple(shared)
 
     def _mark_unrunnable(self, record: WorkerRecord) -> None:
         assert isinstance(record, _ProcessRecord)
@@ -480,3 +553,8 @@ class ProcessKernel(RealKernelBase):
                 record.inbox.close()
         self._router_queue.cancel_join_thread()
         self._router_queue.close()
+        for pack in self._shm_packs:
+            pack.close()
+            pack.unlink()
+        self._shm_packs.clear()
+        self._shm_refs.clear()

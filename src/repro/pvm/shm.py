@@ -1,0 +1,238 @@
+"""Shared-memory shipment of large immutable objects to worker processes.
+
+The multiprocessing backend originally pickled the whole
+:class:`~repro.parallel.problem.PlacementProblem` into every spawned worker —
+hundreds of kilobytes of netlist CSR structure, coordinate tables and Python
+cell/net objects per process, twice per worker-initiated spawn (once through
+the router queue, once into the child).  The problem data is immutable, so
+this module ships it once instead:
+
+* :class:`SharedArrayPack` copies a set of named NumPy arrays into one
+  ``multiprocessing.shared_memory`` block (created by the kernel process,
+  unlinked at kernel shutdown);
+* :class:`SharedObjectRef` is the picklable stand-in that crosses the process
+  boundary: the block name, the array directory, a small ``meta`` payload and
+  a module-level ``restore`` function that rebuilds the object *around* the
+  attached arrays (zero-copy: the rebuilt object's hot arrays are views into
+  the shared block);
+* :func:`resolve_shared_refs` swaps refs back into live objects on the worker
+  side, caching per block so a TSW and the CLWs it spawns inside the same
+  process tree attach at most once per process.
+
+Objects opt in by implementing ``__shm_export__() -> (arrays, meta,
+restore)``; anything else passes through spawn untouched.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "SharedArrayPack",
+    "SharedObjectRef",
+    "export_shared",
+    "resolve_shared_refs",
+    "substitute_shared_refs",
+]
+
+
+def _attach_block(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing block without resource-tracker ownership.
+
+    The creator (kernel process) owns the block and unlinks it at shutdown;
+    attaching workers must not register it with their own resource tracker or
+    the tracker double-unlinks and warns at worker exit.  Python 3.13 grew a
+    ``track`` parameter; earlier versions need the unregister workaround.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:
+        # Pre-3.13: attaching registers the block with the resource tracker,
+        # which would unlink it again (plus warn) when this worker exits.
+        # Suppress the registration for the duration of the attach.
+        from multiprocessing import resource_tracker
+
+        original_register = resource_tracker.register
+
+        def _no_register(name_: str, rtype: str) -> None:
+            if rtype != "shared_memory":  # pragma: no cover - other resources
+                original_register(name_, rtype)
+
+        resource_tracker.register = _no_register
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register
+
+
+@dataclass(frozen=True)
+class _ArrayEntry:
+    """Directory entry of one array inside a shared block."""
+
+    name: str
+    dtype: str
+    shape: Tuple[int, ...]
+    offset: int
+
+
+class SharedArrayPack:
+    """A set of named immutable NumPy arrays in one shared-memory block."""
+
+    def __init__(self, arrays: Dict[str, np.ndarray]) -> None:
+        entries: List[_ArrayEntry] = []
+        offset = 0
+        prepared: List[Tuple[_ArrayEntry, np.ndarray]] = []
+        for name, array in arrays.items():
+            contiguous = np.ascontiguousarray(array)
+            # 64-byte alignment keeps every view cacheline-aligned
+            offset = (offset + 63) // 64 * 64
+            entry = _ArrayEntry(
+                name=name,
+                dtype=contiguous.dtype.str,
+                shape=tuple(contiguous.shape),
+                offset=offset,
+            )
+            entries.append(entry)
+            prepared.append((entry, contiguous))
+            offset += contiguous.nbytes
+        self._shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        for entry, contiguous in prepared:
+            target = np.ndarray(
+                contiguous.shape,
+                dtype=contiguous.dtype,
+                buffer=self._shm.buf,
+                offset=entry.offset,
+            )
+            target[...] = contiguous
+        self._entries = tuple(entries)
+
+    @property
+    def block_name(self) -> str:
+        """OS-level name of the shared block (the wire handle)."""
+        return self._shm.name
+
+    @property
+    def entries(self) -> Tuple[_ArrayEntry, ...]:
+        """Directory of the packed arrays."""
+        return self._entries
+
+    def close(self) -> None:
+        """Drop this process's mapping (the block itself stays)."""
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the block (creator side, after all workers exited)."""
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+
+def attach_arrays(
+    block_name: str, entries: Tuple[_ArrayEntry, ...]
+) -> Tuple[Dict[str, np.ndarray], shared_memory.SharedMemory]:
+    """Attach a block and materialise read-only views of its arrays.
+
+    The returned :class:`SharedMemory` object must stay referenced as long as
+    the views are in use (the views hold a reference to its buffer, but the
+    mapping must be closed explicitly at process exit).
+    """
+    block = _attach_block(block_name)
+    arrays: Dict[str, np.ndarray] = {}
+    for entry in entries:
+        view = np.ndarray(
+            entry.shape, dtype=np.dtype(entry.dtype), buffer=block.buf, offset=entry.offset
+        )
+        view.flags.writeable = False
+        arrays[entry.name] = view
+    return arrays, block
+
+
+@dataclass(frozen=True)
+class SharedObjectRef:
+    """Picklable stand-in for a shared-memory-backed object.
+
+    ``restore`` names a module-level ``f(arrays, meta) -> object`` by
+    ``"module:qualname"`` so the ref itself stays tiny and importable on the
+    worker side.
+    """
+
+    block_name: str
+    entries: Tuple[_ArrayEntry, ...]
+    meta: Any
+    restore: str
+
+
+def export_shared(obj: Any) -> Optional[Tuple[SharedObjectRef, SharedArrayPack]]:
+    """Export an object to shared memory if it opts in via ``__shm_export__``.
+
+    Returns ``None`` for objects that do not participate.  The caller owns
+    the returned pack (it must be unlinked when the workers are gone).
+    """
+    exporter = getattr(obj, "__shm_export__", None)
+    if exporter is None:
+        return None
+    arrays, meta, restore = exporter()
+    pack = SharedArrayPack(arrays)
+    ref = SharedObjectRef(
+        block_name=pack.block_name, entries=pack.entries, meta=meta, restore=restore
+    )
+    return ref, pack
+
+
+# ------------------------------------------------------------------ #
+# worker side
+# ------------------------------------------------------------------ #
+#: Per-process cache: block name → (restored object, attached block).  A TSW
+#: worker resolving the problem and then spawning CLWs reuses one attachment.
+_RESOLVED: Dict[str, Tuple[Any, shared_memory.SharedMemory]] = {}
+#: Reverse map for worker-initiated spawns: id(object) → its ref, so the
+#: object is substituted back to the tiny ref instead of re-pickled.
+_REVERSE: Dict[int, SharedObjectRef] = {}
+
+
+def _restore_callable(spec: str):
+    module_name, _, qualname = spec.partition(":")
+    target = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        target = getattr(target, part)
+    return target
+
+
+def resolve_shared_refs(values: Tuple[Any, ...]) -> Tuple[Any, ...]:
+    """Replace every :class:`SharedObjectRef` in ``values`` with its object."""
+    resolved = []
+    for value in values:
+        if isinstance(value, SharedObjectRef):
+            cached = _RESOLVED.get(value.block_name)
+            if cached is None:
+                arrays, block = attach_arrays(value.block_name, value.entries)
+                obj = _restore_callable(value.restore)(arrays, value.meta)
+                _RESOLVED[value.block_name] = (obj, block)
+                _REVERSE[id(obj)] = value
+                cached = (obj, block)
+            resolved.append(cached[0])
+        else:
+            resolved.append(value)
+    return tuple(resolved)
+
+
+def substitute_shared_refs(values: Tuple[Any, ...]) -> Tuple[Any, ...]:
+    """Replace known shared objects with their refs (worker-initiated spawns)."""
+    return tuple(_REVERSE.get(id(value), value) for value in values)
+
+
+def close_attachments() -> None:
+    """Close every block this process attached (worker exit)."""
+    while _RESOLVED:
+        _name, (obj, block) = _RESOLVED.popitem()
+        _REVERSE.pop(id(obj), None)
+        try:
+            block.close()
+        except Exception:  # noqa: BLE001 - exit-path cleanup is best-effort
+            pass

@@ -10,6 +10,7 @@ import numpy as np
 import pytest
 
 from repro.parallel import ParallelSearchParams, PlacementProblem
+from repro.parallel.delta import decode_solution
 from repro.parallel.messages import GlobalStart, ReportNow, Tags
 from repro.parallel.tsw import tsw_process
 from repro.placement import load_benchmark
@@ -65,7 +66,13 @@ class TestTswProtocol:
                 )
                 reply = yield ctx.recv(tag=Tags.TSW_RESULT)
                 results.append(reply.payload)
-                solution = reply.payload.best_solution
+                # reports may arrive as deltas against this round's broadcast
+                solution = decode_solution(
+                    reply.payload.best_solution,
+                    solution,
+                    expected_base_version=iteration,
+                )
+                assert solution is not None
             yield ctx.send(tsw, Tags.STOP)
             return results, tsw
 
@@ -119,13 +126,18 @@ class TestTswProtocol:
                 tsw, Tags.GLOBAL_START, GlobalStart(global_iteration=0, solution=solution)
             )
             first = (yield ctx.recv(tag=Tags.TSW_RESULT)).payload
-            # broadcast the returned best together with its tabu list
+            # broadcast the returned best together with its tabu list (the
+            # report may be a delta against this round's broadcast)
+            first_best = decode_solution(
+                first.best_solution, solution, expected_base_version=0
+            )
+            assert first_best is not None
             yield ctx.send(
                 tsw,
                 Tags.GLOBAL_START,
                 GlobalStart(
                     global_iteration=1,
-                    solution=first.best_solution,
+                    solution=first_best,
                     tabu_payload=first.tabu_payload,
                 ),
             )
