@@ -3,6 +3,9 @@
 The package implements, from scratch, everything the IPDPS 2003 paper by
 Al-Yamani, Sait, Barada and Youssef builds on:
 
+* a domain-agnostic search core — the ``SwapEvaluator``/``SearchProblem``
+  protocols and the problem registry (:mod:`repro.core`) with two registered
+  domains, cell placement and QAP (:mod:`repro.problems`),
 * a VLSI standard-cell placement substrate with a fuzzy multi-objective cost
   (:mod:`repro.placement`, :mod:`repro.fuzzy`),
 * a serial tabu-search engine with compound moves, aspiration and
@@ -25,6 +28,13 @@ Quickstart
 True
 """
 
+from .core import (
+    SearchProblem,
+    SwapEvaluator,
+    available_domains,
+    get_domain,
+    register_domain,
+)
 from .errors import (
     ClusterError,
     CostModelError,
@@ -75,6 +85,12 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # core
+    "SwapEvaluator",
+    "SearchProblem",
+    "get_domain",
+    "register_domain",
+    "available_domains",
     # errors
     "ReproError",
     "NetlistError",

@@ -3,11 +3,18 @@
 The CLI wraps the most common workflows so the system can be driven without
 writing Python::
 
+    python -m repro problems                      # list problem domains
     python -m repro circuits                      # list benchmark circuits
     python -m repro run --circuit c532 --tsws 4 --clws 2
+    python -m repro run --problem qap --instance rand64 --tsws 4
     python -m repro run --circuit c1355 --sync homogeneous --save-placement out.pl
     python -m repro figure fig9 --circuits c532
     python -m repro classify --tsws 4 --clws 4
+
+Problem domains are resolved through the core registry
+(:mod:`repro.core.registry`): ``--problem`` selects the domain and
+``--instance`` names the instance in domain terms (a benchmark circuit, a
+``rand<n>`` synthetic QAP instance, a QAPLIB ``.dat`` path).
 
 Every subcommand prints plain text (the same tables the benchmark harness
 writes) and returns a conventional exit code, so it composes with shell
@@ -21,11 +28,12 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from .core.registry import available_domains, get_domain
 from .errors import ReproError
 from .experiments import ALL_FIGURES, current_scale
 from .metrics import format_mapping, format_table
 from .parallel import ParallelSearchParams, classify, run_parallel_search
-from .placement import Layout, Placement, benchmark_names, load_benchmark
+from .placement import Placement, benchmark_names, load_benchmark
 from .placement.io import write_placement
 from .pvm import homogeneous_cluster, paper_cluster
 from .tabu import TabuSearchParams
@@ -44,12 +52,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    # problems ---------------------------------------------------------------
+    subparsers.add_parser(
+        "problems", help="list the registered problem domains and their instances"
+    )
+
     # circuits ---------------------------------------------------------------
     subparsers.add_parser("circuits", help="list the available benchmark circuits")
 
     # run ---------------------------------------------------------------------
     run_parser = subparsers.add_parser("run", help="run the parallel tabu search once")
-    run_parser.add_argument("--circuit", default="c532", help="benchmark circuit name")
+    run_parser.add_argument(
+        "--problem", default="placement", choices=available_domains(),
+        help="problem domain to search (resolved through the core registry)",
+    )
+    run_parser.add_argument(
+        "--instance", default=None,
+        help="instance name in domain terms (circuit, rand<n>, QAPLIB .dat path); "
+             "defaults to the domain's default instance",
+    )
+    run_parser.add_argument("--circuit", default=None,
+                            help="benchmark circuit name (placement shorthand for --instance)")
     run_parser.add_argument("--tsws", type=int, default=4, help="number of Tabu Search Workers")
     run_parser.add_argument("--clws", type=int, default=1, help="CLWs per TSW")
     run_parser.add_argument("--global-iterations", type=int, default=4)
@@ -125,13 +148,41 @@ def _command_circuits(_: argparse.Namespace) -> int:
     return 0
 
 
+def _command_problems(_: argparse.Namespace) -> int:
+    rows = []
+    for name in available_domains():
+        domain = get_domain(name)
+        instances = domain.list_instances()
+        preview = ", ".join(instances[:6]) + (", ..." if len(instances) > 6 else "")
+        rows.append((name, domain.default_instance, preview, domain.description))
+    print(
+        format_table(
+            ["domain", "default", "instances", "description"],
+            rows,
+            title="Registered problem domains (select with: repro run --problem <domain>)",
+        )
+    )
+    return 0
+
+
 def _command_run(args: argparse.Namespace) -> int:
-    netlist = load_benchmark(args.circuit)
+    if args.circuit is not None and args.problem != "placement":
+        raise ReproError("--circuit is a placement shorthand; use --instance instead")
+    if args.circuit is not None and args.instance is not None:
+        raise ReproError(
+            f"--circuit {args.circuit!r} and --instance {args.instance!r} both name "
+            "an instance; pass only one"
+        )
+    if args.save_placement and args.problem != "placement":
+        raise ReproError("--save-placement only applies to the placement domain")
+    domain = get_domain(args.problem)
+    instance_name = args.instance or args.circuit or domain.default_instance
+    problem = domain.build_problem(instance_name, reference_seed=args.seed)
     tabu = TabuSearchParams(
         local_iterations=args.local_iterations,
         pairs_per_step=args.pairs_per_step,
         move_depth=args.move_depth,
-    ).scaled_for_circuit(netlist.num_cells)
+    ).scaled_for_circuit(problem.num_cells)
     params = ParallelSearchParams(
         num_tsws=args.tsws,
         clws_per_tsw=args.clws,
@@ -142,24 +193,25 @@ def _command_run(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     cluster = _make_cluster(args.cluster)
-    print(f"Running {args.circuit} with {args.tsws} TSWs x {args.clws} CLWs "
-          f"({args.sync} sync) on {cluster.num_machines} machines ...")
-    result = run_parallel_search(netlist, params, cluster=cluster, backend=args.backend)
-    print(
-        format_mapping(
-            {
-                "initial cost": result.initial_cost,
-                "best cost": result.best_cost,
-                "improvement": f"{result.improvement * 100:.1f} %",
-                "wirelength": result.best_objectives.wirelength,
-                "delay": result.best_objectives.delay,
-                "area": result.best_objectives.area,
-                "virtual runtime (s)": result.virtual_runtime,
-                "wall clock (s)": result.wall_clock_seconds,
-            },
-            title="Result",
-        )
+    print(f"Running {args.problem}:{problem.name} with {args.tsws} TSWs x "
+          f"{args.clws} CLWs ({args.sync} sync) on {cluster.num_machines} machines ...")
+    result = run_parallel_search(
+        problem=problem, params=params, cluster=cluster, backend=args.backend
     )
+    summary = {
+        "initial cost": result.initial_cost,
+        "best cost": result.best_cost,
+        "improvement": f"{result.improvement * 100:.1f} %",
+    }
+    # domain-specific crisp objectives (ObjectiveVector / QAPObjectives)
+    summary.update(result.best_objectives.as_dict())
+    summary.update(
+        {
+            "virtual runtime (s)": result.virtual_runtime,
+            "wall clock (s)": result.wall_clock_seconds,
+        }
+    )
+    print(format_mapping(summary, title="Result"))
     if args.trace:
         print()
         print(
@@ -170,7 +222,7 @@ def _command_run(args: argparse.Namespace) -> int:
             )
         )
     if args.save_placement:
-        placement = Placement(Layout(netlist), result.best_solution)
+        placement = Placement(problem.layout, result.best_solution)
         write_placement(placement, args.save_placement)
         print(f"\nBest placement written to {args.save_placement}")
     return 0
@@ -197,6 +249,7 @@ def _command_classify(args: argparse.Namespace) -> int:
 
 
 _COMMANDS = {
+    "problems": _command_problems,
     "circuits": _command_circuits,
     "run": _command_run,
     "figure": _command_figure,

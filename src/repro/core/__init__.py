@@ -1,0 +1,36 @@
+"""Domain-agnostic search core.
+
+The parallel tabu search of the paper — master / TSW / CLW processes over a
+heterogeneous PVM cluster, batched trial evaluation, delta-encoded solution
+shipping — is problem-independent: all it needs from a problem domain is a
+*permutation solution*, a *swap* elementary move and an evaluator that can
+score and commit swaps incrementally.  This package pins that contract down:
+
+* :class:`~repro.core.protocols.SwapEvaluator` — the evaluator every engine
+  layer (``repro.tabu``, ``repro.parallel``) is written against;
+* :class:`~repro.core.protocols.SearchProblem` — the immutable, shippable
+  problem description a parallel run shares between its worker processes;
+* :mod:`repro.core.registry` — the registry mapping domain names
+  (``"placement"``, ``"qap"``, ...) to their implementations, used by the CLI
+  and the benchmarks.
+
+Problem domains live under :mod:`repro.problems` and register themselves
+here; the engine packages import only this contract, never a domain.
+"""
+
+from .protocols import SearchProblem, SwapEvaluator
+from .registry import (
+    ProblemDomain,
+    available_domains,
+    get_domain,
+    register_domain,
+)
+
+__all__ = [
+    "SwapEvaluator",
+    "SearchProblem",
+    "ProblemDomain",
+    "register_domain",
+    "get_domain",
+    "available_domains",
+]

@@ -4,14 +4,15 @@ A CLW serves its parent TSW: for every task it receives it adopts the TSW's
 current solution, explores the neighbourhood restricted to its private cell
 range by building a compound move of configurable depth, and sends the best
 (sub-)move back.  Each depth step draws its whole candidate list up front and
-scores it with one call to the batched swap-evaluation kernel
-(:meth:`~repro.placement.cost.CostEvaluator.evaluate_swaps_batch`).
+scores it with one call to the evaluator's batched swap-evaluation kernel
+(``evaluate_swaps_batch`` of the :class:`~repro.core.protocols.SwapEvaluator`
+protocol).
 
 The CLW keeps its solution *resident*: after finishing a task it rewinds the
 evaluator to the task base, so the next task's
 :class:`~repro.parallel.delta.SolutionPayload` can arrive as a swap-list
 delta (often one accepted compound move — a handful of swaps) and be applied
-with :meth:`~repro.placement.cost.CostEvaluator.apply_swaps` instead of a
+with the evaluator's bulk ``apply_swaps`` path instead of a
 full install and cache rebuild.  An empty delta (the TSW's solution did not
 change) skips the install outright.  On a base-version or checksum mismatch
 the CLW answers a ``needs_full`` NACK and the TSW re-sends the task in full.
@@ -27,12 +28,12 @@ from __future__ import annotations
 from typing import Optional
 
 from .._rng import derive_seed, make_rng
+from ..core.protocols import SearchProblem
 from ..tabu.candidate import CellRange
 from ..tabu.moves import CompoundMoveBuilder
 from ..tabu.params import TabuSearchParams
 from .delta import ResidentSolution, as_payload, solution_crc
 from .messages import ClwResult, ClwSummary, ClwTask, ReportNow, Tags
-from .problem import PlacementProblem
 
 __all__ = ["clw_process"]
 
@@ -53,7 +54,7 @@ def _nack(clw_index: int, round_id: int) -> ClwResult:
 
 def clw_process(
     ctx,
-    problem: PlacementProblem,
+    problem: SearchProblem,
     tabu_params: TabuSearchParams,
     cell_range: CellRange,
     clw_index: int,

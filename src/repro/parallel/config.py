@@ -3,10 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Literal, Optional
+from typing import Any, Literal, Optional
 
 from ..errors import ParallelSearchError
-from ..placement.cost import CostModelParams
 from ..tabu.params import TabuSearchParams
 
 __all__ = ["SyncMode", "ParallelSearchParams"]
@@ -44,7 +43,10 @@ class ParallelSearchParams:
     tabu:
         Per-worker tabu-search parameters.
     cost:
-        Cost-model parameters shared by every worker.
+        Domain-specific cost-model parameters shared by every worker, passed
+        through to the problem builder (``None`` selects the domain's
+        defaults — e.g. :class:`~repro.placement.cost.CostModelParams()` for
+        placement).  The parallel engine itself never interprets this value.
     seed:
         Root seed; every process derives its own independent stream from it.
     """
@@ -58,7 +60,7 @@ class ParallelSearchParams:
     tsw_partition_scheme: str = "contiguous"
     clw_partition_scheme: str = "strided"
     tabu: TabuSearchParams = field(default_factory=TabuSearchParams)
-    cost: CostModelParams = field(default_factory=CostModelParams)
+    cost: Optional[Any] = None
     seed: int = 2003
     initial_placement_seed: Optional[int] = None
 

@@ -9,8 +9,8 @@ their solution *resident* and exchange just the difference:
 
 * :func:`swap_list_between` turns the difference of two assignments into a
   minimal swap sequence (cycle-chasing over the differing cells; at most one
-  swap per differing cell), applied with
-  :meth:`~repro.placement.cost.CostEvaluator.apply_swaps`;
+  swap per differing cell), applied with the evaluator's bulk
+  ``apply_swaps`` path (:class:`~repro.core.protocols.SwapEvaluator`);
 * :class:`SolutionPayload` is the wire form — either a full ``int32``
   assignment or a swap list against a *versioned* base the receiver must
   hold.  A compact ``__reduce__`` codec packs either form into one ``bytes``

@@ -15,17 +15,16 @@ The master
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
 from .._rng import derive_seed
-from ..placement.cost import ObjectiveVector
+from ..core.protocols import SearchProblem
 from ..tabu.candidate import partition_cells
 from .config import ParallelSearchParams
 from .delta import DeltaEncoder, decode_solution, swap_list_between
 from .messages import GlobalStart, ReportNow, Tags, TswResult
-from .problem import PlacementProblem
 from .sync import SyncPolicy
 from .tsw import tsw_process
 
@@ -48,7 +47,9 @@ class MasterResult:
     """Return value of the master process."""
 
     best_cost: float
-    best_objectives: ObjectiveVector
+    #: Domain-specific crisp objective values of the final best solution
+    #: (an ``ObjectiveVector`` for placement, the QAP objectives for QAP).
+    best_objectives: Any
     best_solution: np.ndarray
     initial_cost: float
     #: Fine-grained (virtual time, best cost) series: the master's own points
@@ -64,7 +65,7 @@ class MasterResult:
     total_tsw_evaluations: int = 0
 
 
-def master_process(ctx, problem: PlacementProblem, params: ParallelSearchParams):
+def master_process(ctx, problem: SearchProblem, params: ParallelSearchParams):
     """Generator body of the master process (run it under a PVM kernel)."""
     sync = SyncPolicy(mode=params.sync_mode, report_fraction=params.report_fraction)
     num_cells = problem.num_cells

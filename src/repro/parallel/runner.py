@@ -9,29 +9,38 @@ This is the main public API of the library::
     result = run_parallel_search(netlist, params)
     print(result.best_cost, result.virtual_runtime)
 
-The runner builds the shared :class:`~repro.parallel.problem.PlacementProblem`,
-spawns the master on the requested cluster backend, runs it to completion and
-packages the master's result together with the kernel statistics.
+The runner is domain-agnostic: it accepts any
+:class:`~repro.core.protocols.SearchProblem` — the shared, immutable problem
+description the master/TSW/CLW processes run against — either directly or
+via the legacy placement shorthand (a bare
+:class:`~repro.placement.netlist.Netlist`, wrapped into a placement problem
+through the domain registry).  A QAP run looks like::
+
+    from repro.core import get_domain
+    problem = get_domain("qap").build_problem("rand64")
+    result = run_parallel_search(problem=problem, params=params)
+
+The runner spawns the master on the requested cluster backend, runs it to
+completion and packages the master's result together with the kernel
+statistics.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Literal, Optional, Tuple
+from typing import Any, List, Literal, Optional, Tuple
 
 import numpy as np
 
+from ..core.protocols import SearchProblem, ensure_search_problem
 from ..errors import ParallelSearchError
-from ..placement.cost import ObjectiveVector
-from ..placement.netlist import Netlist
 from ..pvm.cluster import ClusterSpec, paper_cluster
 from ..pvm.process_backend import ProcessKernel
 from ..pvm.simulator import ProcessInfo, SimKernel, SimStats
 from ..pvm.threads_backend import ThreadKernel
 from .config import ParallelSearchParams
 from .master import GlobalIterationRecord, MasterResult, master_process
-from .problem import PlacementProblem
 
 __all__ = ["ParallelSearchResult", "run_parallel_search", "build_problem"]
 
@@ -42,11 +51,15 @@ Backend = Literal["simulated", "threads", "processes"]
 class ParallelSearchResult:
     """Everything a parallel-tabu-search run produced."""
 
+    #: Name of the problem instance (a circuit for placement, a QAP
+    #: instance name otherwise; the field name predates the multi-domain
+    #: core and is kept for compatibility).
     circuit: str
     params: ParallelSearchParams
     best_cost: float
     initial_cost: float
-    best_objectives: ObjectiveVector
+    #: Domain-specific crisp objective values of the best solution.
+    best_objectives: Any
     best_solution: np.ndarray
     #: (virtual time, best cost) trace recorded by the master.
     trace: List[Tuple[float, float]]
@@ -78,22 +91,30 @@ class ParallelSearchResult:
 
 
 def build_problem(
-    netlist: Netlist, params: ParallelSearchParams, *, reference_seed: Optional[int] = None
-) -> PlacementProblem:
-    """Build the shared problem instance for a run (exposed for tests/benchmarks)."""
+    netlist, params: ParallelSearchParams, *, reference_seed: Optional[int] = None
+) -> SearchProblem:
+    """Build the shared placement problem for a run (exposed for tests/benchmarks).
+
+    Legacy placement shorthand: wraps a
+    :class:`~repro.placement.netlist.Netlist` into the registered placement
+    domain.  Other domains build their problems through
+    :func:`repro.core.get_domain` directly.
+    """
+    from ..core.registry import get_domain
+
     seed = reference_seed if reference_seed is not None else params.seed
-    return PlacementProblem.from_netlist(
+    return get_domain("placement").build_problem(
         netlist, cost_params=params.cost, reference_seed=seed
     )
 
 
 def run_parallel_search(
-    netlist: Netlist,
+    netlist=None,
     params: ParallelSearchParams | None = None,
     *,
     cluster: Optional[ClusterSpec] = None,
     backend: Backend = "simulated",
-    problem: Optional[PlacementProblem] = None,
+    problem: Optional[SearchProblem] = None,
     master_machine: int = 0,
     join_timeout: float = 3600.0,
 ) -> ParallelSearchResult:
@@ -102,7 +123,9 @@ def run_parallel_search(
     Parameters
     ----------
     netlist:
-        Circuit to place.
+        Circuit to place (legacy placement shorthand), or any
+        :class:`~repro.core.protocols.SearchProblem` instance.  May be
+        omitted when ``problem`` is given.
     params:
         Parallelisation and search parameters (defaults: 4 TSWs, 1 CLW each).
     cluster:
@@ -113,9 +136,9 @@ def run_parallel_search(
         caveats apply) or ``"processes"`` (real OS processes, wall-clock
         time, true multi-core parallelism).
     problem:
-        Pre-built problem instance; pass it to share the reference objective
-        vector across several runs of the same circuit (as the speedup
-        experiments must).
+        Pre-built problem instance; pass it to share the reference cost
+        anchor across several runs of the same instance (as the speedup
+        experiments must), or to run a non-placement domain.
     master_machine:
         Machine index the master process is pinned to.
     join_timeout:
@@ -125,7 +148,18 @@ def run_parallel_search(
     """
     params = params or ParallelSearchParams()
     cluster = cluster or paper_cluster()
-    problem = problem or build_problem(netlist, params)
+    if problem is None:
+        if netlist is None:
+            raise ParallelSearchError(
+                "run_parallel_search needs an instance: pass a netlist or problem="
+            )
+        # a SearchProblem passed positionally is used as-is; a bare netlist
+        # goes through the legacy placement shorthand
+        if hasattr(netlist, "make_evaluator"):
+            problem = netlist
+        else:
+            problem = build_problem(netlist, params)
+    ensure_search_problem(problem)
     wall_start = time.perf_counter()
 
     if backend == "simulated":
@@ -156,7 +190,7 @@ def run_parallel_search(
 
     wall_clock = time.perf_counter() - wall_start
     return ParallelSearchResult(
-        circuit=netlist.name,
+        circuit=problem.name,
         params=params,
         best_cost=master_result.best_cost,
         initial_cost=master_result.initial_cost,

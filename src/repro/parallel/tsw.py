@@ -39,6 +39,7 @@ from typing import Dict, List, Optional, Set
 import numpy as np
 
 from .._rng import derive_seed
+from ..core.protocols import SearchProblem
 from ..tabu.candidate import CellRange
 from ..tabu.moves import CompoundMove, SwapMove
 from ..tabu.search import TabuSearch
@@ -46,7 +47,6 @@ from .clw import clw_process
 from .config import ParallelSearchParams
 from .delta import DeltaEncoder, ResidentSolution, as_payload, solution_crc, swap_list_between
 from .messages import ClwResult, ClwTask, GlobalStart, ReportNow, Tags, TswResult, TswSummary
-from .problem import PlacementProblem
 from .sync import SyncPolicy
 
 __all__ = ["tsw_process"]
@@ -95,7 +95,7 @@ def _needs_full_result(tsw_index: int, global_iteration: int) -> TswResult:
 
 def tsw_process(
     ctx,
-    problem: PlacementProblem,
+    problem: SearchProblem,
     params: ParallelSearchParams,
     tsw_index: int,
     tsw_range: CellRange,

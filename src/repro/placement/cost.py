@@ -224,6 +224,16 @@ class CostEvaluator:
         return self._placement
 
     @property
+    def num_cells(self) -> int:
+        """Number of swappable items (protocol surface: ``SwapEvaluator``)."""
+        return self._placement.num_cells
+
+    @property
+    def instance_name(self) -> str:
+        """Circuit name (protocol surface: seeds worker RNG streams)."""
+        return self._placement.netlist.name
+
+    @property
     def params(self) -> CostModelParams:
         """Cost-model configuration."""
         return self._params
@@ -467,6 +477,21 @@ class CostEvaluator:
         self._area.restore_state(state.area)
         self._timing.restore_state(state.timing)
         self._cached_cost = state.cached_cost
+
+    def diversification_distances(
+        self, cell: int, candidates: np.ndarray
+    ) -> np.ndarray:
+        """Manhattan slot distance from ``cell`` to each candidate cell.
+
+        The problem-level neighbourhood hook of the ``SwapEvaluator``
+        protocol: diversification pushes a rarely-moved cell to the farthest
+        of a few sampled partners, and "far" for placement is the Manhattan
+        distance between the cells' current slots.
+        """
+        candidates = np.asarray(candidates, dtype=np.int64)
+        x = self._placement.cell_x()
+        y = self._placement.cell_y()
+        return np.abs(x[candidates] - x[cell]) + np.abs(y[candidates] - y[cell])
 
     def verify_consistency(self, *, atol: float = 1e-6) -> None:
         """Check incremental caches against from-scratch recomputation.

@@ -1,0 +1,21 @@
+"""Problem domains for the domain-agnostic search core.
+
+Each submodule implements the :class:`~repro.core.protocols.SearchProblem` /
+:class:`~repro.core.protocols.SwapEvaluator` contract for one optimisation
+problem and registers itself with :mod:`repro.core.registry` on import:
+
+* :mod:`repro.problems.placement` — VLSI standard-cell placement with the
+  paper's fuzzy multi-objective cost (the original reproduction workload,
+  backed by :mod:`repro.placement`);
+* :mod:`repro.problems.qap` — the quadratic assignment problem (QAPLIB
+  format + synthetic instances), proving the same parallel stack on a second
+  domain.
+
+The engine packages (:mod:`repro.tabu`, :mod:`repro.parallel`) never import
+this package; they see only the protocols.  Select a domain by name through
+:func:`repro.core.get_domain` (what the CLI's ``--problem`` flag does).
+"""
+
+from ..core.registry import available_domains, get_domain, register_domain
+
+__all__ = ["available_domains", "get_domain", "register_domain"]

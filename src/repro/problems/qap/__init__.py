@@ -1,0 +1,79 @@
+"""Quadratic assignment problem (QAP) as a registered search domain.
+
+The second full workload of the domain-agnostic core: QAPLIB-format
+instances (plus deterministic synthetic ones), a vectorised O(n)-per-pair
+batch swap-delta evaluator, and the immutable :class:`QAPProblem` the
+parallel stack ships to its workers — including shared-memory shipment on
+the multiprocessing backend.  See :mod:`repro.problems.qap.instance` and
+:mod:`repro.problems.qap.evaluator`.
+
+Importing this module registers the ``"qap"`` domain::
+
+    from repro.core import get_domain
+    problem = get_domain("qap").build_problem("rand64")
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...core.registry import ProblemDomain, register_domain
+from ...errors import ReproError
+from .evaluator import QAPEvaluator, QAPObjectives, QAPProblem, restore_shared_qap
+from .instance import (
+    QAPInstance,
+    format_qaplib,
+    generate_qap,
+    load_qap,
+    parse_qaplib,
+    read_qaplib,
+    synthetic_instance_names,
+    write_qaplib,
+)
+
+__all__ = [
+    "QAPInstance",
+    "QAPEvaluator",
+    "QAPObjectives",
+    "QAPProblem",
+    "parse_qaplib",
+    "read_qaplib",
+    "format_qaplib",
+    "write_qaplib",
+    "generate_qap",
+    "load_qap",
+    "synthetic_instance_names",
+    "build_qap_problem",
+    "restore_shared_qap",
+]
+
+
+def build_qap_problem(
+    instance,
+    *,
+    cost_params: Optional[object] = None,
+    reference_seed: int = 0,
+) -> QAPProblem:
+    """Registry entry point: build a QAP problem from an instance spec.
+
+    ``instance`` is a ``rand<n>[-s<seed>]`` synthetic name, a QAPLIB ``.dat``
+    path, or a :class:`QAPInstance`.  The QAP cost model has no tunable
+    parameters; a non-``None`` ``cost_params`` is rejected rather than
+    silently ignored.
+    """
+    if cost_params is not None:
+        raise ReproError(
+            "the qap domain takes no cost parameters; leave ParallelSearchParams.cost unset"
+        )
+    return QAPProblem.from_instance(load_qap(instance), reference_seed=reference_seed)
+
+
+register_domain(
+    ProblemDomain(
+        name="qap",
+        description="quadratic assignment (QAPLIB format + synthetic instances)",
+        build_problem=build_qap_problem,
+        default_instance="rand64",
+        list_instances=synthetic_instance_names,
+    )
+)

@@ -13,7 +13,7 @@ Execution model
 * The kernel lives in the launching process.  Every worker is one OS
   process; it receives its immutable start-up state (identity, machine spec,
   process function and arguments — including the shared, immutable
-  :class:`~repro.parallel.problem.PlacementProblem`) when it is spawned and
+  :class:`~repro.core.protocols.SearchProblem` instance) when it is spawned and
   never again: steady-state messages carry only solutions.  (A
   worker-initiated spawn serialises the arguments twice — once through the
   router queue, once into the child — which is negligible next to the
@@ -196,7 +196,7 @@ class _WorkerRuntime:
         error: Optional[BaseException] = None
         try:
             # shared-memory handles arrive in place of large immutable
-            # arguments (e.g. the PlacementProblem); attach and rebuild
+            # arguments (e.g. the shared SearchProblem); attach and rebuild
             args = resolve_shared_refs(bootstrap.args)
             generator = bootstrap.func(context, *args, **bootstrap.kwargs)
             if not hasattr(generator, "send"):

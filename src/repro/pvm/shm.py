@@ -1,11 +1,12 @@
 """Shared-memory shipment of large immutable objects to worker processes.
 
-The multiprocessing backend originally pickled the whole
-:class:`~repro.parallel.problem.PlacementProblem` into every spawned worker —
-hundreds of kilobytes of netlist CSR structure, coordinate tables and Python
-cell/net objects per process, twice per worker-initiated spawn (once through
-the router queue, once into the child).  The problem data is immutable, so
-this module ships it once instead:
+The multiprocessing backend originally pickled the whole shared problem
+description (e.g. the placement domain's
+:class:`~repro.problems.placement.PlacementProblem`) into every spawned
+worker — hundreds of kilobytes of netlist CSR structure, coordinate tables
+and Python cell/net objects per process, twice per worker-initiated spawn
+(once through the router queue, once into the child).  The problem data is
+immutable, so this module ships it once instead:
 
 * :class:`SharedArrayPack` copies a set of named NumPy arrays into one
   ``multiprocessing.shared_memory`` block (created by the kernel process,

@@ -20,8 +20,8 @@ from typing import List, Tuple
 
 import numpy as np
 
+from ..core.protocols import SwapEvaluator
 from ..errors import TabuSearchError
-from ..placement.cost import CostEvaluator
 from .candidate import CellRange
 from .tabu_list import FrequencyMemory
 
@@ -44,18 +44,21 @@ class DiversificationResult:
 
 
 def _farthest_partner(
-    evaluator: CostEvaluator, cell: int, candidates: np.ndarray
+    evaluator: SwapEvaluator, cell: int, candidates: np.ndarray
 ) -> int:
-    """Pick the candidate cell whose slot is farthest from ``cell``'s slot."""
-    placement = evaluator.placement
-    x = placement.cell_x()
-    y = placement.cell_y()
-    dist = np.abs(x[candidates] - x[cell]) + np.abs(y[candidates] - y[cell])
+    """Pick the candidate cell whose position is farthest from ``cell``'s.
+
+    "Far" is the domain's notion of distance, provided through the
+    evaluator's ``diversification_distances`` neighbourhood hook (Manhattan
+    slot distance for placement, location distance for QAP) — the engine
+    never reaches into layout geometry itself.
+    """
+    dist = evaluator.diversification_distances(cell, candidates)
     return int(candidates[int(np.argmax(dist))])
 
 
 def diversify(
-    evaluator: CostEvaluator,
+    evaluator: SwapEvaluator,
     cell_range: CellRange,
     *,
     depth: int,
@@ -84,7 +87,7 @@ def diversify(
         raise TabuSearchError(f"partner_sample must be >= 1, got {partner_sample}")
 
     cost_before = evaluator.cost()
-    num_cells = evaluator.placement.num_cells
+    num_cells = evaluator.num_cells
     swaps: List[Tuple[int, int]] = []
     trials = 0
     range_array = cell_range.as_array()

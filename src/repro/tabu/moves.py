@@ -5,8 +5,7 @@ apply single swaps blindly; it builds a **compound move** of depth ``d``:
 
 1. at each of the ``d`` steps it draws all ``m`` candidate pairs up front
    (first cell from its range, second from anywhere) and scores them with a
-   single batched evaluation
-   (:meth:`~repro.placement.cost.CostEvaluator.evaluate_swaps_batch`);
+   single batched evaluation (the evaluator's ``evaluate_swaps_batch``);
 2. it commits the best of the ``m`` trials and continues from there;
 3. if at any step the accumulated cost is already better than the cost at the
    start of the compound move, it stops early ("the move is accepted without
@@ -16,8 +15,8 @@ apply single swaps blindly; it builds a **compound move** of depth ``d``:
    intermediate prefix rather than the full depth).
 
 The functions in this module operate on a
-:class:`~repro.placement.cost.CostEvaluator`, which owns the placement and the
-incremental objective caches.
+:class:`~repro.core.protocols.SwapEvaluator`, which owns the solution and the
+incremental objective caches — any registered problem domain works.
 """
 
 from __future__ import annotations
@@ -27,8 +26,8 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.protocols import SwapEvaluator
 from ..errors import TabuSearchError
-from ..placement.cost import CostEvaluator
 from .candidate import CellRange, sample_candidate_pairs
 
 __all__ = [
@@ -100,13 +99,13 @@ class CompoundMove:
 
 
 def best_swap_of_candidates(
-    evaluator: CostEvaluator,
+    evaluator: SwapEvaluator,
     pairs: Sequence[Tuple[int, int]],
 ) -> Optional[SwapMove]:
     """Trial-evaluate candidate pairs and return the one with the lowest cost.
 
-    The whole candidate list is scored with one call to
-    :meth:`~repro.placement.cost.CostEvaluator.evaluate_swaps_batch` instead
+    The whole candidate list is scored with one call to the evaluator's
+    batched ``evaluate_swaps_batch`` kernel instead
     of per-pair scalar trials.  Returns ``None`` when ``pairs`` is empty.
     Ties are broken in favour of the first candidate (``argmin`` returns the
     first minimum, matching the scalar loop's strict-less comparison).
@@ -141,7 +140,7 @@ class CompoundMoveBuilder:
 
     def __init__(
         self,
-        evaluator: CostEvaluator,
+        evaluator: SwapEvaluator,
         cell_range: CellRange,
         *,
         pairs_per_step: int,
@@ -200,7 +199,7 @@ class CompoundMoveBuilder:
             raise TabuSearchError("step() called after finalize()")
         if not self.wants_more_steps():
             return 0
-        num_cells = self._evaluator.placement.num_cells
+        num_cells = self._evaluator.num_cells
         pairs = sample_candidate_pairs(self._range, num_cells, self._pairs_per_step, rng)
         self._trials += len(pairs)
         best = best_swap_of_candidates(self._evaluator, pairs)
@@ -243,7 +242,7 @@ class CompoundMoveBuilder:
 
 
 def build_compound_move(
-    evaluator: CostEvaluator,
+    evaluator: SwapEvaluator,
     cell_range: CellRange,
     *,
     pairs_per_step: int,
@@ -251,9 +250,9 @@ def build_compound_move(
     rng: np.random.Generator,
     early_accept: bool = True,
 ) -> CompoundMove:
-    """Construct and apply a compound move on ``evaluator``'s placement.
+    """Construct and apply a compound move on ``evaluator``'s solution.
 
-    The evaluator's placement is left in the state corresponding to the *best
+    The evaluator's solution is left in the state corresponding to the *best
     prefix* of the explored swap sequence (swaps beyond the best prefix are
     undone), matching the paper's "best compound move" semantics.
 

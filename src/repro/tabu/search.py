@@ -1,7 +1,8 @@
 """Serial tabu-search engine (Figure 1 of the paper).
 
-:class:`TabuSearch` drives a :class:`~repro.placement.cost.CostEvaluator`
-through tabu-search iterations:
+:class:`TabuSearch` drives a :class:`~repro.core.protocols.SwapEvaluator`
+(the placement cost evaluator, the QAP evaluator, or any other registered
+domain's) through tabu-search iterations:
 
 1. build one or more candidate *compound moves* (the candidate list
    :math:`V^*(s)` — in the parallel algorithm each CLW contributes one
@@ -26,8 +27,8 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from .._rng import make_rng
+from ..core.protocols import SwapEvaluator
 from ..errors import TabuSearchError
-from ..placement.cost import CostEvaluator
 from .aspiration import (
     AspirationCriterion,
     BestCostAspiration,
@@ -80,12 +81,13 @@ class SearchResult:
 
 
 class TabuSearch:
-    """Tabu search over placements, bound to one :class:`CostEvaluator`.
+    """Tabu search over permutation solutions, bound to one evaluator.
 
     Parameters
     ----------
     evaluator:
-        Owns the placement and the incremental cost state.
+        Owns the solution and the incremental cost state (any
+        :class:`~repro.core.protocols.SwapEvaluator`).
     params:
         Search parameters (tenure, ``m``, ``d``, aspiration, ...).
     cell_range:
@@ -101,7 +103,7 @@ class TabuSearch:
 
     def __init__(
         self,
-        evaluator: CostEvaluator,
+        evaluator: SwapEvaluator,
         params: TabuSearchParams | None = None,
         *,
         cell_range: Optional[CellRange] = None,
@@ -113,7 +115,7 @@ class TabuSearch:
             raise TabuSearchError(f"candidate_moves must be >= 1, got {candidate_moves}")
         self._evaluator = evaluator
         self._params = params or TabuSearchParams()
-        self._range = cell_range or full_range(evaluator.placement.num_cells)
+        self._range = cell_range or full_range(evaluator.num_cells)
         if candidate_ranges is not None:
             if len(candidate_ranges) != candidate_moves:
                 raise TabuSearchError(
@@ -122,9 +124,9 @@ class TabuSearch:
             self._candidate_ranges: Tuple[CellRange, ...] = tuple(candidate_ranges)
         else:
             self._candidate_ranges = tuple([self._range] * candidate_moves)
-        self._rng = make_rng(seed, "tabu-search", evaluator.placement.netlist.name)
+        self._rng = make_rng(seed, "tabu-search", evaluator.instance_name)
         self._tabu = TabuList(self._params.tabu_tenure)
-        self._frequency = FrequencyMemory(evaluator.placement.num_cells)
+        self._frequency = FrequencyMemory(evaluator.num_cells)
         self._aspiration = make_aspiration(self._params)
         self._iteration = 0
         self._stall = 0
@@ -135,7 +137,7 @@ class TabuSearch:
     # accessors
     # ------------------------------------------------------------------ #
     @property
-    def evaluator(self) -> CostEvaluator:
+    def evaluator(self) -> SwapEvaluator:
         """The bound cost evaluator."""
         return self._evaluator
 
@@ -199,10 +201,9 @@ class TabuSearch:
 
         The delta applies to the evaluator's *resident* solution (the
         parallel protocol keeps workers' solutions resident between rounds);
-        all incremental caches are committed through
-        :meth:`~repro.placement.cost.CostEvaluator.apply_swaps` with an exact
-        timing refresh, leaving the evaluator in the same state a full
-        :meth:`adopt_solution` of the target would.
+        all incremental caches are committed through the evaluator's
+        ``apply_swaps`` bulk path with an exact refresh, leaving it in the
+        same state a full :meth:`adopt_solution` of the target would.
         """
         cost = self._evaluator.apply_swaps(
             np.asarray(swap_pairs, dtype=np.int64), exact_timing=True

@@ -1,0 +1,82 @@
+"""Architectural boundary enforcement for the domain-agnostic core.
+
+The engine layers — ``repro.tabu`` (serial search) and ``repro.parallel``
+(master/TSW/CLW protocol) — must be written against the
+:mod:`repro.core` protocols only, never against a concrete problem domain.
+This test parses every module of those packages and fails on any import
+that resolves into ``repro.placement`` (or ``repro.problems.*``, which
+would be the same leak through the new layering).
+
+``repro.parallel.problem`` is the one sanctioned exception: it is the
+backwards-compatibility shim re-exporting ``PlacementProblem`` from its new
+home in ``repro.problems.placement``.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+import repro
+
+SRC_ROOT = Path(repro.__file__).resolve().parent.parent  # .../src
+ENGINE_PACKAGES = ("repro/tabu", "repro/parallel")
+#: Module prefixes the engine must not import (domain implementations).
+FORBIDDEN_PREFIXES = ("repro.placement", "repro.problems")
+#: The compatibility shim keeps the old import path alive by design.
+ALLOWED_SHIMS = {"repro/parallel/problem.py"}
+
+
+def engine_modules():
+    for package in ENGINE_PACKAGES:
+        for path in sorted((SRC_ROOT / package).glob("*.py")):
+            yield path
+
+
+def resolved_imports(path: Path):
+    """Absolute module names imported by ``path`` (relative imports resolved)."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    relative = path.relative_to(SRC_ROOT)
+    package_parts = list(relative.parent.parts)  # e.g. ["repro", "tabu"]
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                yield node.module or ""
+                continue
+            # level=1 is the containing package, each extra level goes up one
+            base = package_parts[: len(package_parts) - (node.level - 1)]
+            module = node.module.split(".") if node.module else []
+            yield ".".join(base + module)
+
+
+@pytest.mark.parametrize(
+    "path", list(engine_modules()), ids=lambda p: str(p.relative_to(SRC_ROOT))
+)
+def test_engine_module_does_not_import_problem_domains(path):
+    if str(path.relative_to(SRC_ROOT)) in ALLOWED_SHIMS:
+        pytest.skip("sanctioned backwards-compatibility shim")
+    offenders = [
+        module
+        for module in resolved_imports(path)
+        if any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in FORBIDDEN_PREFIXES
+        )
+    ]
+    assert not offenders, (
+        f"{path.relative_to(SRC_ROOT)} imports problem-domain modules "
+        f"{offenders}; engine code must depend on repro.core protocols only"
+    )
+
+
+def test_the_suite_actually_sees_the_engine_modules():
+    """Guard against a silently-empty parametrisation (e.g. a moved tree)."""
+    paths = list(engine_modules())
+    names = {path.name for path in paths}
+    assert {"search.py", "master.py", "tsw.py", "clw.py", "runner.py"} <= names
+    assert len(paths) >= 15

@@ -1,0 +1,305 @@
+"""Protocol-conformance suite, parameterized over every problem domain.
+
+One battery of contract tests runs against each registered
+:class:`~repro.core.protocols.SearchProblem` implementation (placement and
+QAP).  The contract is exactly what the engine layers rely on:
+
+* **batch == scalar == from-scratch** — a batched trial evaluation, the
+  scalar path and the cost of a freshly built evaluator on the mutated
+  assignment must agree (the placement domain's timing surrogate is an
+  approximation between exact refreshes, hence its looser scratch
+  tolerance; scalar-vs-batch equality is exact in both domains);
+* **delta-adopt == full-install** — applying a swap-list delta with
+  ``exact_timing=True`` must land in the same state as installing the full
+  target assignment (what makes the wire protocol's two shipment forms
+  interchangeable);
+* **empty/degenerate inputs** — ``evaluate_swaps_batch([])`` and
+  ``apply_swaps([])`` return/no-op consistently, self-pairs score the
+  current cost and never count as work;
+* **snapshots** — ``save_state``/``restore_state`` round-trips;
+* **seeded determinism** — identically-seeded runs (serial and parallel on
+  the simulated backend) produce identical trajectories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro import (
+    ParallelSearchParams,
+    TabuSearch,
+    TabuSearchParams,
+    TerminationCriteria,
+    run_parallel_search,
+)
+from repro.core import get_domain
+from repro.core.protocols import SearchProblem, SwapEvaluator, ensure_search_problem
+from repro.parallel.delta import swap_list_between
+
+
+@dataclass(frozen=True)
+class DomainSpec:
+    domain: str
+    instance: str
+    #: Tolerance of the batch-prediction-versus-fresh-evaluator check.  QAP
+    #: deltas are exact; the placement cost uses an incremental timing
+    #: surrogate between exact refreshes, so its trial predictions carry a
+    #: small, bounded approximation error by design.
+    scratch_atol: float
+
+
+SPECS = [
+    DomainSpec(domain="placement", instance="mini64", scratch_atol=2e-2),
+    DomainSpec(domain="qap", instance="rand32", scratch_atol=1e-9),
+]
+
+
+@pytest.fixture(scope="module", params=SPECS, ids=lambda spec: spec.domain)
+def spec(request):
+    return request.param
+
+
+@pytest.fixture(scope="module")
+def problem(spec):
+    return get_domain(spec.domain).build_problem(spec.instance, reference_seed=0)
+
+
+@pytest.fixture
+def evaluator(problem):
+    return problem.make_evaluator(problem.random_solution(seed=3))
+
+
+class TestProtocolSurface:
+    def test_problem_satisfies_the_protocol(self, problem):
+        ensure_search_problem(problem)
+        assert isinstance(problem, SearchProblem)
+        assert problem.num_cells >= 2
+        assert isinstance(problem.name, str) and problem.name
+
+    def test_evaluator_satisfies_the_protocol(self, evaluator, problem):
+        assert isinstance(evaluator, SwapEvaluator)
+        assert evaluator.num_cells == problem.num_cells
+        assert evaluator.instance_name == problem.name
+        assert evaluator.evaluations == 0
+
+    def test_work_unit_hooks(self, problem):
+        install = problem.install_work_units()
+        assert install >= 1.0
+        assert problem.adopt_work_units(0) >= 1.0
+        # a huge delta never charges more than a full install
+        assert problem.adopt_work_units(10**6) == pytest.approx(install)
+
+    def test_random_solutions_are_seeded_permutation_like(self, problem):
+        first = problem.random_solution(seed=5)
+        again = problem.random_solution(seed=5)
+        other = problem.random_solution(seed=6)
+        assert np.array_equal(first, again)
+        assert not np.array_equal(first, other)
+        assert first.shape == (problem.num_cells,)
+        assert len(np.unique(first)) == problem.num_cells  # distinct positions
+
+
+class TestBatchScalarScratch:
+    def test_batch_equals_scalar_including_self_pairs(self, evaluator):
+        rng = np.random.default_rng(11)
+        n = evaluator.num_cells
+        pairs = rng.integers(0, n, size=(200, 2))
+        pairs[::25, 1] = pairs[::25, 0]  # sprinkle self-pairs
+        batch = evaluator.evaluate_swaps_batch(pairs)
+        assert batch.shape == (200,)
+        for k, (a, b) in enumerate(pairs.tolist()):
+            assert batch[k] == evaluator.evaluate_swap(int(a), int(b))
+        self_mask = pairs[:, 0] == pairs[:, 1]
+        assert np.all(batch[self_mask] == evaluator.cost())
+
+    def test_batch_matches_fresh_evaluator(self, problem, evaluator, spec):
+        rng = np.random.default_rng(12)
+        n = evaluator.num_cells
+        pairs = rng.integers(0, n, size=(40, 2))
+        batch = evaluator.evaluate_swaps_batch(pairs)
+        for (a, b), predicted in zip(pairs.tolist(), batch):
+            mutated = evaluator.snapshot()
+            mutated[[a, b]] = mutated[[b, a]]
+            scratch = problem.make_evaluator(mutated).cost()
+            assert predicted == pytest.approx(scratch, abs=spec.scratch_atol)
+
+    def test_commit_lands_on_the_evaluated_cost(self, evaluator, spec):
+        rng = np.random.default_rng(13)
+        n = evaluator.num_cells
+        for _ in range(20):
+            a, b = (int(x) for x in rng.integers(0, n, 2))
+            predicted = evaluator.evaluate_swap(a, b)
+            committed = evaluator.commit_swap(a, b)
+            assert committed == pytest.approx(predicted, abs=spec.scratch_atol)
+        evaluator.verify_consistency()
+
+    def test_self_pairs_do_not_count_as_work(self, evaluator):
+        before = evaluator.evaluations
+        evaluator.evaluate_swaps_batch([(4, 4), (5, 5)])
+        evaluator.commit_swap(6, 6)
+        assert evaluator.evaluations == before
+
+
+class TestDeltaAdoptEqualsFullInstall:
+    @staticmethod
+    def _swapped_target(base: np.ndarray, *, seed: int, swaps: int) -> np.ndarray:
+        """A target reachable from ``base`` by swaps — like every solution of
+        a protocol round (two independent random placements may occupy
+        different slot subsets, which the wire protocol never produces)."""
+        target = base.copy()
+        rng = np.random.default_rng(seed)
+        for _ in range(swaps):
+            a, b = rng.integers(0, base.shape[0], size=2)
+            target[[a, b]] = target[[b, a]]
+        return target
+
+    def test_swap_list_delta_matches_install(self, problem):
+        base = problem.random_solution(seed=1)
+        target = self._swapped_target(base, seed=2, swaps=12)
+        delta_eval = problem.make_evaluator(base)
+        delta = swap_list_between(base, target)
+        assert delta.shape[0] > 0
+        evaluations_before = delta_eval.evaluations
+        delta_cost = delta_eval.apply_swaps(delta, exact_timing=True)
+        full_cost = problem.make_evaluator(target).cost()
+        assert np.array_equal(delta_eval.snapshot(), target)
+        assert delta_cost == pytest.approx(full_cost, abs=1e-6)
+        # protocol bookkeeping, not search work
+        assert delta_eval.evaluations == evaluations_before
+        delta_eval.verify_consistency()
+
+    def test_adopt_after_search_walk(self, problem):
+        """Delta adoption must stay exact on caches warmed by a real walk."""
+        evaluator = problem.make_evaluator(problem.random_solution(seed=4))
+        rng = np.random.default_rng(44)
+        n = evaluator.num_cells
+        for _ in range(30):
+            a, b = (int(x) for x in rng.integers(0, n, 2))
+            evaluator.commit_swap(a, b)
+        target = self._swapped_target(evaluator.snapshot(), seed=5, swaps=9)
+        delta = swap_list_between(evaluator.snapshot(), target)
+        adopted = evaluator.apply_swaps(delta, exact_timing=True)
+        assert np.array_equal(evaluator.snapshot(), target)
+        assert adopted == pytest.approx(
+            problem.make_evaluator(target).cost(), abs=1e-6
+        )
+
+
+class TestEmptyAndDegenerateInputs:
+    def test_empty_batch_returns_empty_float_array(self, evaluator):
+        for empty in ([], np.zeros((0, 2), dtype=np.int64)):
+            result = evaluator.evaluate_swaps_batch(empty)
+            assert result.shape == (0,)
+            assert result.dtype == np.float64
+
+    def test_empty_apply_swaps_is_a_noop(self, evaluator):
+        cost = evaluator.cost()
+        assignment = evaluator.snapshot()
+        work = evaluator.evaluations
+        for empty in ([], np.zeros((0, 2), dtype=np.int64)):
+            assert evaluator.apply_swaps(empty) == pytest.approx(cost, abs=1e-9)
+            assert evaluator.apply_swaps(empty, exact_timing=True) == pytest.approx(
+                cost, abs=1e-9
+            )
+        assert np.array_equal(evaluator.snapshot(), assignment)
+        assert evaluator.evaluations == work
+
+    def test_self_pairs_inside_apply_swaps_are_dropped(self, evaluator):
+        cost = evaluator.cost()
+        assignment = evaluator.snapshot()
+        assert evaluator.apply_swaps([(3, 3), (7, 7)]) == pytest.approx(
+            cost, abs=1e-9
+        )
+        assert np.array_equal(evaluator.snapshot(), assignment)
+
+
+class TestSnapshots:
+    def test_save_restore_roundtrip(self, evaluator):
+        state = evaluator.save_state()
+        cost = evaluator.cost()
+        assignment = evaluator.snapshot()
+        rng = np.random.default_rng(21)
+        n = evaluator.num_cells
+        for _ in range(15):
+            a, b = (int(x) for x in rng.integers(0, n, 2))
+            evaluator.commit_swap(a, b)
+        assert not np.array_equal(evaluator.snapshot(), assignment)
+        evaluator.restore_state(state)
+        assert np.array_equal(evaluator.snapshot(), assignment)
+        assert evaluator.cost() == cost
+        evaluator.verify_consistency()
+
+    def test_install_solution_matches_fresh_evaluator(self, problem, evaluator):
+        target = problem.random_solution(seed=8)
+        installed = evaluator.install_solution(target)
+        assert np.array_equal(evaluator.snapshot(), target)
+        assert installed == pytest.approx(
+            problem.make_evaluator(target).cost(), abs=1e-9
+        )
+
+
+class TestDiversificationHook:
+    def test_distances_shape_and_sign(self, evaluator):
+        candidates = np.arange(1, 9)
+        distances = evaluator.diversification_distances(0, candidates)
+        assert distances.shape == (8,)
+        assert np.all(distances >= 0.0)
+
+    def test_distance_to_self_is_zero(self, evaluator):
+        assert evaluator.diversification_distances(5, np.array([5]))[0] == 0.0
+
+
+class TestSeededTrajectoryIdentity:
+    def _params(self) -> ParallelSearchParams:
+        return ParallelSearchParams(
+            num_tsws=2,
+            clws_per_tsw=2,
+            global_iterations=2,
+            tabu=TabuSearchParams(local_iterations=3, pairs_per_step=3, move_depth=2),
+            seed=77,
+        )
+
+    def test_serial_runs_are_identical(self, problem):
+        def run():
+            evaluator = problem.make_evaluator(problem.random_solution(seed=9))
+            search = TabuSearch(
+                evaluator,
+                TabuSearchParams(pairs_per_step=4, move_depth=2),
+                seed=5,
+            )
+            return search.run(TerminationCriteria(max_iterations=15))
+
+        first, second = run(), run()
+        assert first.trace == second.trace
+        assert first.best_cost == second.best_cost
+        assert np.array_equal(first.best_solution, second.best_solution)
+
+    def test_simulated_parallel_runs_are_identical(self, problem):
+        def run():
+            return run_parallel_search(
+                problem=problem, params=self._params(), backend="simulated"
+            )
+
+        first, second = run(), run()
+        assert first.trace == second.trace
+        assert first.best_cost == second.best_cost
+        assert np.array_equal(first.best_solution, second.best_solution)
+        assert first.best_cost < first.initial_cost
+
+    def test_serial_and_parallel_share_the_protocol_not_the_stream(self, problem):
+        """Workers own independent RNG streams by design (MPSS); the runs
+        must nonetheless agree on the *instance*: same reference anchor,
+        comparable costs, both improving from the same initial quality."""
+        serial_eval = problem.make_evaluator(problem.random_solution(seed=9))
+        serial = TabuSearch(
+            serial_eval, TabuSearchParams(pairs_per_step=4, move_depth=2), seed=5
+        ).run(TerminationCriteria(max_iterations=20))
+        parallel = run_parallel_search(
+            problem=problem, params=self._params(), backend="simulated"
+        )
+        assert serial.best_cost < 1.5
+        assert parallel.best_cost < parallel.initial_cost
+        assert parallel.best_cost == pytest.approx(serial.best_cost, abs=0.5)

@@ -16,9 +16,17 @@ class TestParser:
 
     def test_run_defaults(self):
         args = build_parser().parse_args(["run"])
-        assert args.circuit == "c532"
+        # the effective instance defaults to the domain's default (c532 for
+        # placement) inside _command_run; the parser leaves both flags unset
+        assert args.problem == "placement"
+        assert args.instance is None
+        assert args.circuit is None
         assert args.tsws == 4
         assert args.sync == "heterogeneous"
+
+    def test_run_rejects_unknown_problem(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--problem", "knapsack"])
 
     def test_unknown_figure_rejected(self):
         with pytest.raises(SystemExit):
