@@ -27,14 +27,17 @@ Method
 Results are written to ``BENCH_wallclock.json`` (override with the
 ``BENCH_WALLCLOCK_JSON`` env var); CI uploads the file per run to track the
 wall-clock trajectory alongside ``BENCH_micro.json``.  On a runner with at
-least four cores the 4-TSW configuration must reach >= 2.5x (raised from 2x
-once the delta protocol cut the per-iteration path overhead); the 8-TSW row
-is informational — it oversubscribes a 4-core runner by design.
+least four cores the 4-TSW configuration must reach >= 3x (raised from 2x
+once the delta protocol cut the per-iteration path overhead, and again from
+2.5x when the vectorized iteration driver cut the serial iteration itself);
+the 8-TSW row is informational — it oversubscribes a 4-core runner by
+design.
 
 Environment knobs:
 
 * ``REPRO_WALLCLOCK_TSWS``  — comma list of TSW counts (default ``2,4,8``)
 * ``REPRO_WALLCLOCK_ITERS`` — iterations per search path (default ``600``)
+* ``REPRO_WALLCLOCK_BAR``   — 4-TSW speedup bar (default ``3.0``)
 
 Run it directly (the spawn context requires the ``__main__`` guard)::
 
@@ -62,7 +65,9 @@ from repro.parallel import build_problem
 
 CIRCUIT = "c532"
 SEED = 2003
-SPEEDUP_BAR = 2.5  # acceptance: >= 2.5x with 4 TSWs on a >= 4-core runner
+#: Acceptance: >= 3x with 4 TSWs on a >= 4-core runner (overridable for
+#: slower/noisier environments).
+SPEEDUP_BAR = float(os.environ.get("REPRO_WALLCLOCK_BAR", "3.0"))
 
 
 def _available_cpus() -> int:

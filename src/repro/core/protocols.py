@@ -78,6 +78,16 @@ class SwapEvaluator(Protocol):
         scored independently against the *current* solution — semantically
         ``n`` scalar trials, computed in one vectorised pass.  Nothing is
         mutated.  An empty batch returns an empty ``float64`` array.
+
+        **Mask-aware batch contract** (what the vectorized iteration driver
+        builds on): the result is always a dense ``float64`` array aligned
+        with ``pairs``, so the driver can combine it element-wise with a
+        tabu/aspiration admissibility mask and select the best admissible
+        swap via ``argmin`` without consulting the evaluator again.  Scoring
+        must also be *batch-size invariant* — a pair's cost is bit-identical
+        whether it is scored alone, in its own range's batch, or inside a
+        fused batch covering several candidate ranges (the driver fuses all
+        ranges' step-1 trials into one call before their states diverge).
         """
         ...
 
@@ -98,6 +108,21 @@ class SwapEvaluator(Protocol):
         (delta shipment and full shipment are interchangeable), and the
         adoption does not count toward :attr:`evaluations`.  An empty
         sequence is a no-op apart from that exactness guarantee.
+        """
+        ...
+
+    def undo_swaps(self, pairs) -> float:
+        """Reverse a committed swap sequence (a swap is its own inverse).
+
+        ``pairs`` is the same sequence previously applied (via per-swap
+        commits or :meth:`apply_swaps`); the evaluator re-applies it in
+        reverse order as one bulk update, restoring the prior *assignment*
+        exactly.  Incremental cost surrogates may re-accumulate (the scalar
+        cost is approximately — not necessarily bit-identically — the prior
+        cost), and the reversal does not count toward :attr:`evaluations`.
+        The search drivers prefer state-snapshot rewinds (which *are*
+        bit-exact and benched faster); this is the protocol's copy-free
+        alternative for memory-constrained callers.
         """
         ...
 

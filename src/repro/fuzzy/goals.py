@@ -98,6 +98,16 @@ class FuzzyGoalAggregator:
             raise CostModelError(f"duplicate goal names: {names}")
         self._goals: Tuple[FuzzyGoal, ...] = tuple(goals)
         self._operator = OwaAndLike(beta)
+        # Hot-path constants for membership_batch: per-goal linear bounds and
+        # weights, precomputed once so the batched swap-evaluation kernel
+        # pays no per-call object construction or np.average bookkeeping.
+        self._bounds: Tuple[Tuple[float, float], ...] = tuple(
+            (g.goal, g.upper) for g in self._goals
+        )
+        self._weights: Tuple[float, ...] = tuple(g.weight for g in self._goals)
+        self._weight_sum = float(
+            np.add.reduce(np.array(self._weights, dtype=np.float64))
+        )
 
     @property
     def goals(self) -> Tuple[FuzzyGoal, ...]:
@@ -144,11 +154,21 @@ class FuzzyGoalAggregator:
         missing = [g.name for g in self._goals if g.name not in values]
         if missing:
             raise CostModelError(f"missing objective values for goals: {missing}")
-        mus = np.stack([g.membership_many(values[g.name]) for g in self._goals])
-        weights = np.array([g.weight for g in self._goals], dtype=np.float64)
+        # Same arithmetic as the stack/np.average formulation (sequential
+        # left-to-right reductions, division by the weight sum), fused into
+        # a handful of array ops so results stay bit-identical while the
+        # per-call dict/stack churn disappears.
         beta = self._operator.beta
-        weighted_mean = np.average(mus, axis=0, weights=weights)
-        return beta * mus.min(axis=0) + (1.0 - beta) * weighted_mean
+        weighted = None
+        lowest = None
+        for goal, (low, high), weight in zip(self._goals, self._bounds, self._weights):
+            scaled = (high - np.asarray(values[goal.name], dtype=np.float64)) / (high - low)
+            mu = np.clip(scaled, 0.0, 1.0)
+            term = mu * weight
+            weighted = term if weighted is None else weighted + term
+            lowest = mu if lowest is None else np.minimum(lowest, mu)
+        weighted = weighted / self._weight_sum
+        return beta * lowest + (1.0 - beta) * weighted
 
     def cost(self, values: Mapping[str, float]) -> float:
         """Scalar cost in ``[0, 1]``: ``1 - membership`` (lower is better)."""

@@ -146,6 +146,12 @@ class WirelengthState:
     has actually been swapped to keep the cache in sync.
     """
 
+    #: Largest ``num_cells * num_nets`` for which the dense boolean
+    #: cell-net incidence matrix is built (64 MB of bools at the cap); the
+    #: batched kernel uses it to answer "is the swap partner also on this
+    #: net?" with one gather instead of a lexsort over the flat items.
+    INCIDENCE_BUDGET = 64_000_000
+
     def __init__(self, placement: Placement) -> None:
         self._placement = placement
         self._netlist = placement.netlist
@@ -163,6 +169,17 @@ class WirelengthState:
             self._netlist.nets_of_cell(c).tolist() for c in range(placement.num_cells)
         ]
         self._weights_list = self._netlist.net_weights.tolist()
+        num_cells = placement.num_cells
+        num_nets = self._netlist.num_nets
+        if 0 < num_cells * num_nets <= self.INCIDENCE_BUDGET:
+            incidence = np.zeros((num_cells, num_nets), dtype=bool)
+            flat_nets, counts = self._netlist.nets_of_cells_flat(
+                np.arange(num_cells, dtype=np.int64)
+            )
+            incidence[np.repeat(np.arange(num_cells, dtype=np.int64), counts), flat_nets] = True
+            self._incidence: np.ndarray | None = incidence
+        else:
+            self._incidence = None
         self.rebuild()
 
     # ------------------------------------------------------------------ #
@@ -280,23 +297,27 @@ class WirelengthState:
         if net.size == 0:
             return out
 
-        # --- step 2: drop self-swaps and shared nets ----------------------- #
+        # --- step 2: neutralise self-swaps and shared nets ----------------- #
+        # An item is inactive when the pair is a self-swap or when the swap
+        # partner sits on the same net (the swap permutes that net's pins).
+        # Inactive items are *not* filtered out — they flow through the O(1)
+        # edge updates (where a self-swap's from == to makes the delta vanish
+        # naturally) and are zeroed in the final per-item reduction, which is
+        # far cheaper than re-gathering seven arrays through a boolean mask
+        # and needs no sort to find the duplicates.
         active = (a != b)[pair]
-        order = np.lexsort((net, pair))
-        dup = (net[order][1:] == net[order][:-1]) & (pair[order][1:] == pair[order][:-1])
-        shared = np.zeros(net.size, dtype=bool)
-        shared[order[1:][dup]] = True
-        shared[order[:-1][dup]] = True
-        active &= ~shared
+        if self._incidence is not None:
+            other = np.concatenate([np.repeat(b, deg_a), np.repeat(a, deg_b)])
+            active &= ~self._incidence[other, net]
+        else:  # degenerate giant instance: sort-based duplicate detection
+            order = np.lexsort((net, pair))
+            dup = (net[order][1:] == net[order][:-1]) & (pair[order][1:] == pair[order][:-1])
+            shared = np.zeros(net.size, dtype=bool)
+            shared[order[1:][dup]] = True
+            shared[order[:-1][dup]] = True
+            active &= ~shared
         if not active.any():
             return out
-        pair = pair[active]
-        net = net[active]
-        moved = moved[active]
-        from_x = from_x[active]
-        from_y = from_y[active]
-        to_x = to_x[active]
-        to_y = to_y[active]
 
         # --- step 3: O(1) bbox-edge updates from the cache ----------------- #
         new_x_min, fb_x_min = _shrink_min(self._x_min[net], self._n_x_min[net], from_x, to_x)
@@ -305,7 +326,9 @@ class WirelengthState:
         new_y_max, fb_y_max = _shrink_max(self._y_max[net], self._n_y_max[net], from_y, to_y)
 
         # --- step 4: segment-reduce fallback for vacated edges ------------- #
-        fallback = fb_x_min | fb_x_max | fb_y_min | fb_y_max
+        # inactive items are excluded: their contribution is zeroed below, so
+        # re-reducing their members would be pure waste
+        fallback = (fb_x_min | fb_x_max | fb_y_min | fb_y_max) & active
         if fallback.any():
             idx = np.flatnonzero(fallback)
             members, counts = netlist.net_members_of(net[idx])
@@ -321,6 +344,7 @@ class WirelengthState:
 
         new_hpwl = (new_x_max - new_x_min) + (new_y_max - new_y_min)
         per_item = netlist.net_weights[net] * (new_hpwl - self._per_net[net])
+        per_item *= active  # zero the contributions of masked items
         out[:] = np.bincount(pair, weights=per_item, minlength=num_pairs)
         return out
 

@@ -6,13 +6,19 @@ from .aspiration import (
     ImprovementAspiration,
     NoAspiration,
 )
-from .attributes import AttributeScheme, MoveAttribute, swap_attributes
+from .attributes import (
+    AttributeScheme,
+    MoveAttribute,
+    pair_attribute_indices,
+    swap_attributes,
+)
 from .candidate import (
     CellRange,
     collision_probability,
     full_range,
     partition_cells,
     sample_candidate_pairs,
+    sample_candidate_pairs_array,
 )
 from .diversification import DiversificationResult, diversify
 from .moves import (
@@ -24,7 +30,7 @@ from .moves import (
 )
 from .params import TabuSearchParams
 from .search import SearchResult, StepResult, TabuSearch, make_aspiration
-from .tabu_list import FrequencyMemory, TabuList
+from .tabu_list import ArrayTabuList, FrequencyMemory, TabuList, make_tabu_list
 from .termination import TerminationCriteria
 
 __all__ = [
@@ -35,11 +41,13 @@ __all__ = [
     "AttributeScheme",
     "MoveAttribute",
     "swap_attributes",
+    "pair_attribute_indices",
     "CellRange",
     "collision_probability",
     "full_range",
     "partition_cells",
     "sample_candidate_pairs",
+    "sample_candidate_pairs_array",
     "DiversificationResult",
     "diversify",
     "CompoundMove",
@@ -54,5 +62,7 @@ __all__ = [
     "make_aspiration",
     "FrequencyMemory",
     "TabuList",
+    "ArrayTabuList",
+    "make_tabu_list",
     "TerminationCriteria",
 ]

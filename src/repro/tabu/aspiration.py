@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 __all__ = ["AspirationCriterion", "BestCostAspiration", "NoAspiration", "ImprovementAspiration"]
 
 
@@ -23,6 +25,22 @@ class AspirationCriterion:
     def permits(self, candidate_cost: float, current_cost: float, best_cost: float) -> bool:
         """Return ``True`` to override the tabu status of a move."""
         raise NotImplementedError  # pragma: no cover - interface
+
+    def permits_batch(
+        self, candidate_costs: np.ndarray, current_cost: float, best_cost: float
+    ) -> np.ndarray:
+        """Vectorised :meth:`permits` over a whole candidate batch.
+
+        The base implementation loops (correct for any subclass); the
+        built-in criteria override it with a single array comparison whose
+        result is element-wise identical to the scalar rule.
+        """
+        costs = np.asarray(candidate_costs, dtype=np.float64)
+        return np.fromiter(
+            (self.permits(float(c), current_cost, best_cost) for c in costs),
+            dtype=bool,
+            count=costs.size,
+        )
 
 
 @dataclass(frozen=True, slots=True)
@@ -39,6 +57,12 @@ class BestCostAspiration(AspirationCriterion):
         threshold = best_cost * (1.0 - self.margin) if best_cost > 0 else best_cost
         return candidate_cost < threshold
 
+    def permits_batch(
+        self, candidate_costs: np.ndarray, current_cost: float, best_cost: float
+    ) -> np.ndarray:
+        threshold = best_cost * (1.0 - self.margin) if best_cost > 0 else best_cost
+        return np.asarray(candidate_costs, dtype=np.float64) < threshold
+
 
 @dataclass(frozen=True, slots=True)
 class ImprovementAspiration(AspirationCriterion):
@@ -47,6 +71,11 @@ class ImprovementAspiration(AspirationCriterion):
     def permits(self, candidate_cost: float, current_cost: float, best_cost: float) -> bool:
         return candidate_cost < current_cost
 
+    def permits_batch(
+        self, candidate_costs: np.ndarray, current_cost: float, best_cost: float
+    ) -> np.ndarray:
+        return np.asarray(candidate_costs, dtype=np.float64) < current_cost
+
 
 @dataclass(frozen=True, slots=True)
 class NoAspiration(AspirationCriterion):
@@ -54,3 +83,8 @@ class NoAspiration(AspirationCriterion):
 
     def permits(self, candidate_cost: float, current_cost: float, best_cost: float) -> bool:
         return False
+
+    def permits_batch(
+        self, candidate_costs: np.ndarray, current_cost: float, best_cost: float
+    ) -> np.ndarray:
+        return np.zeros(np.asarray(candidate_costs).size, dtype=bool)

@@ -10,7 +10,12 @@ For the cell-placement swap move two natural attribute schemes exist:
 * ``CELL`` — each moved cell individually; more aggressive, forbids touching
   a recently moved cell at all.
 
-Both are value objects usable as dictionary keys.
+Both are value objects usable as dictionary keys.  The array-backed tabu
+list additionally addresses attributes by a dense integer *index* —
+``lo * num_cells + hi`` for pairs, the cell itself for cells — computed in
+bulk for whole candidate batches by :func:`pair_attribute_indices`.  The
+same ``num_cells``-strided code space would accommodate a future cell×slot
+("slot") scheme without changing the vector layout.
 """
 
 from __future__ import annotations
@@ -19,7 +24,14 @@ import enum
 from dataclasses import dataclass
 from typing import Tuple
 
-__all__ = ["AttributeScheme", "MoveAttribute", "swap_attributes"]
+import numpy as np
+
+__all__ = [
+    "AttributeScheme",
+    "MoveAttribute",
+    "swap_attributes",
+    "pair_attribute_indices",
+]
 
 
 class AttributeScheme(enum.Enum):
@@ -61,3 +73,17 @@ def swap_attributes(
     if scheme is AttributeScheme.PAIR:
         return (MoveAttribute.pair(cell_a, cell_b),)
     return (MoveAttribute.cell(cell_a), MoveAttribute.cell(cell_b))
+
+
+def pair_attribute_indices(pairs: np.ndarray, num_cells: int) -> np.ndarray:
+    """Dense index of every pair attribute: ``min * num_cells + max``.
+
+    ``pairs`` is an ``(n, 2)`` integer array of cell pairs; the result is an
+    ``(n,)`` int64 array addressing the array-backed tabu list's pair-expiry
+    vector.  The canonical (sorted) pair order makes the index orientation
+    independent, matching :meth:`MoveAttribute.pair`.
+    """
+    arr = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+    lo = np.minimum(arr[:, 0], arr[:, 1])
+    hi = np.maximum(arr[:, 0], arr[:, 1])
+    return lo * np.int64(num_cells) + hi

@@ -23,7 +23,7 @@ import numpy as np
 from ..core.protocols import SwapEvaluator
 from ..errors import TabuSearchError
 from .candidate import CellRange
-from .tabu_list import FrequencyMemory
+from .tabu_list import FrequencyMemory, least_moved_of
 
 __all__ = ["DiversificationResult", "diversify"]
 
@@ -91,10 +91,16 @@ def diversify(
     swaps: List[Tuple[int, int]] = []
     trials = 0
     range_array = cell_range.as_array()
+    # Selection works on a scratch copy of the move counts so each step
+    # still sees the cells moved by the *previous* steps of this same
+    # perturbation (identical choices to incremental recording), while the
+    # real long-term memory is updated once, in bulk, at the end — no
+    # per-swap Python increments on the accept path.
+    scratch_counts = frequency.counts.copy() if frequency is not None else None
 
     for _ in range(depth):
-        if frequency is not None:
-            cell = frequency.least_moved(range_array, rng)
+        if scratch_counts is not None:
+            cell = least_moved_of(scratch_counts, range_array, rng)
         else:
             cell = cell_range.sample(rng)
         # sample partner candidates from the whole cell space, excluding `cell`
@@ -104,8 +110,12 @@ def diversify(
         trials += partner_sample
         evaluator.commit_swap(cell, partner)
         swaps.append((cell, partner))
-        if frequency is not None:
-            frequency.record_swap(cell, partner)
+        if scratch_counts is not None:
+            scratch_counts[cell] += 1
+            scratch_counts[partner] += 1
+
+    if frequency is not None and swaps:
+        frequency.record_swaps(np.asarray(swaps, dtype=np.int64))
 
     return DiversificationResult(
         swaps=tuple(swaps),

@@ -22,13 +22,13 @@ incremental objective caches — any registered problem domain works.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.protocols import SwapEvaluator
 from ..errors import TabuSearchError
-from .candidate import CellRange, sample_candidate_pairs
+from .candidate import CellRange, sample_candidate_pairs_array
 
 __all__ = [
     "SwapMove",
@@ -37,6 +37,12 @@ __all__ = [
     "best_swap_of_candidates",
     "build_compound_move",
 ]
+
+#: Admissibility hook of the mask-aware builder: given the step's candidate
+#: pairs ``(m, 2)`` and their batch-evaluated costs ``(m,)``, return a boolean
+#: mask of pairs the driver allows (non-tabu, or tabu-but-aspiring), or
+#: ``None`` for "everything is admissible".
+AdmissibleFn = Callable[[np.ndarray, np.ndarray], Optional[np.ndarray]]
 
 
 @dataclass(frozen=True, slots=True)
@@ -97,6 +103,12 @@ class CompoundMove:
         """The swapped cell pairs in application order."""
         return [(s.cell_a, s.cell_b) for s in self.swaps]
 
+    def pairs_array(self) -> np.ndarray:
+        """The swapped cell pairs as an ``(depth, 2)`` int64 array."""
+        if not self.swaps:
+            return np.zeros((0, 2), dtype=np.int64)
+        return np.array([(s.cell_a, s.cell_b) for s in self.swaps], dtype=np.int64)
+
 
 def best_swap_of_candidates(
     evaluator: SwapEvaluator,
@@ -146,6 +158,8 @@ class CompoundMoveBuilder:
         pairs_per_step: int,
         depth: int,
         early_accept: bool = True,
+        admissible: Optional[AdmissibleFn] = None,
+        range_array: Optional[np.ndarray] = None,
     ) -> None:
         if pairs_per_step <= 0:
             raise TabuSearchError(f"pairs_per_step must be positive, got {pairs_per_step}")
@@ -153,9 +167,15 @@ class CompoundMoveBuilder:
             raise TabuSearchError(f"depth must be positive, got {depth}")
         self._evaluator = evaluator
         self._range = cell_range
+        # the driver passes the range as a pre-built array so per-iteration
+        # builder construction does not re-convert the cell tuple
+        self._range_array = range_array if range_array is not None else cell_range.as_array()
         self._pairs_per_step = pairs_per_step
         self._depth = depth
         self._early_accept = early_accept
+        self._admissible = admissible
+        self._seeded_pairs: Optional[np.ndarray] = None
+        self._seeded_costs: Optional[np.ndarray] = None
         self._cost_before = evaluator.cost()
         self._committed: List[SwapMove] = []
         # The best prefix is the shortest non-empty prefix with the lowest
@@ -193,18 +213,59 @@ class CompoundMoveBuilder:
             and len(self._committed) < self._depth
         )
 
+    def seed_step(self, pairs: np.ndarray, costs: np.ndarray) -> None:
+        """Pre-load the next step's candidate pairs and their batch costs.
+
+        The iteration driver scores the *first* step of every candidate
+        range in one fused ``evaluate_swaps_batch`` call (all ranges start
+        from the same solution, so their step-1 trials are independent of
+        each other); the per-range slices are handed to each builder here
+        and consumed by the next :meth:`step` without sampling or
+        re-evaluating.
+        """
+        if self._committed or self._seeded_pairs is not None:
+            raise TabuSearchError("seed_step() is only valid before the first step")
+        self._seeded_pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        self._seeded_costs = np.asarray(costs, dtype=np.float64)
+        if self._seeded_pairs.shape[0] != self._seeded_costs.shape[0]:
+            raise TabuSearchError("seeded pairs and costs must have matching length")
+
     def step(self, rng: np.random.Generator) -> int:
-        """Trial ``pairs_per_step`` candidates, commit the best; returns trials used."""
+        """Trial ``pairs_per_step`` candidates, commit the best; returns trials used.
+
+        The best candidate is the lowest-cost *admissible* pair when an
+        admissibility hook is installed (tabu-and-aspiration filtering
+        pushed into the scoring pass); with every pair masked out, the step
+        falls back to the overall best — the builder must always commit
+        something, and the driver's move-level tabu check still guards the
+        final acceptance.
+        """
         if self._finalized:
             raise TabuSearchError("step() called after finalize()")
         if not self.wants_more_steps():
             return 0
-        num_cells = self._evaluator.num_cells
-        pairs = sample_candidate_pairs(self._range, num_cells, self._pairs_per_step, rng)
+        if self._seeded_pairs is not None:
+            pairs, costs = self._seeded_pairs, self._seeded_costs
+            self._seeded_pairs = None
+            self._seeded_costs = None
+        else:
+            pairs = sample_candidate_pairs_array(
+                self._range_array, self._evaluator.num_cells, self._pairs_per_step, rng
+            )
+            costs = self._evaluator.evaluate_swaps_batch(pairs)
         self._trials += len(pairs)
-        best = best_swap_of_candidates(self._evaluator, pairs)
-        if best is None:  # pragma: no cover - sample_candidate_pairs never returns empty
+        if len(pairs) == 0:  # pragma: no cover - samplers never return empty
             return 0
+        mask = self._admissible(pairs, costs) if self._admissible is not None else None
+        if mask is None or not mask.any():
+            best_index = int(np.argmin(costs))
+        else:
+            best_index = int(np.argmin(np.where(mask, costs, np.inf)))
+        best = SwapMove(
+            cell_a=int(pairs[best_index, 0]),
+            cell_b=int(pairs[best_index, 1]),
+            cost_after=float(costs[best_index]),
+        )
         self._evaluator.commit_swap(best.cell_a, best.cell_b)
         self._committed.append(best)
         current_cost = self._evaluator.cost()
@@ -249,6 +310,7 @@ def build_compound_move(
     depth: int,
     rng: np.random.Generator,
     early_accept: bool = True,
+    admissible: Optional[AdmissibleFn] = None,
 ) -> CompoundMove:
     """Construct and apply a compound move on ``evaluator``'s solution.
 
@@ -264,6 +326,9 @@ def build_compound_move(
         ``d`` — maximum number of committed swaps.
     early_accept:
         Stop as soon as the accumulated cost improves on the starting cost.
+    admissible:
+        Optional per-step admissibility hook (tabu-and-aspiration mask); see
+        :class:`CompoundMoveBuilder`.
     """
     builder = CompoundMoveBuilder(
         evaluator,
@@ -271,6 +336,7 @@ def build_compound_move(
         pairs_per_step=pairs_per_step,
         depth=depth,
         early_accept=early_accept,
+        admissible=admissible,
     )
     while builder.wants_more_steps():
         builder.step(rng)

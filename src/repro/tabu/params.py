@@ -28,7 +28,11 @@ class TabuSearchParams:
       global iteration.
 
     Attributes not in the paper but exposed for ablations: the attribute
-    scheme, the early-accept flag and the aspiration margin.
+    scheme, the early-accept flag, the aspiration margin and the iteration
+    ``driver`` — ``"vectorized"`` (array-backed tabu memory, fused candidate
+    scoring, copy-light accepts) or ``"reference"`` (the dict-based oracle
+    driver that walks the identical trajectory with per-attribute Python
+    bookkeeping; kept for the trajectory-identity suite and debugging).
     """
 
     tabu_tenure: int = 7
@@ -40,6 +44,7 @@ class TabuSearchParams:
     attribute_scheme: AttributeScheme = AttributeScheme.PAIR
     aspiration: Literal["best", "improvement", "none"] = "best"
     aspiration_margin: float = 0.0
+    driver: Literal["vectorized", "reference"] = "vectorized"
 
     def __post_init__(self) -> None:
         if self.tabu_tenure < 0:
@@ -60,6 +65,8 @@ class TabuSearchParams:
             raise TabuSearchError(
                 f"aspiration_margin must be in [0, 1), got {self.aspiration_margin}"
             )
+        if self.driver not in ("vectorized", "reference"):
+            raise TabuSearchError(f"unknown iteration driver {self.driver!r}")
 
     def with_(self, **changes) -> "TabuSearchParams":
         """Return a copy with the given fields replaced."""

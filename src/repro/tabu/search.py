@@ -6,13 +6,28 @@ domain's) through tabu-search iterations:
 
 1. build one or more candidate *compound moves* (the candidate list
    :math:`V^*(s)` — in the parallel algorithm each CLW contributes one
-   candidate; the serial engine builds them sequentially);
+   candidate; the serial engine builds them sequentially).  The first step
+   of every candidate range starts from the same solution, so all ranges'
+   step-1 trials are scored in one fused batch, and each step's selection
+   already filters tabu pairs (with a vectorised aspiration override) so
+   candidates are built admissible whenever possible;
 2. pick the candidate with the lowest resulting cost;
 3. accept it if it is not tabu, or if it satisfies the aspiration criterion;
    otherwise fall back to the next-best candidate; if every candidate is
    rejected the iteration stalls;
-4. record the accepted move's attributes in the tabu list and update the best
-   solution found so far.
+4. record the accepted move's attributes in the tabu list (one bulk scatter)
+   and the moved cells in the frequency memory (one bulk accumulate), and
+   update the best solution found so far.  Locally built winners are
+   *jumped to* via the end-state snapshot the builder left behind instead of
+   re-committing every swap.
+
+Two interchangeable iteration drivers implement these semantics
+(``TabuSearchParams.driver``): the default ``"vectorized"`` driver runs on
+the array-backed :class:`~repro.tabu.tabu_list.ArrayTabuList` with masked
+batch selection, while the ``"reference"`` driver performs the identical
+algorithm with the dictionary tabu memory and per-attribute Python loops —
+seeded runs of the two walk bit-identical trajectories (enforced by
+``tests/tabu/test_driver_identity.py``).
 
 The same class is reused inside the parallel Tabu Search Workers, where the
 candidate compound moves come from remote CLWs instead of being generated
@@ -22,7 +37,7 @@ locally (see :mod:`repro.parallel.tsw`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -35,12 +50,11 @@ from .aspiration import (
     ImprovementAspiration,
     NoAspiration,
 )
-from .attributes import swap_attributes
-from .candidate import CellRange, full_range
+from .candidate import CellRange, full_range, sample_candidate_pairs_array
 from .diversification import diversify
-from .moves import CompoundMove, build_compound_move
+from .moves import CompoundMove, CompoundMoveBuilder
 from .params import TabuSearchParams
-from .tabu_list import FrequencyMemory, TabuList
+from .tabu_list import ArrayTabuList, FrequencyMemory, TabuList, make_tabu_list
 from .termination import TerminationCriteria
 
 __all__ = ["StepResult", "SearchResult", "TabuSearch", "make_aspiration"]
@@ -124,8 +138,13 @@ class TabuSearch:
             self._candidate_ranges: Tuple[CellRange, ...] = tuple(candidate_ranges)
         else:
             self._candidate_ranges = tuple([self._range] * candidate_moves)
+        self._range_arrays = tuple(r.as_array() for r in self._candidate_ranges)
         self._rng = make_rng(seed, "tabu-search", evaluator.instance_name)
-        self._tabu = TabuList(self._params.tabu_tenure)
+        self._vectorized = self._params.driver == "vectorized"
+        self._scheme = self._params.attribute_scheme
+        self._tabu = make_tabu_list(
+            self._params.tabu_tenure, evaluator.num_cells, vectorized=self._vectorized
+        )
         self._frequency = FrequencyMemory(evaluator.num_cells)
         self._aspiration = make_aspiration(self._params)
         self._iteration = 0
@@ -147,8 +166,8 @@ class TabuSearch:
         return self._params
 
     @property
-    def tabu_list(self) -> TabuList:
-        """Short-term memory."""
+    def tabu_list(self):
+        """Short-term memory (:class:`TabuList` or :class:`ArrayTabuList`)."""
         return self._tabu
 
     @property
@@ -219,17 +238,24 @@ class TabuSearch:
         self,
         payload: Sequence[Tuple[str, Tuple[int, ...], int]],
         tenure: Optional[int] = None,
-    ) -> TabuList:
+    ):
         """Install a tabu list received from outside (master / parent TSW).
 
         The paper's protocol ships the incumbent's tabu list together with
         the solution; this is the public hook for it — backends must not
         reach into the search's internals.  ``payload`` is
-        :meth:`TabuList.to_payload` output; ``tenure`` defaults to the
-        search's configured ``tabu_tenure``.  Returns the installed list.
+        ``to_payload()`` output of either memory implementation; ``tenure``
+        defaults to the search's configured ``tabu_tenure``.  The installed
+        list matches this search's driver (the wire format is shared), and
+        is returned.
         """
         effective_tenure = self._params.tabu_tenure if tenure is None else tenure
-        self._tabu = TabuList.from_payload(payload, effective_tenure)
+        if isinstance(self._tabu, ArrayTabuList):
+            self._tabu = ArrayTabuList.from_payload(
+                payload, effective_tenure, self._evaluator.num_cells
+            )
+        else:
+            self._tabu = TabuList.from_payload(payload, effective_tenure)
         return self._tabu
 
     def note_best(self) -> None:
@@ -263,62 +289,144 @@ class TabuSearch:
     # ------------------------------------------------------------------ #
     # the core iteration
     # ------------------------------------------------------------------ #
-    def _build_candidates(self) -> List[CompoundMove]:
-        """Generate candidate compound moves, restoring the state after each.
+    def _admissible_fn(
+        self, iteration: int, current_cost: float, best_cost: float
+    ) -> Callable[[np.ndarray, np.ndarray], Optional[np.ndarray]]:
+        """Per-step admissibility hook: non-tabu pairs, or tabu-but-aspiring.
 
-        The starting solution is captured once as a cheap snapshot; after
-        each candidate the evaluator is rewound with a state restore instead
-        of reverse-committing every swap (which would pay full cache updates
-        twice per candidate — commit + reverse commit).
+        Handed to the compound-move builders so tabu filtering happens
+        *inside* the candidate scoring pass — the builder's argmin then
+        selects the best admissible swap directly.  Both drivers compute the
+        same mask; the vectorized one via an expiry-vector gather and an
+        array aspiration compare, the reference one via the dict memory's
+        per-attribute loop and scalar aspiration calls.
         """
-        candidates: List[CompoundMove] = []
-        start_state = self._evaluator.save_state()
-        for cand_range in self._candidate_ranges:
-            move = build_compound_move(
-                self._evaluator,
-                cand_range,
-                pairs_per_step=self._params.pairs_per_step,
-                depth=self._params.move_depth,
-                rng=self._rng,
-                early_accept=self._params.early_accept,
-            )
-            # rewind so every candidate is built from the same starting solution
-            self._evaluator.restore_state(start_state)
-            candidates.append(move)
-        return candidates
+        tabu = self._tabu
+        scheme = self._scheme
+        aspiration = self._aspiration
+        if self._vectorized:
+            def admissible(pairs: np.ndarray, costs: np.ndarray) -> Optional[np.ndarray]:
+                mask = tabu.is_tabu_mask(pairs, iteration, scheme)
+                if not mask.any():
+                    return None
+                return ~mask | aspiration.permits_batch(costs, current_cost, best_cost)
+        else:
+            def admissible(pairs: np.ndarray, costs: np.ndarray) -> Optional[np.ndarray]:
+                mask = tabu.is_tabu_mask(pairs, iteration, scheme)
+                if not mask.any():
+                    return None
+                permitted = np.fromiter(
+                    (
+                        aspiration.permits(float(cost), current_cost, best_cost)
+                        for cost in costs
+                    ),
+                    dtype=bool,
+                    count=len(costs),
+                )
+                return ~mask | permitted
+        return admissible
 
-    def consider_candidates(self, candidates: Sequence[CompoundMove]) -> StepResult:
+    def _build_candidates(self) -> Tuple[List[CompoundMove], List[object]]:
+        """Generate candidate compound moves plus their end-state tokens.
+
+        The step-1 candidate pairs of *every* range are drawn up front and —
+        under the vectorized driver — scored in one fused batch call (every
+        range starts from the same solution, so the trials are independent).
+        Each candidate is built with per-step tabu/aspiration filtering,
+        its end state is captured as a cheap snapshot, and the evaluator is
+        rewound to the common start with a state restore.  The returned end
+        states let the accept path *jump* onto the winning candidate instead
+        of re-committing its swaps (copy-light rewinds both ways).
+        """
+        evaluator = self._evaluator
+        params = self._params
+        rng = self._rng
+        iteration = self._iteration + 1  # the iteration these candidates feed
+        current_cost = evaluator.cost()
+        admissible = self._admissible_fn(iteration, current_cost, self._best_cost)
+        num_candidates = len(self._candidate_ranges)
+        pairs_per_step = params.pairs_per_step
+        num_cells = evaluator.num_cells
+
+        # step-1 pairs for every range, drawn up front in range order
+        first_pairs = [
+            sample_candidate_pairs_array(range_array, num_cells, pairs_per_step, rng)
+            for range_array in self._range_arrays
+        ]
+        if self._vectorized and num_candidates > 1:
+            # one fused scoring pass before the candidates' states diverge
+            fused = evaluator.evaluate_swaps_batch(np.concatenate(first_pairs))
+            first_costs = [
+                fused[k * pairs_per_step : (k + 1) * pairs_per_step]
+                for k in range(num_candidates)
+            ]
+        else:
+            first_costs = [evaluator.evaluate_swaps_batch(p) for p in first_pairs]
+
+        start_state = evaluator.save_state()
+        candidates: List[CompoundMove] = []
+        end_states: List[object] = []
+        for index in range(num_candidates):
+            builder = CompoundMoveBuilder(
+                evaluator,
+                self._candidate_ranges[index],
+                pairs_per_step=pairs_per_step,
+                depth=params.move_depth,
+                early_accept=params.early_accept,
+                admissible=admissible,
+                range_array=self._range_arrays[index],
+            )
+            builder.seed_step(first_pairs[index], first_costs[index])
+            while builder.wants_more_steps():
+                builder.step(rng)
+            candidates.append(builder.finalize())
+            end_states.append(evaluator.save_state())
+            # rewind so every candidate is built from the same starting solution
+            evaluator.restore_state(start_state)
+        return candidates, end_states
+
+    def consider_candidates(
+        self,
+        candidates: Sequence[CompoundMove],
+        end_states: Optional[Sequence[object]] = None,
+    ) -> StepResult:
         """Select and (maybe) accept the best candidate move.
 
         This is the acceptance logic shared by the serial engine and the TSW
         process (whose candidates arrive from remote CLWs).  The evaluator
         must be positioned on the solution the candidates were built from.
+        A locally built candidate with an end-state token is accepted by
+        restoring that token (a handful of array copies); a remote candidate
+        is bulk-committed through the evaluator's ``apply_swaps`` path.
+        Accepted attributes and move counts are recorded in bulk.
         """
         self._iteration += 1
         iteration = self._iteration
+        # sweep lapsed attributes once per iteration, accepted or stalled
+        # (amortised O(dropped) for the dict memory, lazy no-op for the
+        # array memory), so both memories expose the same live set
+        self._tabu.expire(iteration)
         current_cost = self._evaluator.cost()
-        ordered = sorted(candidates, key=lambda move: move.cost_after)
+        order = sorted(range(len(candidates)), key=lambda k: candidates[k].cost_after)
 
-        for move in ordered:
+        for index in order:
+            move = candidates[index]
             if not move.swaps:
                 continue
-            attrs = [
-                attr
-                for cell_a, cell_b in move.pairs()
-                for attr in swap_attributes(cell_a, cell_b, self._params.attribute_scheme)
-            ]
-            is_tabu = self._tabu.is_tabu(attrs, iteration)
+            pairs = move.pairs_array()
+            is_tabu = self._tabu.is_tabu_pairs(pairs, iteration, self._scheme)
             used_aspiration = False
             if is_tabu:
                 if not self._aspiration.permits(move.cost_after, current_cost, self._best_cost):
                     continue
                 used_aspiration = True
-            # accept: apply the move's swaps and update memories
-            for cell_a, cell_b in move.pairs():
-                self._evaluator.commit_swap(cell_a, cell_b)
-                self._frequency.record_swap(cell_a, cell_b)
-            self._tabu.record(attrs, iteration)
-            self._tabu.expire(iteration)
+            # accept: land on the move's end state and update the memories
+            if end_states is not None and end_states[index] is not None:
+                self._evaluator.restore_state(end_states[index])
+            else:
+                self._evaluator.apply_swaps(pairs)
+            self._frequency.record_swaps(pairs)
+            self._tabu.record_pairs(pairs, iteration, self._scheme)
             cost_after = self._evaluator.cost()
             if cost_after < self._best_cost:
                 self._best_cost = cost_after
@@ -350,8 +458,8 @@ class TabuSearch:
 
     def step(self) -> StepResult:
         """Run one complete tabu-search iteration (build + accept)."""
-        candidates = self._build_candidates()
-        return self.consider_candidates(candidates)
+        candidates, end_states = self._build_candidates()
+        return self.consider_candidates(candidates, end_states)
 
     def run(
         self,

@@ -1,29 +1,53 @@
 """Short-term and long-term tabu memory.
 
-:class:`TabuList` is the short-term memory of the paper's Figure 1: it stores
-the attributes of recently accepted moves together with the iteration at
-which their tabu status expires.  A move is *tabu* if any of its attributes is
-still active.
+Two interchangeable short-term memories implement the paper's Figure 1
+semantics (a move is *tabu* while any of its attributes is still active):
+
+* :class:`TabuList` — the dictionary **reference oracle**: attributes are
+  hashable :class:`~repro.tabu.attributes.MoveAttribute` keys mapping to the
+  iteration at which their tabu status expires.  Expiry sweeping is
+  amortised O(1) per iteration via per-expiry buckets (at most ``tenure``
+  distinct expiry values are ever live, so a sweep touches only the buckets
+  that actually lapsed instead of rescanning the whole live list).
+* :class:`ArrayTabuList` — the **vectorized** memory used by the fast
+  iteration driver: one int64 expiry vector per attribute kind, indexed
+  densely (``lo * num_cells + hi`` for pair attributes, the cell index for
+  cell attributes).  ``is_tabu_mask`` answers a whole candidate batch with
+  one gather-and-compare, ``record_pairs`` records a whole compound move
+  with one scatter, and expiry is *lazy* — a stale entry simply compares as
+  not-tabu, so nothing is ever swept.
+
+Both expose the same driver-facing surface (``record_pairs`` /
+``is_tabu_pairs`` / ``is_tabu_mask`` / ``expire`` / ``to_payload``), which
+is what lets the trajectory-identity suite drive the two implementations
+through identical search runs.
 
 :class:`FrequencyMemory` is the long-term memory used by diversification: it
 counts how often every cell has been moved, so the diversification step can
 push rarely moved cells to new locations (Kelly-style diversification).
+``record_swaps`` commits a whole accepted compound move in one bulk update.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from ..errors import TabuSearchError
-from .attributes import MoveAttribute
+from .attributes import AttributeScheme, MoveAttribute, pair_attribute_indices, swap_attributes
 
-__all__ = ["TabuList", "FrequencyMemory"]
+__all__ = ["TabuList", "ArrayTabuList", "FrequencyMemory", "make_tabu_list"]
+
+#: Largest instance for which the dense pair-expiry vector is allocated
+#: (``num_cells**2`` int64 entries — 128 MiB at the cap).  Beyond it the
+#: vectorized driver falls back to the dictionary memory, whose mask methods
+#: are loop-based but semantically identical.
+ARRAY_TABU_MAX_CELLS = 4096
 
 
 class TabuList:
-    """Attribute-based short-term memory with a fixed tenure.
+    """Attribute-based short-term memory with a fixed tenure (dict oracle).
 
     Parameters
     ----------
@@ -36,6 +60,10 @@ class TabuList:
             raise TabuSearchError(f"tabu tenure must be non-negative, got {tenure}")
         self._tenure = tenure
         self._expiry: Dict[MoveAttribute, int] = {}
+        # expiry value -> attributes recorded with that expiry; an attribute
+        # re-recorded later stays in its old bucket but the sweep checks the
+        # dict before dropping it, so stale bucket entries are harmless.
+        self._buckets: Dict[int, List[MoveAttribute]] = {}
 
     @property
     def tenure(self) -> int:
@@ -56,8 +84,10 @@ class TabuList:
         if self._tenure == 0:
             return
         expiry = iteration + self._tenure
+        bucket = self._buckets.setdefault(expiry, [])
         for attr in attributes:
             self._expiry[attr] = expiry
+            bucket.append(attr)
 
     def is_tabu(self, attributes: Iterable[MoveAttribute], iteration: int) -> bool:
         """Whether any attribute is still tabu at ``iteration``."""
@@ -67,16 +97,68 @@ class TabuList:
                 return True
         return False
 
+    # ------------------------------------------------------------------ #
+    # pair-batch surface shared with ArrayTabuList
+    # ------------------------------------------------------------------ #
+    def record_pairs(
+        self,
+        pairs: np.ndarray,
+        iteration: int,
+        scheme: AttributeScheme = AttributeScheme.PAIR,
+    ) -> None:
+        """Record every swap pair of an accepted move under ``scheme``."""
+        if self._tenure == 0:
+            return
+        arr = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        for cell_a, cell_b in arr.tolist():
+            self.record(swap_attributes(cell_a, cell_b, scheme), iteration)
+
+    def is_tabu_mask(
+        self,
+        pairs: np.ndarray,
+        iteration: int,
+        scheme: AttributeScheme = AttributeScheme.PAIR,
+    ) -> np.ndarray:
+        """Per-pair tabu status of a candidate batch (reference loop)."""
+        arr = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        mask = np.zeros(arr.shape[0], dtype=bool)
+        for k, (cell_a, cell_b) in enumerate(arr.tolist()):
+            mask[k] = self.is_tabu(swap_attributes(cell_a, cell_b, scheme), iteration)
+        return mask
+
+    def is_tabu_pairs(
+        self,
+        pairs: np.ndarray,
+        iteration: int,
+        scheme: AttributeScheme = AttributeScheme.PAIR,
+    ) -> bool:
+        """Whether *any* pair of a move is tabu at ``iteration``."""
+        arr = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        for cell_a, cell_b in arr.tolist():
+            if self.is_tabu(swap_attributes(cell_a, cell_b, scheme), iteration):
+                return True
+        return False
+
     def expire(self, iteration: int) -> int:
-        """Drop attributes whose tenure has elapsed; returns how many were dropped."""
-        stale = [attr for attr, expiry in self._expiry.items() if iteration >= expiry]
-        for attr in stale:
-            del self._expiry[attr]
-        return len(stale)
+        """Drop attributes whose tenure has elapsed; returns how many were dropped.
+
+        Amortised O(dropped): only the expiry buckets that actually lapsed
+        are visited (at most ``tenure + 1`` distinct expiry values can ever
+        be pending), instead of rescanning every live attribute per call.
+        """
+        lapsed = [expiry for expiry in self._buckets if expiry <= iteration]
+        removed = 0
+        for expiry in lapsed:
+            for attr in self._buckets.pop(expiry):
+                if self._expiry.get(attr) == expiry:
+                    del self._expiry[attr]
+                    removed += 1
+        return removed
 
     def clear(self) -> None:
         """Forget everything (used when a TSW adopts a new global best)."""
         self._expiry.clear()
+        self._buckets.clear()
 
     # ------------------------------------------------------------------ #
     # serialisation — the paper's master/TSW protocol ships the tabu list
@@ -93,8 +175,287 @@ class TabuList:
         """Rebuild a tabu list from :meth:`to_payload` output."""
         instance = cls(tenure)
         for kind, key, expiry in payload:
-            instance._expiry[MoveAttribute(kind=kind, key=tuple(key))] = int(expiry)
+            attr = MoveAttribute(kind=kind, key=tuple(key))
+            expiry = int(expiry)
+            instance._expiry[attr] = expiry
+            instance._buckets.setdefault(expiry, []).append(attr)
         return instance
+
+
+class ArrayTabuList:
+    """Array-backed short-term memory: expiry vectors per attribute kind.
+
+    The vectorized iteration driver's memory.  Pair attributes live in a
+    dense ``num_cells**2`` int64 vector indexed by
+    :func:`~repro.tabu.attributes.pair_attribute_indices`; cell attributes
+    in a ``num_cells`` vector.  An attribute is tabu at ``iteration`` while
+    ``expiry[index] > iteration`` — expired entries are never swept, they
+    simply stop comparing as live (O(1) amortised expiry).
+
+    The expiry vectors are allocated lazily per kind, so a pair-scheme
+    search never pays for the cell vector and vice versa.
+    """
+
+    def __init__(self, tenure: int, num_cells: int) -> None:
+        if tenure < 0:
+            raise TabuSearchError(f"tabu tenure must be non-negative, got {tenure}")
+        if num_cells <= 0:
+            raise TabuSearchError(f"num_cells must be positive, got {num_cells}")
+        self._tenure = tenure
+        self._num_cells = num_cells
+        self._pair: Optional[np.ndarray] = None  # (num_cells**2,) expiry
+        self._cell: Optional[np.ndarray] = None  # (num_cells,) expiry
+        # Attributes outside the dense pair/cell index space (foreign kinds
+        # arriving over the wire from experimental schemes) fall back to a
+        # plain dict — the mask paths never consult it, but payload
+        # round-trips and attribute-level queries stay lossless.
+        self._extra: Dict[MoveAttribute, int] = {}
+        # Every index ever recorded per kind: keeps the live-set views
+        # (len/payload/iter — the TSW report path serialises per global
+        # iteration) O(recorded) instead of scanning the num_cells**2 vector.
+        self._pair_touched: set = set()
+        self._cell_touched: set = set()
+        # Latest iteration the search has shown us; defines which entries
+        # count as live for len()/payload purposes (queries pass their own).
+        self._last_iteration = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def tenure(self) -> int:
+        """Configured tenure (iterations an attribute remains tabu)."""
+        return self._tenure
+
+    @property
+    def num_cells(self) -> int:
+        """Size of the attribute index space."""
+        return self._num_cells
+
+    def _pair_vector(self) -> np.ndarray:
+        if self._pair is None:
+            self._pair = np.zeros(self._num_cells * self._num_cells, dtype=np.int64)
+        return self._pair
+
+    def _cell_vector(self) -> np.ndarray:
+        if self._cell is None:
+            self._cell = np.zeros(self._num_cells, dtype=np.int64)
+        return self._cell
+
+    def _note(self, iteration: int) -> None:
+        if iteration > self._last_iteration:
+            self._last_iteration = iteration
+
+    # ------------------------------------------------------------------ #
+    # pair-batch surface (the driver's hot path)
+    # ------------------------------------------------------------------ #
+    def record_pairs(
+        self,
+        pairs: np.ndarray,
+        iteration: int,
+        scheme: AttributeScheme = AttributeScheme.PAIR,
+    ) -> None:
+        """Record every swap pair of an accepted move with one scatter."""
+        self._note(iteration)
+        if self._tenure == 0:
+            return
+        arr = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        if arr.size == 0:
+            return
+        expiry = iteration + self._tenure
+        if scheme is AttributeScheme.PAIR:
+            indices = pair_attribute_indices(arr, self._num_cells)
+            self._pair_vector()[indices] = expiry
+            self._pair_touched.update(indices.tolist())
+        else:
+            cells = arr.ravel()
+            self._cell_vector()[cells] = expiry
+            self._cell_touched.update(cells.tolist())
+
+    def is_tabu_mask(
+        self,
+        pairs: np.ndarray,
+        iteration: int,
+        scheme: AttributeScheme = AttributeScheme.PAIR,
+    ) -> np.ndarray:
+        """Per-pair tabu status of a candidate batch: one gather + compare."""
+        self._note(iteration)
+        arr = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        if scheme is AttributeScheme.PAIR:
+            if self._pair is None:
+                return np.zeros(arr.shape[0], dtype=bool)
+            return self._pair[pair_attribute_indices(arr, self._num_cells)] > iteration
+        if self._cell is None:
+            return np.zeros(arr.shape[0], dtype=bool)
+        live = self._cell > iteration
+        return live[arr[:, 0]] | live[arr[:, 1]]
+
+    def is_tabu_pairs(
+        self,
+        pairs: np.ndarray,
+        iteration: int,
+        scheme: AttributeScheme = AttributeScheme.PAIR,
+    ) -> bool:
+        """Whether *any* pair of a move is tabu at ``iteration``."""
+        return bool(self.is_tabu_mask(pairs, iteration, scheme).any())
+
+    # ------------------------------------------------------------------ #
+    # attribute-level compatibility surface
+    # ------------------------------------------------------------------ #
+    def _index_of(self, attribute: MoveAttribute) -> Optional[Tuple[str, int]]:
+        """Dense index of an attribute, or ``None`` for the overflow dict."""
+        key = attribute.key
+        if (
+            attribute.kind == "pair"
+            and len(key) == 2
+            and all(0 <= k < self._num_cells for k in key)
+        ):
+            lo, hi = (key[0], key[1]) if key[0] <= key[1] else (key[1], key[0])
+            return "pair", lo * self._num_cells + hi
+        if attribute.kind == "cell" and len(key) == 1 and 0 <= key[0] < self._num_cells:
+            return "cell", key[0]
+        return None
+
+    def record(self, attributes: Iterable[MoveAttribute], iteration: int) -> None:
+        """Mark ``attributes`` tabu until ``iteration + tenure``."""
+        self._note(iteration)
+        if self._tenure == 0:
+            return
+        expiry = iteration + self._tenure
+        for attr in attributes:
+            slot = self._index_of(attr)
+            if slot is None:
+                self._extra[attr] = expiry
+                continue
+            kind, index = slot
+            if kind == "pair":
+                self._pair_vector()[index] = expiry
+                self._pair_touched.add(index)
+            else:
+                self._cell_vector()[index] = expiry
+                self._cell_touched.add(index)
+
+    def is_tabu(self, attributes: Iterable[MoveAttribute], iteration: int) -> bool:
+        """Whether any attribute is still tabu at ``iteration``."""
+        for attr in attributes:
+            slot = self._index_of(attr)
+            if slot is None:
+                expiry = self._extra.get(attr)
+                if expiry is not None and iteration < expiry:
+                    return True
+                continue
+            kind, index = slot
+            vector = self._pair if kind == "pair" else self._cell
+            if vector is not None and iteration < int(vector[index]):
+                return True
+        return False
+
+    def expire(self, iteration: int) -> int:
+        """Lazy expiry: nothing to sweep — stale entries compare as not tabu."""
+        self._note(iteration)
+        return 0
+
+    def clear(self) -> None:
+        """Forget everything (used when a TSW adopts a new global best)."""
+        if self._pair is not None:
+            self._pair[:] = 0
+        if self._cell is not None:
+            self._cell[:] = 0
+        self._extra.clear()
+        self._pair_touched.clear()
+        self._cell_touched.clear()
+
+    # ------------------------------------------------------------------ #
+    # live-set views (tests / diagnostics / serialisation)
+    # ------------------------------------------------------------------ #
+    def _live_items(self) -> List[Tuple[MoveAttribute, int]]:
+        items: List[Tuple[MoveAttribute, int]] = []
+        n = self._num_cells
+        if self._pair is not None:
+            for index in sorted(self._pair_touched):
+                expiry = int(self._pair[index])
+                if expiry > self._last_iteration:
+                    attr = MoveAttribute(kind="pair", key=(index // n, index % n))
+                    items.append((attr, expiry))
+                else:  # lapsed: prune, so live-set views stay O(live)
+                    self._pair_touched.discard(index)
+        if self._cell is not None:
+            for index in sorted(self._cell_touched):
+                expiry = int(self._cell[index])
+                if expiry > self._last_iteration:
+                    items.append((MoveAttribute.cell(index), expiry))
+                else:
+                    self._cell_touched.discard(index)
+        for attr, expiry in self._extra.items():
+            if expiry > self._last_iteration:
+                items.append((attr, expiry))
+        return items
+
+    def __len__(self) -> int:
+        live = 0
+        if self._pair is not None:
+            last = self._last_iteration
+            live += sum(1 for index in self._pair_touched if int(self._pair[index]) > last)
+        if self._cell is not None:
+            last = self._last_iteration
+            live += sum(1 for index in self._cell_touched if int(self._cell[index]) > last)
+        live += sum(1 for expiry in self._extra.values() if expiry > self._last_iteration)
+        return live
+
+    def __contains__(self, attribute: MoveAttribute) -> bool:
+        slot = self._index_of(attribute)
+        if slot is None:
+            return self._extra.get(attribute, 0) > self._last_iteration
+        kind, index = slot
+        vector = self._pair if kind == "pair" else self._cell
+        return vector is not None and int(vector[index]) > self._last_iteration
+
+    def __iter__(self) -> Iterator[MoveAttribute]:
+        return iter(attr for attr, _expiry in self._live_items())
+
+    def to_payload(self) -> Tuple[Tuple[str, Tuple[int, ...], int], ...]:
+        """Serialisable snapshot ``((kind, key, expiry), ...)`` of live entries.
+
+        Entries come out in deterministic (kind, index) order; receivers
+        treat the payload as a set, so ordering differences from the dict
+        implementation (insertion order) are immaterial on the wire.
+        """
+        return tuple((attr.kind, attr.key, expiry) for attr, expiry in self._live_items())
+
+    @classmethod
+    def from_payload(
+        cls,
+        payload: Iterable[Tuple[str, Tuple[int, ...], int]],
+        tenure: int,
+        num_cells: int,
+    ) -> "ArrayTabuList":
+        """Rebuild an array tabu list from :meth:`to_payload` output."""
+        instance = cls(tenure, num_cells)
+        for kind, key, expiry in payload:
+            attr = MoveAttribute(kind=kind, key=tuple(key))
+            slot = instance._index_of(attr)
+            if slot is None:
+                instance._extra[attr] = int(expiry)
+                continue
+            kind_name, index = slot
+            if kind_name == "pair":
+                instance._pair_vector()[index] = int(expiry)
+                instance._pair_touched.add(index)
+            else:
+                instance._cell_vector()[index] = int(expiry)
+                instance._cell_touched.add(index)
+        return instance
+
+
+def make_tabu_list(tenure: int, num_cells: int, *, vectorized: bool):
+    """Build the short-term memory matching the selected iteration driver.
+
+    The vectorized driver gets an :class:`ArrayTabuList` whenever the dense
+    pair vector is affordable (``num_cells <= ARRAY_TABU_MAX_CELLS``); the
+    reference driver — and oversized instances — get the dict oracle, whose
+    mask methods are loop-based but behave identically.
+    """
+    if vectorized and num_cells <= ARRAY_TABU_MAX_CELLS:
+        return ArrayTabuList(tenure, num_cells)
+    return TabuList(tenure)
 
 
 class FrequencyMemory:
@@ -117,15 +478,40 @@ class FrequencyMemory:
         self._counts[cell_a] += 1
         self._counts[cell_b] += 1
 
+    def record_swaps(self, pairs) -> None:
+        """Record a whole swap sequence (an accepted compound move) in bulk.
+
+        One ``bincount`` accumulation instead of per-swap Python increments;
+        a cell appearing in several swaps is counted once per appearance,
+        exactly like repeated :meth:`record_swap` calls.
+        """
+        arr = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        if arr.size == 0:
+            return
+        self._counts += np.bincount(arr.ravel(), minlength=self._counts.size)
+
     def least_moved(self, candidates: np.ndarray, rng: np.random.Generator) -> int:
         """Among ``candidates``, pick a least-frequently-moved cell (ties random)."""
-        if candidates.size == 0:
-            raise TabuSearchError("least_moved called with no candidates")
-        counts = self._counts[candidates]
-        minimum = counts.min()
-        pool = candidates[counts == minimum]
-        return int(pool[rng.integers(0, pool.size)])
+        return least_moved_of(self._counts, candidates, rng)
 
     def reset(self) -> None:
         """Zero all counters."""
         self._counts[:] = 0
+
+
+def least_moved_of(
+    counts: np.ndarray, candidates: np.ndarray, rng: np.random.Generator
+) -> int:
+    """Least-moved candidate under an explicit counts vector (ties random).
+
+    One gather, one min-compare and one draw — shared by
+    :meth:`FrequencyMemory.least_moved` and the diversification step's
+    scratch-counts selection (which must not mutate the real memory until
+    the whole perturbation is recorded in bulk).
+    """
+    candidates = np.asarray(candidates, dtype=np.int64)
+    if candidates.size == 0:
+        raise TabuSearchError("least_moved called with no candidates")
+    gathered = counts[candidates]
+    pool = candidates[np.flatnonzero(gathered == gathered.min())]
+    return int(pool[rng.integers(0, pool.size)])

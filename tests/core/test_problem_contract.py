@@ -241,6 +241,123 @@ class TestSnapshots:
         )
 
 
+class TestUndoSwaps:
+    def test_undo_restores_assignment_and_cost(self, problem):
+        evaluator = problem.make_evaluator(problem.random_solution(seed=6))
+        before = evaluator.snapshot()
+        cost_before = evaluator.cost()
+        rng = np.random.default_rng(61)
+        n = evaluator.num_cells
+        pairs = rng.integers(0, n, size=(9, 2))
+        evaluator.apply_swaps(pairs)
+        work_after_apply = evaluator.evaluations
+        undone = evaluator.undo_swaps(pairs)
+        assert np.array_equal(evaluator.snapshot(), before)
+        assert undone == pytest.approx(cost_before, abs=1e-6)
+        # reversal is bookkeeping, not search work
+        assert evaluator.evaluations == work_after_apply
+
+    def test_undo_empty_sequence_is_a_noop(self, evaluator):
+        before = evaluator.snapshot()
+        cost = evaluator.cost()
+        assert evaluator.undo_swaps([]) == pytest.approx(cost, abs=1e-9)
+        assert np.array_equal(evaluator.snapshot(), before)
+
+    def test_undo_after_sequential_commits(self, problem):
+        evaluator = problem.make_evaluator(problem.random_solution(seed=7))
+        before = evaluator.snapshot()
+        pairs = [(1, 5), (0, 3), (1, 2)]
+        for a, b in pairs:
+            evaluator.commit_swap(a, b)
+        evaluator.undo_swaps(pairs)
+        assert np.array_equal(evaluator.snapshot(), before)
+
+
+class TestMaskAwareBatchContract:
+    """The batch-scoring guarantees the vectorized iteration driver builds on."""
+
+    def test_batch_is_dense_float64_aligned_with_pairs(self, evaluator):
+        rng = np.random.default_rng(31)
+        n = evaluator.num_cells
+        pairs = rng.integers(0, n, size=(17, 2))
+        costs = evaluator.evaluate_swaps_batch(pairs)
+        assert costs.shape == (17,)
+        assert costs.dtype == np.float64
+        assert np.all(np.isfinite(costs))
+
+    def test_fused_batch_equals_per_range_batches(self, evaluator):
+        """Scoring is batch-size invariant: fusing several ranges' step-1
+        pairs into one call must be bit-identical to scoring each range's
+        batch separately (what lets the driver fuse before states diverge)."""
+        rng = np.random.default_rng(32)
+        n = evaluator.num_cells
+        chunks = [rng.integers(0, n, size=(k, 2)) for k in (7, 5, 9)]
+        fused = evaluator.evaluate_swaps_batch(np.concatenate(chunks))
+        split = np.concatenate([evaluator.evaluate_swaps_batch(c) for c in chunks])
+        assert np.array_equal(fused, split)
+
+    def _masked_builder(self, problem, admissible):
+        from repro.tabu import CompoundMoveBuilder, full_range
+
+        evaluator = problem.make_evaluator(problem.random_solution(seed=8))
+        builder = CompoundMoveBuilder(
+            evaluator,
+            full_range(evaluator.num_cells),
+            pairs_per_step=6,
+            depth=1,
+            early_accept=False,
+            admissible=admissible,
+        )
+        return evaluator, builder
+
+    def test_empty_mask_selects_plain_argmin(self, problem):
+        """``None`` from the hook (nothing tabu) must match no hook at all."""
+        seen = {}
+
+        def admissible(pairs, costs):
+            seen["costs"] = costs.copy()
+            return None
+
+        evaluator, builder = self._masked_builder(problem, admissible)
+        rng = np.random.default_rng(40)
+        builder.step(rng)
+        move = builder.finalize()
+        assert move.swaps[0].cost_after == float(np.min(seen["costs"]))
+
+    def test_all_tabu_falls_back_to_overall_best(self, problem):
+        """With every pair masked out the step still commits the best pair —
+        the builder must always produce a move (the driver's move-level
+        tabu check guards acceptance)."""
+        seen = {}
+
+        def admissible(pairs, costs):
+            seen["costs"] = costs.copy()
+            return np.zeros(len(pairs), dtype=bool)
+
+        evaluator, builder = self._masked_builder(problem, admissible)
+        builder.step(np.random.default_rng(41))
+        move = builder.finalize()
+        assert move.depth == 1
+        assert move.swaps[0].cost_after == float(np.min(seen["costs"]))
+
+    def test_aspiration_override_prefers_admissible_pair(self, problem):
+        """A mask admitting only one (non-optimal) pair — e.g. a tabu batch
+        with a single aspiring entry — must select exactly that pair."""
+        seen = {}
+
+        def admissible(pairs, costs):
+            mask = np.zeros(len(pairs), dtype=bool)
+            worst = int(np.argmax(costs))
+            mask[worst] = True
+            seen["worst"] = float(costs[worst])
+            return mask
+
+        evaluator, builder = self._masked_builder(problem, admissible)
+        builder.step(np.random.default_rng(42))
+        move = builder.finalize()
+        assert move.swaps[0].cost_after == seen["worst"]
+
+
 class TestDiversificationHook:
     def test_distances_shape_and_sign(self, evaluator):
         candidates = np.arange(1, 9)

@@ -159,7 +159,14 @@ class TestBackends:
         assert abs(threaded.best_cost - simulated.best_cost) < 0.25
 
     def test_single_worker_configuration_runs(self, netlist):
-        params = quick_params(num_tsws=1, clws_per_tsw=1)
+        # a few extra local iterations: a lone 3-pair/depth-2 worker must
+        # first recover the cost its diversification step gave up, and the
+        # quick_params budget leaves that to seed luck
+        params = quick_params(
+            num_tsws=1,
+            clws_per_tsw=1,
+            tabu=TabuSearchParams(local_iterations=8, pairs_per_step=3, move_depth=2),
+        )
         result = run_parallel_search(netlist, params)
         assert result.best_cost < result.initial_cost
         assert result.sim_stats.num_processes == 3

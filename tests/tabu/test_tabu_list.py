@@ -6,7 +6,17 @@ import numpy as np
 import pytest
 
 from repro.errors import TabuSearchError
-from repro.tabu import AttributeScheme, FrequencyMemory, MoveAttribute, TabuList, swap_attributes
+from repro.tabu import (
+    ArrayTabuList,
+    AttributeScheme,
+    FrequencyMemory,
+    MoveAttribute,
+    TabuList,
+    make_tabu_list,
+    pair_attribute_indices,
+    swap_attributes,
+)
+from repro.tabu.tabu_list import ARRAY_TABU_MAX_CELLS
 
 
 class TestMoveAttribute:
@@ -94,6 +104,124 @@ class TestTabuList:
         assert list(tabu) == [attr]
 
 
+class TestPairAttributeIndices:
+    def test_orientation_independent(self):
+        pairs = np.array([[3, 7], [7, 3], [0, 9]])
+        idx = pair_attribute_indices(pairs, 10)
+        assert idx[0] == idx[1] == 3 * 10 + 7
+        assert idx[2] == 9
+
+    def test_empty(self):
+        assert pair_attribute_indices(np.zeros((0, 2), dtype=np.int64), 10).size == 0
+
+
+class TestArrayTabuList:
+    def test_negative_tenure_rejected(self):
+        with pytest.raises(TabuSearchError):
+            ArrayTabuList(-1, 10)
+
+    def test_zero_tenure_never_tabu(self):
+        tabu = ArrayTabuList(0, 10)
+        pairs = np.array([[1, 2]])
+        tabu.record_pairs(pairs, 1)
+        assert not tabu.is_tabu_mask(pairs, 1).any()
+        assert len(tabu) == 0
+
+    @pytest.mark.parametrize("scheme", [AttributeScheme.PAIR, AttributeScheme.CELL])
+    def test_mask_matches_dict_oracle_under_random_walk(self, scheme):
+        """Random record/query interleavings: array == dict, bit for bit."""
+        rng = np.random.default_rng(3)
+        n = 20
+        dict_list = TabuList(5)
+        array_list = ArrayTabuList(5, n)
+        for iteration in range(1, 60):
+            queries = rng.integers(0, n, size=(8, 2))
+            queries = queries[queries[:, 0] != queries[:, 1]]
+            dict_mask = dict_list.is_tabu_mask(queries, iteration, scheme)
+            array_mask = array_list.is_tabu_mask(queries, iteration, scheme)
+            assert np.array_equal(dict_mask, array_mask)
+            assert dict_list.is_tabu_pairs(queries, iteration, scheme) == (
+                array_list.is_tabu_pairs(queries, iteration, scheme)
+            )
+            if queries.shape[0]:
+                recorded = queries[: int(rng.integers(0, queries.shape[0] + 1))]
+                dict_list.record_pairs(recorded, iteration, scheme)
+                array_list.record_pairs(recorded, iteration, scheme)
+            dict_list.expire(iteration)
+            array_list.expire(iteration)
+            assert set(dict_list.to_payload()) == set(array_list.to_payload())
+            assert len(dict_list) == len(array_list)
+
+    def test_reverse_pair_is_tabu(self):
+        tabu = ArrayTabuList(5, 10)
+        tabu.record_pairs(np.array([[1, 2]]), 0)
+        assert tabu.is_tabu_mask(np.array([[2, 1]]), 1).any()
+
+    def test_lazy_expiry_drops_entries_from_live_views(self):
+        tabu = ArrayTabuList(2, 10)
+        tabu.record_pairs(np.array([[1, 2]]), 0)  # expiry 2
+        tabu.record_pairs(np.array([[3, 4]]), 5)  # expiry 7
+        assert len(tabu) == 1  # first entry lapsed by iteration 5
+        tabu.expire(7)  # lazy: nothing swept, live view shrinks
+        assert len(tabu) == 0
+        assert tabu.to_payload() == ()
+
+    def test_payload_round_trips_across_implementations(self):
+        dict_list = TabuList(4)
+        dict_list.record(swap_attributes(1, 2), iteration=3)
+        dict_list.record(swap_attributes(5, 6, AttributeScheme.CELL), iteration=4)
+        array_list = ArrayTabuList.from_payload(dict_list.to_payload(), 4, 10)
+        assert set(array_list.to_payload()) == set(dict_list.to_payload())
+        back = TabuList.from_payload(array_list.to_payload(), 4)
+        assert set(back.to_payload()) == set(dict_list.to_payload())
+        assert back.is_tabu(swap_attributes(2, 1), iteration=5)
+
+    def test_foreign_attribute_kinds_survive_round_trip(self):
+        payload = (("swap", (1, 2), 5), ("region", (3,), 9))
+        array_list = ArrayTabuList.from_payload(payload, 4, 10)
+        assert set(array_list.to_payload()) == set(payload)
+        assert MoveAttribute(kind="swap", key=(1, 2)) in array_list
+        assert array_list.is_tabu([MoveAttribute(kind="swap", key=(1, 2))], 4)
+        assert not array_list.is_tabu([MoveAttribute(kind="swap", key=(1, 2))], 5)
+        # mask queries never consult foreign kinds
+        assert not array_list.is_tabu_mask(np.array([[1, 2]]), 4).any()
+
+    def test_attribute_level_compat_surface(self):
+        tabu = ArrayTabuList(4, 10)
+        attr = MoveAttribute.pair(1, 2)
+        tabu.record([attr], iteration=0)
+        assert attr in tabu
+        assert list(tabu) == [attr]
+        tabu.clear()
+        assert len(tabu) == 0
+
+    def test_make_tabu_list_selects_backend(self):
+        assert isinstance(make_tabu_list(5, 100, vectorized=True), ArrayTabuList)
+        assert isinstance(make_tabu_list(5, 100, vectorized=False), TabuList)
+        oversized = ARRAY_TABU_MAX_CELLS + 1
+        assert isinstance(make_tabu_list(5, oversized, vectorized=True), TabuList)
+
+
+class TestDictTabuListBatchSurface:
+    def test_record_pairs_matches_attribute_records(self):
+        batch = TabuList(5)
+        loop = TabuList(5)
+        pairs = np.array([[1, 2], [3, 4]])
+        batch.record_pairs(pairs, 7)
+        for a, b in pairs.tolist():
+            loop.record(swap_attributes(a, b), 7)
+        assert set(batch.to_payload()) == set(loop.to_payload())
+
+    def test_amortised_expire_still_exact(self):
+        tabu = TabuList(2)
+        tabu.record(swap_attributes(1, 2), iteration=0)
+        tabu.record(swap_attributes(1, 2), iteration=1)  # re-record extends
+        tabu.record(swap_attributes(3, 4), iteration=1)
+        assert tabu.expire(2) == 0  # nothing lapsed yet (expiries are 3)
+        assert tabu.expire(3) == 2
+        assert len(tabu) == 0
+
+
 class TestFrequencyMemory:
     def test_invalid_size_rejected(self):
         with pytest.raises(TabuSearchError):
@@ -119,6 +247,20 @@ class TestFrequencyMemory:
         memory = FrequencyMemory(6)
         with pytest.raises(TabuSearchError):
             memory.least_moved(np.array([], dtype=np.int64), np.random.default_rng(0))
+
+    def test_record_swaps_bulk_matches_scalar(self):
+        bulk = FrequencyMemory(10)
+        scalar = FrequencyMemory(10)
+        pairs = np.array([[1, 2], [1, 5], [2, 5], [0, 9]])
+        bulk.record_swaps(pairs)
+        for a, b in pairs.tolist():
+            scalar.record_swap(a, b)
+        assert np.array_equal(bulk.counts, scalar.counts)
+
+    def test_record_swaps_empty_is_noop(self):
+        memory = FrequencyMemory(4)
+        memory.record_swaps(np.zeros((0, 2), dtype=np.int64))
+        assert memory.counts.sum() == 0
 
     def test_reset(self):
         memory = FrequencyMemory(4)
