@@ -38,6 +38,19 @@ BENCHMARK_SPECS: Dict[str, CircuitSpec] = {
     "c532": CircuitSpec(name="c532", num_cells=395, seed=532),
     "c1355": CircuitSpec(name="c1355", num_cells=1451, seed=1355),
     "c3540": CircuitSpec(name="c3540", num_cells=2243, seed=3540),
+    # Large-instance scaling tier (not in the paper): deterministic synthetic
+    # circuits sized so the sparse kernel paths engage — big10k's cell x net
+    # product exceeds the dense-incidence budget and its cell count exceeds
+    # the dense tabu-vector cap.  Lower I/O fractions keep the circuits
+    # gate-dominated like real large netlists.
+    "big2k": CircuitSpec(
+        name="big2k", num_cells=2000, seed=20003,
+        input_fraction=0.04, output_fraction=0.04,
+    ),
+    "big10k": CircuitSpec(
+        name="big10k", num_cells=10000, seed=100003,
+        input_fraction=0.04, output_fraction=0.04,
+    ),
 }
 
 _CACHE: Dict[str, Netlist] = {}

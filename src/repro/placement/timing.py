@@ -209,6 +209,35 @@ class TimingAnalyzer:
         else:
             self._end_counts = np.zeros(0, dtype=np.int64)
             self._end_flat = np.zeros(0, dtype=np.int64)
+        # Static endpoint replication (used to be rebuilt on every analyze).
+        self._ends_rep = np.repeat(self._end_cells, self._end_counts)
+        # Reusable scratch buffers for analyze(): allocated once on first
+        # use, so a steady-state STA allocates O(1) fresh memory per call
+        # (only the returned arrival copy) instead of O(cells + edges).
+        self._scratch: dict | None = None
+
+    def _make_scratch(self) -> dict:
+        num_cells = self._netlist.num_cells
+        num_edges = self._edge_src.size
+        num_ends = self._end_flat.size
+        return {
+            "x": np.empty(num_cells, dtype=np.float64),
+            "y": np.empty(num_cells, dtype=np.float64),
+            "edge_delay": np.empty(num_edges, dtype=np.float64),
+            "edge_tmp": np.empty(num_edges, dtype=np.float64),
+            "edge_tmp2": np.empty(num_edges, dtype=np.float64),
+            "arrival": np.empty(num_cells, dtype=np.float64),
+            "levels": tuple(
+                (
+                    np.empty(flat.size, dtype=np.float64),
+                    np.empty(cells.size, dtype=np.float64),
+                )
+                for cells, flat, _starts, _delays, _sl in self._level_schedule
+            ),
+            "end_a": np.empty(num_ends, dtype=np.float64),
+            "end_b": np.empty(num_ends, dtype=np.float64),
+            "end_c": np.empty(num_ends, dtype=np.float64),
+        }
 
     @property
     def netlist(self) -> Netlist:
@@ -235,18 +264,35 @@ class TimingAnalyzer:
         first-maximum tie-breaking, but an order of magnitude faster on the
         paper circuits.  This is the cost that dominates installing a received
         solution, so the parallel protocol's per-hop overhead rides on it.
+        All intermediate arrays live in per-analyzer scratch buffers, so a
+        steady-state call allocates only the returned arrival copy — at 10k
+        cells that is ~80 KB instead of several MB per STA.
         """
-        x = placement.cell_x()
-        y = placement.cell_y()
+        scratch = self._scratch
+        if scratch is None:
+            scratch = self._scratch = self._make_scratch()
+        cts = placement.cell_to_slot
+        layout = placement.layout
+        x = scratch["x"]
+        y = scratch["y"]
+        np.take(layout.slot_x, cts, out=x)
+        np.take(layout.slot_y, cts, out=y)
         wpu = self._model.wire_delay_per_unit
         # all propagating edge delays in one vectorised pass
+        edge_delay = scratch["edge_delay"]
         if self._edge_src.size:
-            edge_delay = wpu * (
-                np.abs(x[self._edge_src] - x[self._edge_dst])
-                + np.abs(y[self._edge_src] - y[self._edge_dst])
-            )
-        else:
-            edge_delay = np.zeros(0, dtype=np.float64)
+            tmp = scratch["edge_tmp"]
+            tmp2 = scratch["edge_tmp2"]
+            np.take(x, self._edge_src, out=edge_delay)
+            np.take(x, self._edge_dst, out=tmp)
+            np.subtract(edge_delay, tmp, out=edge_delay)
+            np.abs(edge_delay, out=edge_delay)
+            np.take(y, self._edge_src, out=tmp)
+            np.take(y, self._edge_dst, out=tmp2)
+            np.subtract(tmp, tmp2, out=tmp)
+            np.abs(tmp, out=tmp)
+            np.add(edge_delay, tmp, out=edge_delay)
+            np.multiply(edge_delay, wpu, out=edge_delay)
         # Cells without propagating fan-in arrive at their intrinsic delay;
         # every later level overwrites its own cells.
         if self._use_scalar_propagation:
@@ -264,32 +310,75 @@ class TimingAnalyzer:
                 arr[c] = best + delays_list[c]
             arrival = np.asarray(arr, dtype=np.float64)
         else:
-            arrival = self._delays.copy()
-            for cells, flat, starts, cell_delays, edge_slice in self._level_schedule:
-                t = arrival[flat] + edge_delay[edge_slice]
-                arrival[cells] = np.maximum.reduceat(t, starts) + cell_delays
+            arrival = scratch["arrival"]
+            arrival[:] = self._delays
+            for (cells, flat, starts, cell_delays, edge_slice), (t_buf, red_buf) in zip(
+                self._level_schedule, scratch["levels"]
+            ):
+                np.take(arrival, flat, out=t_buf)
+                np.add(t_buf, edge_delay[edge_slice], out=t_buf)
+                np.maximum.reduceat(t_buf, starts, out=red_buf)
+                np.add(red_buf, cell_delays, out=red_buf)
+                arrival[cells] = red_buf
+            # the scratch buffer is overwritten by the next analyze; callers
+            # (and TimingState snapshots) keep the result, so hand out a copy
+            arrival = arrival.copy()
 
         critical_delay = 0.0
         critical_end = -1
         critical_end_pred = -1
         if self._end_flat.size:
-            ends_rep = np.repeat(self._end_cells, self._end_counts)
-            t = arrival[self._end_flat] + wpu * (
-                np.abs(x[self._end_flat] - x[ends_rep])
-                + np.abs(y[self._end_flat] - y[ends_rep])
-            )
-            imax = int(np.argmax(t))
-            if float(t[imax]) > 0.0:
-                critical_delay = float(t[imax])
+            ends_rep = self._ends_rep
+            end_t = scratch["end_a"]
+            end_tmp = scratch["end_b"]
+            end_tmp2 = scratch["end_c"]
+            np.take(x, self._end_flat, out=end_t)
+            np.take(x, ends_rep, out=end_tmp)
+            np.subtract(end_t, end_tmp, out=end_t)
+            np.abs(end_t, out=end_t)
+            np.take(y, self._end_flat, out=end_tmp)
+            np.take(y, ends_rep, out=end_tmp2)
+            np.subtract(end_tmp, end_tmp2, out=end_tmp)
+            np.abs(end_tmp, out=end_tmp)
+            np.add(end_t, end_tmp, out=end_t)
+            np.multiply(end_t, wpu, out=end_t)
+            np.take(arrival, self._end_flat, out=end_tmp)
+            np.add(end_t, end_tmp, out=end_t)
+            imax = int(np.argmax(end_t))
+            if float(end_t[imax]) > 0.0:
+                critical_delay = float(end_t[imax])
                 critical_end = int(ends_rep[imax])
                 critical_end_pred = int(self._end_flat[imax])
 
         # Backtrack the critical path: the predecessor of a path cell is its
         # first fan-in attaining the arrival maximum, exactly the reference
         # loop's strict-greater scan.  The path is short (one cell per level
-        # at most), so a scalar walk here costs nothing.
+        # at most), so a scalar walk here costs nothing.  Small circuits
+        # unbox the arrays once (fastest for their dense walks); large ones
+        # index the arrays directly to stay O(path) instead of O(cells).
         path: List[int] = []
-        if critical_end >= 0:
+        if critical_end >= 0 and not self._use_scalar_propagation:
+            path.append(critical_end)
+            cursor = critical_end_pred
+            while cursor >= 0:
+                path.append(cursor)
+                fanin = self._prop_fanin[cursor]
+                if not fanin:
+                    break
+                xc = float(x[cursor])
+                yc = float(y[cursor])
+                best = -np.inf
+                pred = -1
+                for d in fanin:
+                    t_d = float(arrival[d]) + wpu * (
+                        abs(float(x[d]) - xc) + abs(float(y[d]) - yc)
+                    )
+                    if t_d > best:
+                        best = t_d
+                        pred = d
+                cursor = pred
+            path.reverse()
+        elif critical_end >= 0:
             arrival_list = arrival.tolist()
             x_list = x.tolist()
             y_list = y.tolist()

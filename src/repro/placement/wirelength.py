@@ -25,13 +25,18 @@ hottest code path of the whole reproduction: every CLW trial swap lands here.
 
 from __future__ import annotations
 
+import logging
+import os
 from typing import Iterable, Tuple
 
 import numpy as np
 
+from . import _kernels
 from .solution import Placement
 
 __all__ = ["full_hpwl", "net_hpwl", "net_bboxes", "WirelengthState"]
+
+logger = logging.getLogger(__name__)
 
 
 def net_hpwl(placement: Placement, net_index: int) -> float:
@@ -149,38 +154,79 @@ class WirelengthState:
     #: Largest ``num_cells * num_nets`` for which the dense boolean
     #: cell-net incidence matrix is built (64 MB of bools at the cap); the
     #: batched kernel uses it to answer "is the swap partner also on this
-    #: net?" with one gather instead of a lexsort over the flat items.
+    #: net?" with one gather.  Beyond the budget the kernel switches to the
+    #: sparse CSR sorted-key path (O(pins) memory, binary-search lookups).
     INCIDENCE_BUDGET = 64_000_000
 
-    def __init__(self, placement: Placement) -> None:
+    #: Largest pin count for which the scalar commit path's Python list
+    #: caches (net members, per-cell nets, coordinates) may be built; bigger
+    #: instances route committed swaps through the vectorised segment
+    #: reduce, keeping commit memory bounded by the netlist's CSR arrays.
+    SCALAR_COMMIT_MAX_PINS = 1 << 20
+
+    #: Shared-net detection modes already announced via the module logger —
+    #: the selection is logged once per mode per process, not per instance.
+    _logged_modes: set = set()
+
+    def __init__(self, placement: Placement, *, incidence: str | None = None) -> None:
         self._placement = placement
         self._netlist = placement.netlist
         self._layout = placement.layout
-        # Static structure as plain Python lists for the scalar commit path:
-        # slot coordinates never change and net membership is immutable, so
-        # list indexing (no per-item ndarray boxing) makes the per-commit net
-        # scan several times cheaper than small-array NumPy.
-        self._slot_x_list = self._layout.slot_x.tolist()
-        self._slot_y_list = self._layout.slot_y.tolist()
-        self._members_list = [
-            self._netlist.net_members(i).tolist() for i in range(self._netlist.num_nets)
-        ]
-        self._cell_nets_list = [
-            self._netlist.nets_of_cell(c).tolist() for c in range(placement.num_cells)
-        ]
-        self._weights_list = self._netlist.net_weights.tolist()
+        # Static structure for the scalar commit path (plain Python lists:
+        # no per-item ndarray boxing, so the per-commit net scan beats
+        # small-array NumPy several times over).  Built lazily on the first
+        # committed swap — batch-only consumers (CLW trial scoring) never
+        # pay the O(pins) list construction or hold the boxed copies.
+        self._commit_lists: tuple | None = None
         num_cells = placement.num_cells
         num_nets = self._netlist.num_nets
-        if 0 < num_cells * num_nets <= self.INCIDENCE_BUDGET:
-            incidence = np.zeros((num_cells, num_nets), dtype=bool)
-            flat_nets, counts = self._netlist.nets_of_cells_flat(
-                np.arange(num_cells, dtype=np.int64)
+        mode = incidence if incidence is not None else os.environ.get("REPRO_INCIDENCE", "auto")
+        if mode not in ("auto", "dense", "csr"):
+            raise ValueError(
+                f"incidence mode must be 'auto', 'dense' or 'csr', got {mode!r}"
             )
-            incidence[np.repeat(np.arange(num_cells, dtype=np.int64), counts), flat_nets] = True
-            self._incidence: np.ndarray | None = incidence
+        if mode == "auto":
+            mode = "dense" if 0 < num_cells * num_nets <= self.INCIDENCE_BUDGET else "csr"
+        self._incidence_mode = mode
+        self._incidence: np.ndarray | None = None
+        self._csr_keys: np.ndarray | None = None
+        flat_nets, counts = self._netlist.nets_of_cells_flat(
+            np.arange(num_cells, dtype=np.int64)
+        )
+        if mode == "dense":
+            incidence_matrix = np.zeros((num_cells, num_nets), dtype=bool)
+            incidence_matrix[
+                np.repeat(np.arange(num_cells, dtype=np.int64), counts), flat_nets
+            ] = True
+            self._incidence = incidence_matrix
         else:
-            self._incidence = None
+            # Per-cell net lists are sorted ascending (nets are appended in
+            # index order when the netlist builds its incidence), so the
+            # concatenated `cell * num_nets + net` keys are globally sorted
+            # and one binary search answers the shared-net test in
+            # O(pins) memory instead of O(cells * nets).
+            self._csr_keys = (
+                np.repeat(np.arange(num_cells, dtype=np.int64), counts)
+                * np.int64(num_nets)
+                + flat_nets
+            )
+        if mode not in WirelengthState._logged_modes:
+            WirelengthState._logged_modes.add(mode)
+            logger.info(
+                "wirelength shared-net detection: %s path selected "
+                "(first instance: %d cells x %d nets, jit=%s)",
+                mode, num_cells, num_nets, _kernels.jit_enabled(),
+            )
         self.rebuild()
+
+    @property
+    def incidence_mode(self) -> str:
+        """Active shared-net detection path: ``"dense"`` or ``"csr"``.
+
+        Benchmarks assert on this so they provably measure the path they
+        meant to (the dense→CSR switch used to be silent).
+        """
+        return self._incidence_mode
 
     # ------------------------------------------------------------------ #
     @property
@@ -258,8 +304,10 @@ class WirelengthState:
         1. expand both endpoints of every pair to flat ``(pair, net)`` items
            via the CSR cell→net incidence;
         2. drop items of nets containing *both* endpoints (a swap permutes
-           their pins, so their bbox is unchanged) — found by sorting the flat
-           items instead of a per-pair ``union1d``;
+           their pins, so their bbox is unchanged) — one dense incidence
+           gather when the matrix fits :attr:`INCIDENCE_BUDGET`, otherwise a
+           binary search of the sorted CSR incidence keys (no per-pair
+           ``union1d``, no O(cells x nets) memory);
         3. update each item's bbox edge in O(1) using the cached edge
            multiplicities;
         4. re-reduce only the items where the moved pin was the sole support
@@ -306,16 +354,12 @@ class WirelengthState:
         # far cheaper than re-gathering seven arrays through a boolean mask
         # and needs no sort to find the duplicates.
         active = (a != b)[pair]
+        other = np.concatenate([np.repeat(b, deg_a), np.repeat(a, deg_b)])
         if self._incidence is not None:
-            other = np.concatenate([np.repeat(b, deg_a), np.repeat(a, deg_b)])
             active &= ~self._incidence[other, net]
-        else:  # degenerate giant instance: sort-based duplicate detection
-            order = np.lexsort((net, pair))
-            dup = (net[order][1:] == net[order][:-1]) & (pair[order][1:] == pair[order][:-1])
-            shared = np.zeros(net.size, dtype=bool)
-            shared[order[1:][dup]] = True
-            shared[order[:-1][dup]] = True
-            active &= ~shared
+        else:  # sparse path: binary search of the sorted incidence keys
+            keys = other * np.int64(self._netlist.num_nets) + net
+            active &= ~_kernels.shared_net_mask(self._csr_keys, keys)
         if not active.any():
             return out
 
@@ -332,15 +376,13 @@ class WirelengthState:
         if fallback.any():
             idx = np.flatnonzero(fallback)
             members, counts = netlist.net_members_of(net[idx])
-            moved_rep = np.repeat(moved[idx], counts)
-            mx = np.where(members == moved_rep, np.repeat(to_x[idx], counts), slot_x[cts[members]])
-            my = np.where(members == moved_rep, np.repeat(to_y[idx], counts), slot_y[cts[members]])
-            starts = np.zeros(idx.size, dtype=np.int64)
-            np.cumsum(counts[:-1], out=starts[1:])
-            new_x_min[idx] = np.minimum.reduceat(mx, starts)
-            new_x_max[idx] = np.maximum.reduceat(mx, starts)
-            new_y_min[idx] = np.minimum.reduceat(my, starts)
-            new_y_max[idx] = np.maximum.reduceat(my, starts)
+            fb_x_lo, fb_x_hi, fb_y_lo, fb_y_hi = _kernels.fallback_bbox_reduce(
+                members, counts, moved[idx], to_x[idx], to_y[idx], cts, slot_x, slot_y
+            )
+            new_x_min[idx] = fb_x_lo
+            new_x_max[idx] = fb_x_hi
+            new_y_min[idx] = fb_y_lo
+            new_y_max[idx] = fb_y_hi
 
         new_hpwl = (new_x_max - new_x_min) + (new_y_max - new_y_min)
         per_item = netlist.net_weights[net] * (new_hpwl - self._per_net[net])
@@ -364,6 +406,24 @@ class WirelengthState:
     # ------------------------------------------------------------------ #
     # committed updates
     # ------------------------------------------------------------------ #
+    def _scalar_commit_lists(self) -> tuple:
+        """Python-list caches backing the scalar commit path (built lazily)."""
+        if self._commit_lists is None:
+            self._commit_lists = (
+                self._layout.slot_x.tolist(),
+                self._layout.slot_y.tolist(),
+                [
+                    self._netlist.net_members(i).tolist()
+                    for i in range(self._netlist.num_nets)
+                ],
+                [
+                    self._netlist.nets_of_cell(c).tolist()
+                    for c in range(self._placement.num_cells)
+                ],
+                self._netlist.net_weights.tolist(),
+            )
+        return self._commit_lists
+
     def commit_swap(self, cell_a: int, cell_b: int) -> None:
         """Update the cache after ``placement.swap_cells(cell_a, cell_b)``.
 
@@ -373,11 +433,20 @@ class WirelengthState:
         circuits average ~3 pins, where one Python pass beats the dispatch
         overhead of a vectorised segment reduce several times over.  Nets
         containing both cells are skipped: the swap permutes their pins.
+        Instances beyond :attr:`SCALAR_COMMIT_MAX_PINS` never build the
+        boxed list caches; their commits go through the vectorised
+        :meth:`recompute_nets` instead (same result, bounded memory).
         """
         if cell_a == cell_b:
             return
-        nets_a = self._cell_nets_list[cell_a]
-        nets_b = self._cell_nets_list[cell_b]
+        if self._netlist.flat_members.size > self.SCALAR_COMMIT_MAX_PINS:
+            nets_a_arr = self._netlist.nets_of_cell(cell_a)
+            nets_b_arr = self._netlist.nets_of_cell(cell_b)
+            self.recompute_nets(np.setxor1d(nets_a_arr, nets_b_arr))
+            return
+        _slot_x, _slot_y, _members, cell_nets_list, _weights = self._scalar_commit_lists()
+        nets_a = cell_nets_list[cell_a]
+        nets_b = cell_nets_list[cell_b]
         if nets_a and nets_b:
             in_b = set(nets_b)
             affected = [n for n in nets_a if n not in in_b]
@@ -388,10 +457,10 @@ class WirelengthState:
         if not affected:
             return
         cts = self._placement.cell_to_slot
-        sx = self._slot_x_list
-        sy = self._slot_y_list
-        members_list = self._members_list
-        weights = self._weights_list
+        sx = _slot_x
+        sy = _slot_y
+        members_list = _members
+        weights = _weights
         per_net = self._per_net
         total_delta = 0.0
         for net in affected:

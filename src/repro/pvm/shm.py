@@ -118,6 +118,15 @@ class SharedArrayPack:
         return self._shm.name
 
     @property
+    def total_bytes(self) -> int:
+        """Size of the shared block in bytes (all arrays + alignment pad).
+
+        The large-instance audit uses this to confirm big problems ship as
+        one shared block instead of being pickled per worker.
+        """
+        return self._shm.size
+
+    @property
     def entries(self) -> Tuple[_ArrayEntry, ...]:
         """Directory of the packed arrays."""
         return self._entries

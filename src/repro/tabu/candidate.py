@@ -163,6 +163,13 @@ def sample_candidate_pairs_array(
 
     ``range_cells`` is the worker range as an array (precomputed once per
     search, not per step).
+
+    Duplicate pairs within a batch are *not* deduplicated: the expected
+    duplicate rate is :func:`collision_probability` per pair-of-pairs
+    (~``1 / (n - 1)^2``), which at the 10k-cell scale with 256-pair batches
+    works out to well under 0.1% of draws — a dedup pass would cost more
+    than the duplicated evaluations it saves (measured; see
+    ``tests/tabu/test_candidate_scale.py``).
     """
     if count <= 0:
         raise TabuSearchError(f"count must be positive, got {count}")

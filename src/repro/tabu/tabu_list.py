@@ -10,12 +10,14 @@ semantics (a move is *tabu* while any of its attributes is still active):
   distinct expiry values are ever live, so a sweep touches only the buckets
   that actually lapsed instead of rescanning the whole live list).
 * :class:`ArrayTabuList` — the **vectorized** memory used by the fast
-  iteration driver: one int64 expiry vector per attribute kind, indexed
-  densely (``lo * num_cells + hi`` for pair attributes, the cell index for
-  cell attributes).  ``is_tabu_mask`` answers a whole candidate batch with
-  one gather-and-compare, ``record_pairs`` records a whole compound move
-  with one scatter, and expiry is *lazy* — a stale entry simply compares as
-  not-tabu, so nothing is ever swept.
+  iteration driver: one int64 expiry store per attribute kind, keyed by the
+  dense attribute index (``lo * num_cells + hi`` for pair attributes, the
+  cell index for cell attributes).  Below ``ARRAY_TABU_MAX_CELLS`` the pair
+  store is a dense vector; above it, an exact-key open-addressed hash table
+  with the same keys (O(live) memory for 10k+-cell instances).  Either way
+  ``is_tabu_mask`` answers a whole candidate batch with one vectorised
+  probe, ``record_pairs`` records a whole compound move in one pass, and
+  expiry is *lazy* — a stale entry simply compares as not-tabu.
 
 Both expose the same driver-facing surface (``record_pairs`` /
 ``is_tabu_pairs`` / ``is_tabu_mask`` / ``expire`` / ``to_payload``), which
@@ -41,9 +43,147 @@ __all__ = ["TabuList", "ArrayTabuList", "FrequencyMemory", "make_tabu_list"]
 
 #: Largest instance for which the dense pair-expiry vector is allocated
 #: (``num_cells**2`` int64 entries — 128 MiB at the cap).  Beyond it the
-#: vectorized driver falls back to the dictionary memory, whose mask methods
-#: are loop-based but semantically identical.
+#: pair attributes live in :class:`_HashedPairTable`, an exact-key
+#: open-addressed expiry table whose memory is O(live attributes) instead
+#: of O(num_cells**2) — the vectorized driver keeps its array memory at any
+#: instance size.
 ARRAY_TABU_MAX_CELLS = 4096
+
+
+class _HashedPairTable:
+    """Open-addressed exact-key expiry table for pair-attribute indices.
+
+    The dense pair vector is O(num_cells**2) int64 — 800 GB at 10k cells —
+    while a tabu list only ever holds O(tenure * move_depth) live entries.
+    This table stores exactly the recorded ``lo * num_cells + hi`` keys
+    (linear probing, multiply-shift hashing, power-of-two capacity), so
+    lookups have **no false positives**: semantics match the dense vector
+    and the dict oracle bit-for-bit, only the storage differs.
+
+    The hot driver query (:meth:`ArrayTabuList.is_tabu_mask`) runs through
+    :meth:`lookup`, a vectorised batch probe; inserts arrive in tiny batches
+    (one accepted compound move ≤ ``move_depth`` pairs), so a scalar probe
+    loop is fine there.  Stale entries are pruned when the occupancy crosses
+    the load-factor bound — the rebuild keeps only entries still live at the
+    caller-supplied ``floor`` iteration, growing only when live entries
+    genuinely need the room.
+    """
+
+    _MULT = np.uint64(0x9E3779B97F4A7C15)
+
+    def __init__(self, log2_capacity: int = 10) -> None:
+        self._log2 = int(log2_capacity)
+        size = 1 << self._log2
+        self._keys = np.full(size, -1, dtype=np.int64)
+        self._expiry = np.zeros(size, dtype=np.int64)
+        self._used = 0  # occupied slots, live or stale
+
+    @property
+    def capacity(self) -> int:
+        return self._keys.size
+
+    def _slot_of(self, key: int) -> int:
+        # multiply-shift on the high bits; identical to the vectorised hash
+        return ((key * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF) >> (64 - self._log2)
+
+    def _probe_insert(self, key: int, expiry: int) -> None:
+        keys = self._keys
+        mask = self.capacity - 1
+        pos = self._slot_of(key)
+        while True:
+            stored = int(keys[pos])
+            if stored == key:
+                self._expiry[pos] = expiry
+                return
+            if stored == -1:
+                keys[pos] = key
+                self._expiry[pos] = expiry
+                self._used += 1
+                return
+            pos = (pos + 1) & mask
+
+    def _rebuild(self, floor: int) -> None:
+        """Re-hash live entries only, growing if they genuinely need room."""
+        live = np.flatnonzero((self._keys != -1) & (self._expiry > floor))
+        live_keys = self._keys[live].tolist()
+        live_expiry = self._expiry[live].tolist()
+        log2 = self._log2
+        while 3 * (len(live_keys) + 1) >= 2 * (1 << log2):
+            log2 += 1
+        self._log2 = log2
+        size = 1 << log2
+        self._keys = np.full(size, -1, dtype=np.int64)
+        self._expiry = np.zeros(size, dtype=np.int64)
+        self._used = 0
+        for key, expiry in zip(live_keys, live_expiry):
+            self._probe_insert(key, expiry)
+
+    def store(self, key: int, expiry: int, floor: int) -> None:
+        """Insert/refresh one key; ``floor`` bounds the stale sweep."""
+        if 3 * (self._used + 1) >= 2 * self.capacity:  # load factor 2/3
+            self._rebuild(floor)
+        self._probe_insert(int(key), int(expiry))
+
+    def store_many(self, keys: np.ndarray, expiry: int, floor: int) -> None:
+        for key in keys.tolist():
+            self.store(key, expiry, floor)
+
+    def get(self, key: int) -> int:
+        """Expiry recorded for ``key`` (0 when absent)."""
+        key = int(key)
+        mask = self.capacity - 1
+        pos = self._slot_of(key)
+        while True:
+            stored = int(self._keys[pos])
+            if stored == key:
+                return int(self._expiry[pos])
+            if stored == -1:
+                return 0
+            pos = (pos + 1) & mask
+
+    def lookup(self, keys: np.ndarray) -> np.ndarray:
+        """Expiry of every query key (0 when absent) — vectorised batch probe.
+
+        All queries probe in lock-step; a query retires when it hits its key
+        or an empty slot.  With load factor ≤ 2/3 the expected probe count
+        is a small constant, so the loop runs ~2-3 NumPy passes per batch.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        out = np.zeros(keys.size, dtype=np.int64)
+        if keys.size == 0 or self._used == 0:
+            return out
+        shift = np.uint64(64 - self._log2)
+        pos = ((keys.astype(np.uint64) * self._MULT) >> shift).astype(np.int64)
+        mask = self.capacity - 1
+        pending = np.arange(keys.size)
+        table_keys = self._keys
+        table_expiry = self._expiry
+        while pending.size:
+            slots = pos[pending]
+            stored = table_keys[slots]
+            hit = stored == keys[pending]
+            if hit.any():
+                matched = pending[hit]
+                out[matched] = table_expiry[pos[matched]]
+            pending = pending[~(hit | (stored == -1))]
+            if pending.size:
+                pos[pending] = (pos[pending] + 1) & mask
+        return out
+
+    def live_items(self, floor: int) -> Tuple[List[int], List[int]]:
+        """Keys and expiries of entries live after ``floor``, key-sorted."""
+        live = np.flatnonzero((self._keys != -1) & (self._expiry > floor))
+        keys = self._keys[live]
+        order = np.argsort(keys, kind="stable")
+        return keys[order].tolist(), self._expiry[live][order].tolist()
+
+    def count_live(self, floor: int) -> int:
+        return int(np.count_nonzero((self._keys != -1) & (self._expiry > floor)))
+
+    def clear(self) -> None:
+        self._keys[:] = -1
+        self._expiry[:] = 0
+        self._used = 0
 
 
 class TabuList:
@@ -187,23 +327,33 @@ class ArrayTabuList:
 
     The vectorized iteration driver's memory.  Pair attributes live in a
     dense ``num_cells**2`` int64 vector indexed by
-    :func:`~repro.tabu.attributes.pair_attribute_indices`; cell attributes
-    in a ``num_cells`` vector.  An attribute is tabu at ``iteration`` while
-    ``expiry[index] > iteration`` — expired entries are never swept, they
-    simply stop comparing as live (O(1) amortised expiry).
+    :func:`~repro.tabu.attributes.pair_attribute_indices` while that vector
+    is affordable (``num_cells <= ARRAY_TABU_MAX_CELLS``) and in an
+    exact-key :class:`_HashedPairTable` beyond it — same keys, same expiry
+    semantics, O(live entries) memory.  Cell attributes live in a
+    ``num_cells`` vector.  An attribute is tabu at ``iteration`` while
+    ``expiry[index] > iteration`` — dense entries are never swept, they
+    simply stop comparing as live (the hashed layout prunes stale entries
+    opportunistically when it would otherwise rehash).
 
-    The expiry vectors are allocated lazily per kind, so a pair-scheme
+    The expiry stores are allocated lazily per kind, so a pair-scheme
     search never pays for the cell vector and vice versa.
     """
 
-    def __init__(self, tenure: int, num_cells: int) -> None:
+    def __init__(
+        self, tenure: int, num_cells: int, *, max_dense_cells: Optional[int] = None
+    ) -> None:
         if tenure < 0:
             raise TabuSearchError(f"tabu tenure must be non-negative, got {tenure}")
         if num_cells <= 0:
             raise TabuSearchError(f"num_cells must be positive, got {num_cells}")
         self._tenure = tenure
         self._num_cells = num_cells
+        dense_cap = ARRAY_TABU_MAX_CELLS if max_dense_cells is None else max_dense_cells
+        #: dense pair vector below the cap, hashed table above it
+        self._dense_pairs = num_cells <= dense_cap
         self._pair: Optional[np.ndarray] = None  # (num_cells**2,) expiry
+        self._pair_table: Optional[_HashedPairTable] = None
         self._cell: Optional[np.ndarray] = None  # (num_cells,) expiry
         # Attributes outside the dense pair/cell index space (foreign kinds
         # arriving over the wire from experimental schemes) fall back to a
@@ -235,6 +385,21 @@ class ArrayTabuList:
             self._pair = np.zeros(self._num_cells * self._num_cells, dtype=np.int64)
         return self._pair
 
+    def _pair_table_ref(self) -> _HashedPairTable:
+        if self._pair_table is None:
+            self._pair_table = _HashedPairTable()
+        return self._pair_table
+
+    def _store_pair_indices(self, indices: np.ndarray, expiry: int) -> None:
+        """Record pair-attribute indices in whichever pair layout is active."""
+        if self._dense_pairs:
+            self._pair_vector()[indices] = expiry
+            self._pair_touched.update(indices.tolist())
+        else:
+            self._pair_table_ref().store_many(
+                np.atleast_1d(indices), expiry, self._last_iteration
+            )
+
     def _cell_vector(self) -> np.ndarray:
         if self._cell is None:
             self._cell = np.zeros(self._num_cells, dtype=np.int64)
@@ -262,9 +427,7 @@ class ArrayTabuList:
             return
         expiry = iteration + self._tenure
         if scheme is AttributeScheme.PAIR:
-            indices = pair_attribute_indices(arr, self._num_cells)
-            self._pair_vector()[indices] = expiry
-            self._pair_touched.update(indices.tolist())
+            self._store_pair_indices(pair_attribute_indices(arr, self._num_cells), expiry)
         else:
             cells = arr.ravel()
             self._cell_vector()[cells] = expiry
@@ -280,9 +443,16 @@ class ArrayTabuList:
         self._note(iteration)
         arr = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
         if scheme is AttributeScheme.PAIR:
-            if self._pair is None:
+            if self._dense_pairs:
+                if self._pair is None:
+                    return np.zeros(arr.shape[0], dtype=bool)
+                return self._pair[pair_attribute_indices(arr, self._num_cells)] > iteration
+            if self._pair_table is None:
                 return np.zeros(arr.shape[0], dtype=bool)
-            return self._pair[pair_attribute_indices(arr, self._num_cells)] > iteration
+            return (
+                self._pair_table.lookup(pair_attribute_indices(arr, self._num_cells))
+                > iteration
+            )
         if self._cell is None:
             return np.zeros(arr.shape[0], dtype=bool)
         live = self._cell > iteration
@@ -327,11 +497,16 @@ class ArrayTabuList:
                 continue
             kind, index = slot
             if kind == "pair":
-                self._pair_vector()[index] = expiry
-                self._pair_touched.add(index)
+                self._store_pair_indices(np.asarray([index], dtype=np.int64), expiry)
             else:
                 self._cell_vector()[index] = expiry
                 self._cell_touched.add(index)
+
+    def _pair_expiry_at(self, index: int) -> int:
+        """Recorded expiry of one pair index under the active layout (0 = none)."""
+        if self._dense_pairs:
+            return int(self._pair[index]) if self._pair is not None else 0
+        return self._pair_table.get(index) if self._pair_table is not None else 0
 
     def is_tabu(self, attributes: Iterable[MoveAttribute], iteration: int) -> bool:
         """Whether any attribute is still tabu at ``iteration``."""
@@ -343,8 +518,10 @@ class ArrayTabuList:
                     return True
                 continue
             kind, index = slot
-            vector = self._pair if kind == "pair" else self._cell
-            if vector is not None and iteration < int(vector[index]):
+            if kind == "pair":
+                if iteration < self._pair_expiry_at(index):
+                    return True
+            elif self._cell is not None and iteration < int(self._cell[index]):
                 return True
         return False
 
@@ -357,6 +534,8 @@ class ArrayTabuList:
         """Forget everything (used when a TSW adopts a new global best)."""
         if self._pair is not None:
             self._pair[:] = 0
+        if self._pair_table is not None:
+            self._pair_table.clear()
         if self._cell is not None:
             self._cell[:] = 0
         self._extra.clear()
@@ -377,6 +556,11 @@ class ArrayTabuList:
                     items.append((attr, expiry))
                 else:  # lapsed: prune, so live-set views stay O(live)
                     self._pair_touched.discard(index)
+        if self._pair_table is not None:
+            keys, expiries = self._pair_table.live_items(self._last_iteration)
+            for index, expiry in zip(keys, expiries):
+                attr = MoveAttribute(kind="pair", key=(index // n, index % n))
+                items.append((attr, expiry))
         if self._cell is not None:
             for index in sorted(self._cell_touched):
                 expiry = int(self._cell[index])
@@ -394,6 +578,8 @@ class ArrayTabuList:
         if self._pair is not None:
             last = self._last_iteration
             live += sum(1 for index in self._pair_touched if int(self._pair[index]) > last)
+        if self._pair_table is not None:
+            live += self._pair_table.count_live(self._last_iteration)
         if self._cell is not None:
             last = self._last_iteration
             live += sum(1 for index in self._cell_touched if int(self._cell[index]) > last)
@@ -405,8 +591,9 @@ class ArrayTabuList:
         if slot is None:
             return self._extra.get(attribute, 0) > self._last_iteration
         kind, index = slot
-        vector = self._pair if kind == "pair" else self._cell
-        return vector is not None and int(vector[index]) > self._last_iteration
+        if kind == "pair":
+            return self._pair_expiry_at(index) > self._last_iteration
+        return self._cell is not None and int(self._cell[index]) > self._last_iteration
 
     def __iter__(self) -> Iterator[MoveAttribute]:
         return iter(attr for attr, _expiry in self._live_items())
@@ -437,8 +624,9 @@ class ArrayTabuList:
                 continue
             kind_name, index = slot
             if kind_name == "pair":
-                instance._pair_vector()[index] = int(expiry)
-                instance._pair_touched.add(index)
+                instance._store_pair_indices(
+                    np.asarray([index], dtype=np.int64), int(expiry)
+                )
             else:
                 instance._cell_vector()[index] = int(expiry)
                 instance._cell_touched.add(index)
@@ -448,12 +636,13 @@ class ArrayTabuList:
 def make_tabu_list(tenure: int, num_cells: int, *, vectorized: bool):
     """Build the short-term memory matching the selected iteration driver.
 
-    The vectorized driver gets an :class:`ArrayTabuList` whenever the dense
-    pair vector is affordable (``num_cells <= ARRAY_TABU_MAX_CELLS``); the
-    reference driver — and oversized instances — get the dict oracle, whose
-    mask methods are loop-based but behave identically.
+    The vectorized driver always gets an :class:`ArrayTabuList` — dense
+    pair vector up to ``ARRAY_TABU_MAX_CELLS`` cells, the exact-key hashed
+    pair table beyond (so 10k-cell instances keep vectorised batch masks
+    instead of falling back to the dict loop).  The reference driver gets
+    the dict oracle.
     """
-    if vectorized and num_cells <= ARRAY_TABU_MAX_CELLS:
+    if vectorized:
         return ArrayTabuList(tenure, num_cells)
     return TabuList(tenure)
 

@@ -71,6 +71,40 @@ class TestSharedArrayPack:
             pack.close()
             pack.unlink()
 
+    def test_total_bytes_covers_arrays(self):
+        arrays = {
+            "a": np.arange(1000, dtype=np.int64),
+            "b": np.zeros((64, 64), dtype=np.float64),
+        }
+        pack = SharedArrayPack(arrays)
+        try:
+            payload = sum(a.nbytes for a in arrays.values())
+            assert pack.total_bytes >= payload
+            # alignment pad is at most 63 bytes per array
+            assert pack.total_bytes <= payload + 64 * len(arrays)
+        finally:
+            pack.close()
+            pack.unlink()
+
+
+class TestLargeInstanceShipping:
+    """Multi-MB problems must ship as one shared block, not per-worker pickles."""
+
+    def test_qap_rand256_ships_shared_with_tiny_ref(self):
+        from repro.core.registry import get_domain
+
+        problem = get_domain("qap").build_problem("rand256", reference_seed=0)
+        exported = export_shared(problem)
+        assert exported is not None
+        ref, pack = exported
+        try:
+            matrices = 2 * 256 * 256 * 8  # flow + distance, float64
+            assert pack.total_bytes >= matrices
+            assert len(pickle.dumps(ref)) < 4096
+        finally:
+            pack.close()
+            pack.unlink()
+
 
 class TestSharedProblem:
     def test_ref_is_much_smaller_than_pickle(self, problem):

@@ -198,8 +198,12 @@ class TestArrayTabuList:
     def test_make_tabu_list_selects_backend(self):
         assert isinstance(make_tabu_list(5, 100, vectorized=True), ArrayTabuList)
         assert isinstance(make_tabu_list(5, 100, vectorized=False), TabuList)
+        # above the dense cap the vectorized backend stays array-based and
+        # switches its pair store to the hashed layout internally
         oversized = ARRAY_TABU_MAX_CELLS + 1
-        assert isinstance(make_tabu_list(5, oversized, vectorized=True), TabuList)
+        big = make_tabu_list(5, oversized, vectorized=True)
+        assert isinstance(big, ArrayTabuList)
+        assert not big._dense_pairs
 
 
 class TestDictTabuListBatchSurface:
@@ -220,6 +224,84 @@ class TestDictTabuListBatchSurface:
         assert tabu.expire(2) == 0  # nothing lapsed yet (expiries are 3)
         assert tabu.expire(3) == 2
         assert len(tabu) == 0
+
+
+class TestHashedPairBackend:
+    """Above the dense cap the pair store switches to the exact-key hash
+    table; these tests pin it to the dense layout and the dict oracle."""
+
+    NUM_CELLS = 6000  # > ARRAY_TABU_MAX_CELLS, so auto-selects hashed
+
+    def _trajectory(self, tabu, rng):
+        n = self.NUM_CELLS
+        masks, lens = [], []
+        for iteration in range(120):
+            pairs = np.column_stack(
+                [
+                    rng.integers(0, n, size=16),
+                    rng.integers(0, n, size=16),
+                ]
+            )
+            keep = pairs[:, 0] != pairs[:, 1]
+            tabu.record_pairs(pairs[keep][:6], iteration)
+            masks.append(tabu.is_tabu_mask(pairs, iteration).copy())
+            # no-op for the array backends; brings the dict oracle's
+            # amortised expiry current so len() means "live right now"
+            tabu.expire(iteration)
+            lens.append(len(tabu))
+        return masks, lens, set(tabu.to_payload())
+
+    def test_hashed_matches_dense_and_oracle(self):
+        hashed = ArrayTabuList(9, self.NUM_CELLS)
+        dense = ArrayTabuList(9, self.NUM_CELLS, max_dense_cells=10**9)
+        oracle = TabuList(9)
+        assert not hashed._dense_pairs
+        assert dense._dense_pairs
+        h = self._trajectory(hashed, np.random.default_rng(42))
+        d = self._trajectory(dense, np.random.default_rng(42))
+        o = self._trajectory(oracle, np.random.default_rng(42))
+        for got, want in ((h, d), (h, o)):
+            for mask_got, mask_want in zip(got[0], want[0]):
+                assert np.array_equal(mask_got, mask_want)
+            assert got[1] == want[1]
+            assert got[2] == want[2]
+
+    def test_payload_roundtrip_and_clear(self):
+        hashed = ArrayTabuList(7, self.NUM_CELLS)
+        rng = np.random.default_rng(3)
+        pairs = np.column_stack(
+            [rng.integers(0, self.NUM_CELLS, 8), rng.integers(0, self.NUM_CELLS, 8)]
+        )
+        pairs = pairs[pairs[:, 0] != pairs[:, 1]]
+        hashed.record_pairs(pairs, 5)
+        payload = hashed.to_payload()
+        clone = ArrayTabuList.from_payload(payload, 7, self.NUM_CELLS)
+        assert not clone._dense_pairs
+        assert set(clone.to_payload()) == set(payload)
+        assert np.array_equal(
+            clone.is_tabu_mask(pairs, 6), hashed.is_tabu_mask(pairs, 6)
+        )
+        hashed.clear()
+        assert len(hashed) == 0
+        assert not hashed.is_tabu_mask(pairs, 6).any()
+
+    def test_attribute_surface(self):
+        hashed = ArrayTabuList(4, self.NUM_CELLS)
+        attr = MoveAttribute.pair(4500, 5999)
+        hashed.record([attr], iteration=0)
+        assert attr in hashed
+        assert hashed.is_tabu([attr], 3)
+        assert not hashed.is_tabu([attr], 4)
+        assert list(hashed) == [attr]
+
+    def test_stale_pruning_bounds_capacity(self):
+        from repro.tabu.tabu_list import _HashedPairTable
+
+        table = _HashedPairTable()
+        # tenure-9-style churn: expiries lapse long before capacity is hit
+        for i in range(3000):
+            table.store(i * 977 % (10**9), expiry=i + 9, floor=i)
+        assert table._keys.size <= 1 << 10
 
 
 class TestFrequencyMemory:
