@@ -46,6 +46,7 @@ from .errors import (
     PlacementError,
     ProcessError,
     ReproError,
+    SessionError,
     SimulationError,
     TabuSearchError,
 )
@@ -70,6 +71,11 @@ from .placement import (
     load_benchmark,
     paper_benchmarks,
     random_placement,
+)
+from .session import (
+    SearchSession,
+    SessionState,
+    WorkerPool,
 )
 from .pvm import (
     ClusterSpec,
@@ -104,6 +110,7 @@ __all__ = [
     "SimulationError",
     "ParallelSearchError",
     "ExperimentError",
+    "SessionError",
     # placement
     "Netlist",
     "NetlistBuilder",
@@ -134,6 +141,10 @@ __all__ = [
     "build_problem",
     "classify",
     "run_parallel_search",
+    # session
+    "SearchSession",
+    "SessionState",
+    "WorkerPool",
     # metrics
     "CostTrace",
     "speedup_curve",

@@ -8,6 +8,9 @@ writing Python::
     python -m repro run --circuit c532 --tsws 4 --clws 2
     python -m repro run --problem qap --instance rand64 --tsws 4
     python -m repro run --circuit c1355 --sync homogeneous --save-placement out.pl
+    python -m repro run --circuit c532 --pause-after 2 --checkpoint run.rtss
+    python -m repro run --resume run.rtss --checkpoint run.rtss
+    python -m repro sessions run.rtss
     python -m repro figure fig9 --circuits c532
     python -m repro classify --tsws 4 --clws 4
 
@@ -32,10 +35,11 @@ from .core.registry import available_domains, get_domain
 from .errors import ReproError
 from .experiments import ALL_FIGURES, current_scale
 from .metrics import format_mapping, format_table
-from .parallel import ParallelSearchParams, classify, run_parallel_search
+from .parallel import ParallelSearchParams, classify
 from .placement import Placement, benchmark_names, load_benchmark
 from .placement.io import write_placement
 from .pvm import homogeneous_cluster, paper_cluster
+from .session import SearchSession, SessionState
 from .tabu import TabuSearchParams
 
 __all__ = ["main", "build_parser"]
@@ -90,7 +94,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="'paper' (12 heterogeneous machines) or 'homogeneous:<N>'",
     )
     run_parser.add_argument(
-        "--backend", choices=["simulated", "threads", "processes"], default="simulated"
+        "--backend", choices=["simulated", "threads", "processes"], default=None,
+        help="PVM backend (default: simulated, or the checkpoint's backend "
+             "with --resume)",
     )
     run_parser.add_argument(
         "--save-placement", metavar="FILE", default=None,
@@ -98,6 +104,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument("--trace", action="store_true",
                             help="also print the best-cost-vs-time trace")
+    run_parser.add_argument(
+        "--pause-after", type=int, metavar="N", default=None,
+        help="pause the session after N further global iterations instead of "
+             "running to completion (combine with --checkpoint)",
+    )
+    run_parser.add_argument(
+        "--checkpoint", metavar="FILE", default=None,
+        help="write a resumable session checkpoint to FILE when the run "
+             "pauses or finishes",
+    )
+    run_parser.add_argument(
+        "--resume", metavar="FILE", default=None,
+        help="continue a previous run from a checkpoint written by "
+             "--checkpoint (instance and parameters come from the artifact)",
+    )
 
     # figure -------------------------------------------------------------------
     figure_parser = subparsers.add_parser(
@@ -115,6 +136,15 @@ def build_parser() -> argparse.ArgumentParser:
     classify_parser.add_argument("--tsws", type=int, default=4)
     classify_parser.add_argument("--clws", type=int, default=1)
     classify_parser.add_argument("--no-diversify", action="store_true")
+
+    # sessions ------------------------------------------------------------------
+    sessions_parser = subparsers.add_parser(
+        "sessions", help="inspect resumable session checkpoint artifacts"
+    )
+    sessions_parser.add_argument(
+        "checkpoints", nargs="+", metavar="FILE",
+        help="checkpoint files written by 'repro run --checkpoint'",
+    )
 
     return parser
 
@@ -165,16 +195,23 @@ def _command_problems(_: argparse.Namespace) -> int:
     return 0
 
 
-def _command_run(args: argparse.Namespace) -> int:
-    if args.circuit is not None and args.problem != "placement":
-        raise ReproError("--circuit is a placement shorthand; use --instance instead")
-    if args.circuit is not None and args.instance is not None:
-        raise ReproError(
-            f"--circuit {args.circuit!r} and --instance {args.instance!r} both name "
-            "an instance; pass only one"
+def _build_session(args: argparse.Namespace) -> SearchSession:
+    cluster = _make_cluster(args.cluster)
+    if args.resume is not None:
+        if args.instance is not None or args.circuit is not None:
+            raise ReproError(
+                "--resume restores the instance and parameters from the "
+                "checkpoint; drop --instance/--circuit"
+            )
+        session = SearchSession.restore(
+            args.resume, backend=args.backend, cluster=cluster
         )
-    if args.save_placement and args.problem != "placement":
-        raise ReproError("--save-placement only applies to the placement domain")
+        print(
+            f"Resuming {session.problem.name} from {args.resume}: "
+            f"{session.rounds_done}/{session.params.global_iterations} "
+            f"global iterations done, backend {session.backend} ..."
+        )
+        return session
     domain = get_domain(args.problem)
     instance_name = args.instance or args.circuit or domain.default_instance
     problem = domain.build_problem(instance_name, reference_seed=args.seed)
@@ -192,19 +229,48 @@ def _command_run(args: argparse.Namespace) -> int:
         tabu=tabu,
         seed=args.seed,
     )
-    cluster = _make_cluster(args.cluster)
     print(f"Running {args.problem}:{problem.name} with {args.tsws} TSWs x "
           f"{args.clws} CLWs ({args.sync} sync) on {cluster.num_machines} machines ...")
-    result = run_parallel_search(
-        problem=problem, params=params, cluster=cluster, backend=args.backend
+    return SearchSession(
+        problem=problem,
+        params=params,
+        backend=args.backend or "simulated",
+        cluster=cluster,
     )
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    if args.circuit is not None and args.problem != "placement":
+        raise ReproError("--circuit is a placement shorthand; use --instance instead")
+    if args.circuit is not None and args.instance is not None:
+        raise ReproError(
+            f"--circuit {args.circuit!r} and --instance {args.instance!r} both name "
+            "an instance; pass only one"
+        )
+    if args.save_placement and args.resume is None and args.problem != "placement":
+        raise ReproError("--save-placement only applies to the placement domain")
+    if args.pause_after is not None and args.pause_after < 1:
+        raise ReproError("--pause-after needs at least one global iteration")
+    session = _build_session(args)
+    if args.pause_after is not None and not session.complete:
+        session.step(args.pause_after)
+    elif not session.complete:
+        session.run()
+    result = session.result()
     summary = {
+        "instance": result.instance,
         "initial cost": result.initial_cost,
         "best cost": result.best_cost,
         "improvement": f"{result.improvement * 100:.1f} %",
     }
-    # domain-specific crisp objectives (ObjectiveVector / QAPObjectives)
-    summary.update(result.best_objectives.as_dict())
+    if result.complete:
+        # domain-specific crisp objectives (ObjectiveVector / QAPObjectives)
+        summary.update(result.best_objectives.as_dict())
+    else:
+        summary["progress"] = (
+            f"{session.rounds_done}/{session.params.global_iterations} "
+            "global iterations (paused)"
+        )
     summary.update(
         {
             "virtual runtime (s)": result.virtual_runtime,
@@ -212,6 +278,9 @@ def _command_run(args: argparse.Namespace) -> int:
         }
     )
     print(format_mapping(summary, title="Result"))
+    if args.checkpoint:
+        session.checkpoint(args.checkpoint)
+        print(f"Checkpoint written to {args.checkpoint}")
     if args.trace:
         print()
         print(
@@ -222,9 +291,44 @@ def _command_run(args: argparse.Namespace) -> int:
             )
         )
     if args.save_placement:
-        placement = Placement(problem.layout, result.best_solution)
+        layout = getattr(session.problem, "layout", None)
+        if layout is None:
+            raise ReproError("--save-placement only applies to the placement domain")
+        placement = Placement(layout, result.best_solution)
         write_placement(placement, args.save_placement)
         print(f"\nBest placement written to {args.save_placement}")
+    return 0
+
+
+def _command_sessions(args: argparse.Namespace) -> int:
+    rows = []
+    for path in args.checkpoints:
+        state = SessionState.load(path)
+        if state.complete:
+            lifecycle = "complete"
+        elif state.run_state is not None:
+            lifecycle = "paused"
+        else:
+            lifecycle = "fresh"
+        rows.append(
+            (
+                path,
+                state.problem.name,
+                state.backend,
+                f"{state.params.num_tsws}x{state.params.clws_per_tsw}",
+                f"{state.rounds_done}/{state.params.global_iterations}",
+                "-" if state.best_cost is None else f"{state.best_cost:.4f}",
+                lifecycle,
+            )
+        )
+    print(
+        format_table(
+            ["checkpoint", "instance", "backend", "topology", "rounds", "best cost",
+             "state"],
+            rows,
+            title="Session checkpoints (resume with: repro run --resume <FILE>)",
+        )
+    )
     return 0
 
 
@@ -254,6 +358,7 @@ _COMMANDS = {
     "run": _command_run,
     "figure": _command_figure,
     "classify": _command_classify,
+    "sessions": _command_sessions,
 }
 
 

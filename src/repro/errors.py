@@ -21,6 +21,7 @@ __all__ = [
     "SimulationError",
     "ParallelSearchError",
     "ExperimentError",
+    "SessionError",
 ]
 
 
@@ -70,3 +71,7 @@ class ParallelSearchError(ReproError):
 
 class ExperimentError(ReproError):
     """Invalid experiment or benchmark configuration."""
+
+
+class SessionError(ReproError):
+    """Invalid search-session lifecycle transition or checkpoint artifact."""

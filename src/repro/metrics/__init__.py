@@ -8,10 +8,12 @@ from .speedup import (
     speedup_to_quality,
     time_to_quality,
 )
-from .trace import CostTrace
+from .trace import CostTrace, best_so_far_envelope, shift_times
 
 __all__ = [
     "CostTrace",
+    "best_so_far_envelope",
+    "shift_times",
     "SpeedupPoint",
     "common_quality_threshold",
     "speedup_curve",

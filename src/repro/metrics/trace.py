@@ -13,7 +13,39 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import ExperimentError
 
-__all__ = ["CostTrace"]
+__all__ = ["CostTrace", "best_so_far_envelope", "shift_times"]
+
+
+def best_so_far_envelope(
+    points: Iterable[Tuple[float, float]],
+) -> Tuple[Tuple[float, float], ...]:
+    """Monotone best-so-far reduction of raw ``(time, cost)`` pairs.
+
+    Sorts by time and replaces each cost with the best seen so far — the
+    merge step the master applies to its own trace plus all per-worker
+    traces.  Exposed as a plain function so the session layer can stitch
+    the envelopes of consecutive run segments without building a
+    :class:`CostTrace` (which rejects empty series).
+    """
+    ordered = sorted((float(t), float(c)) for t, c in points)
+    best = float("inf")
+    out: List[Tuple[float, float]] = []
+    for t, c in ordered:
+        best = min(best, c)
+        out.append((t, best))
+    return tuple(out)
+
+
+def shift_times(
+    points: Iterable[Tuple[float, float]], offset: float
+) -> Tuple[Tuple[float, float], ...]:
+    """The same series with ``offset`` added to every time coordinate.
+
+    Resuming a checkpoint under a fresh kernel restarts the clock at zero;
+    shifting the resumed segment by the checkpointed end time keeps the
+    stitched trace monotone in time.
+    """
+    return tuple((float(t) + float(offset), float(c)) for t, c in points)
 
 
 @dataclass(frozen=True)

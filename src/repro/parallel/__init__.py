@@ -8,20 +8,22 @@ heterogeneous clusters, and :func:`~repro.parallel.runner.run_parallel_search`
 
 from .clw import clw_process
 from .config import ParallelSearchParams, SyncMode
-from .master import GlobalIterationRecord, MasterResult, master_process
+from .master import GlobalIterationRecord, MasterResult, MasterRunState, master_process
 from .messages import (
     ClwResult,
     ClwSummary,
     ClwTask,
+    ClwWorkerState,
     GlobalStart,
     ReportNow,
     Tags,
     TswResult,
     TswSummary,
+    TswWorkerState,
 )
-from .problem import PlacementProblem
 from .runner import ParallelSearchResult, build_problem, run_parallel_search
 from .sync import SyncPolicy
+from .worker_loop import clw_worker_loop, tsw_worker_loop
 from .taxonomy import (
     CommunicationType,
     ControlCardinality,
@@ -31,6 +33,20 @@ from .taxonomy import (
     classify,
 )
 from .tsw import tsw_process
+
+
+def __getattr__(name):
+    # Lazy legacy re-export: ``from repro.parallel import PlacementProblem``
+    # keeps working, but the engine package itself stays free of static
+    # problem-domain imports (tests/core/test_import_boundaries.py) and the
+    # deprecation warning of ``repro.parallel.problem`` fires only when the
+    # legacy name is actually used.
+    if name == "PlacementProblem":
+        from ..problems.placement import PlacementProblem
+
+        return PlacementProblem
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "ParallelSearchParams",
@@ -43,8 +59,13 @@ __all__ = [
     "master_process",
     "tsw_process",
     "clw_process",
+    "tsw_worker_loop",
+    "clw_worker_loop",
     "MasterResult",
+    "MasterRunState",
     "GlobalIterationRecord",
+    "TswWorkerState",
+    "ClwWorkerState",
     "Tags",
     "GlobalStart",
     "ReportNow",

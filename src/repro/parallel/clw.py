@@ -25,7 +25,11 @@ the whole search.
 
 from __future__ import annotations
 
+import copy
+import pickle
 from typing import Optional
+
+import numpy as np
 
 from .._rng import derive_seed, make_rng
 from ..core.protocols import SearchProblem
@@ -33,7 +37,7 @@ from ..tabu.candidate import CellRange
 from ..tabu.moves import CompoundMoveBuilder
 from ..tabu.params import TabuSearchParams
 from .delta import ResidentSolution, as_payload, solution_crc
-from .messages import ClwResult, ClwSummary, ClwTask, ReportNow, Tags
+from .messages import ClwResult, ClwSummary, ClwTask, ClwWorkerState, ReportNow, Tags
 
 __all__ = ["clw_process"]
 
@@ -59,6 +63,7 @@ def clw_process(
     cell_range: CellRange,
     clw_index: int,
     seed: int,
+    initial_state: Optional[ClwWorkerState] = None,
 ):
     """Generator body of a CLW process (run it under a PVM kernel).
 
@@ -76,6 +81,11 @@ def clw_process(
         Index of this CLW within its parent TSW (used in results and seeds).
     seed:
         Seed of this worker's private random stream.
+    initial_state:
+        Checkpointed :class:`~repro.parallel.messages.ClwWorkerState` to
+        resume from — restores the RNG stream, the evaluator's exact
+        internal state and the resident-solution version, so the resumed
+        trajectory is bit-identical to the uninterrupted one.
     """
     rng = make_rng(derive_seed(seed, "clw", clw_index), ctx.name)
     evaluator = None
@@ -85,12 +95,45 @@ def clw_process(
     total_trials = 0
     interruptions = 0
 
+    if initial_state is not None and initial_state.evaluator_state:
+        rng.bit_generator.state = copy.deepcopy(initial_state.rng_state)
+        evaluator = problem.make_evaluator(
+            np.asarray(initial_state.assignment, dtype=np.int64)
+        )
+        yield ctx.compute(problem.install_work_units(), label="install")
+        evaluator.restore_state(pickle.loads(initial_state.evaluator_state))
+        evaluator.evaluations = int(initial_state.evaluations)
+        resident.version = int(initial_state.resident_version)
+        tasks_done = int(initial_state.tasks_done)
+        total_trials = int(initial_state.trials)
+        interruptions = int(initial_state.interruptions)
+
     while True:
-        message = yield ctx.recv()  # task, stop, or stale report_now
+        message = yield ctx.recv()  # task, stop, state request, or stale report_now
         if message.tag == Tags.STOP:
             break
         if message.tag == Tags.REPORT_NOW:
             # Stale interrupt from a round whose result we already sent.
+            continue
+        if message.tag == Tags.STATE_REQUEST:
+            state = ClwWorkerState(
+                clw_index=clw_index,
+                rng_state=copy.deepcopy(rng.bit_generator.state),
+                assignment=(
+                    evaluator.snapshot() if evaluator is not None else np.empty(0, np.int64)
+                ),
+                evaluator_state=(
+                    pickle.dumps(evaluator.save_state(), protocol=4)
+                    if evaluator is not None
+                    else b""
+                ),
+                evaluations=(evaluator.evaluations if evaluator is not None else 0),
+                resident_version=resident.version,
+                tasks_done=tasks_done,
+                trials=total_trials,
+                interruptions=interruptions,
+            )
+            yield ctx.send(message.src, Tags.STATE_REPLY, state)
             continue
         if message.tag != Tags.CLW_TASK:
             continue

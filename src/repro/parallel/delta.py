@@ -303,6 +303,27 @@ class DeltaEncoder:
         """Forget a receiver's resident state; the next encode ships full."""
         self._resident.pop(receiver, None)
 
+    # -------------------------------------------------------------- #
+    # checkpoint surface: a resumed run must replay the exact same
+    # full-versus-delta decisions, so the per-receiver resident
+    # bookkeeping is part of the session state.
+    # -------------------------------------------------------------- #
+    def export_residents(self) -> Dict[Hashable, Tuple[int, np.ndarray]]:
+        """Serializable copy of the per-receiver resident records."""
+        return {
+            receiver: (version, solution.copy())
+            for receiver, (version, solution) in self._resident.items()
+        }
+
+    def install_residents(
+        self, residents: Dict[Hashable, Tuple[int, np.ndarray]]
+    ) -> None:
+        """Replace the resident records with an :meth:`export_residents` copy."""
+        self._resident = {
+            receiver: (int(version), np.asarray(solution, dtype=np.int64).copy())
+            for receiver, (version, solution) in residents.items()
+        }
+
 
 class ResidentSolution:
     """Receiver-side resident-version bookkeeping.

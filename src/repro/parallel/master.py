@@ -10,10 +10,21 @@ The master
 4. finally stops all workers and returns the best solution, its exact
    objectives, and the best-cost-versus-virtual-time trace the heterogeneity
    experiment (Figure 11) plots.
+
+The session layer (PR 7) extends this into a *resumable* process: the round
+loop can be entered at any global iteration from a harvested
+:class:`MasterRunState`, capped after ``max_rounds`` rounds, or paused by a
+``CANCEL`` message — in all three cases the master harvests the full worker
+subtree state (master → TSW → CLW) before stopping the workers, and returns
+an *incomplete* :class:`MasterResult` whose ``run_state`` resumes the run
+bit-identically.  Workers are acquired either by spawning (cold start and
+checkpoint restore) or by shipping ``SETUP`` messages to the persistent
+worker loops of a warm :class:`~repro.session.WorkerPool`.
 """
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
 
@@ -21,14 +32,15 @@ import numpy as np
 
 from .._rng import derive_seed
 from ..core.protocols import SearchProblem
+from ..metrics.trace import best_so_far_envelope
 from ..tabu.candidate import partition_cells
 from .config import ParallelSearchParams
 from .delta import DeltaEncoder, decode_solution, swap_list_between
-from .messages import GlobalStart, ReportNow, Tags, TswResult
+from .messages import GlobalStart, ReportNow, Tags, TswResult, TswSetup, TswWorkerState
 from .sync import SyncPolicy
 from .tsw import tsw_process
 
-__all__ = ["GlobalIterationRecord", "MasterResult", "master_process"]
+__all__ = ["GlobalIterationRecord", "MasterResult", "MasterRunState", "master_process"]
 
 
 @dataclass
@@ -43,12 +55,50 @@ class GlobalIterationRecord:
 
 
 @dataclass
+class MasterRunState:
+    """Serializable mid-run state of the whole search tree.
+
+    Everything a fresh master (under a fresh kernel, on any backend) needs
+    to continue the run with a bit-identical trajectory: the master's own
+    incumbent and exact evaluator state, the per-TSW resident-solution
+    bookkeeping of the delta protocol (keyed by ``tsw_index`` — pids are not
+    stable across kernels), the accumulated traces/records, and one
+    :class:`~repro.parallel.messages.TswWorkerState` per TSW (each carrying
+    its CLW states).
+    """
+
+    next_iteration: int
+    best_cost: float
+    best_solution: np.ndarray
+    best_tabu_payload: Optional[tuple]
+    initial_cost: float
+    #: The assignment the master's evaluator currently holds, plus the
+    #: pickled exact ``save_state()`` blob (delta-adopted state is only
+    #: float-tolerance-equal to a fresh install, so the blob is canonical).
+    evaluator_assignment: np.ndarray
+    evaluator_state: bytes
+    #: ``DeltaEncoder.export_residents()`` re-keyed by ``tsw_index``.
+    master_residents: Dict[Any, Tuple[int, np.ndarray]]
+    master_trace: List[Tuple[float, float]] = field(default_factory=list)
+    worker_points: List[Tuple[float, float]] = field(default_factory=list)
+    global_records: List[GlobalIterationRecord] = field(default_factory=list)
+    total_tsw_evaluations: int = 0
+    worker_states: Tuple[TswWorkerState, ...] = ()
+    #: Session-timeline virtual time at which the state was harvested; a
+    #: resume under a fresh kernel (clock restarts at zero) shifts its new
+    #: trace points by this much so the stitched trace stays monotone.
+    clock_base: float = 0.0
+
+
+@dataclass
 class MasterResult:
     """Return value of the master process."""
 
     best_cost: float
     #: Domain-specific crisp objective values of the final best solution
     #: (an ``ObjectiveVector`` for placement, the QAP objectives for QAP).
+    #: ``None`` on a paused (incomplete) result — the evaluator state is
+    #: kept pristine for the checkpoint instead of being re-installed.
     best_objectives: Any
     best_solution: np.ndarray
     initial_cost: float
@@ -63,30 +113,79 @@ class MasterResult:
     master_trace: List[Tuple[float, float]] = field(default_factory=list)
     global_records: List[GlobalIterationRecord] = field(default_factory=list)
     total_tsw_evaluations: int = 0
+    #: ``False`` when the run was paused (cancel or ``max_rounds``) before
+    #: all global iterations finished; ``run_state`` then resumes it.
+    complete: bool = True
+    run_state: Optional[MasterRunState] = None
 
 
-def master_process(ctx, problem: SearchProblem, params: ParallelSearchParams):
-    """Generator body of the master process (run it under a PVM kernel)."""
+def master_process(
+    ctx,
+    problem: SearchProblem,
+    params: ParallelSearchParams,
+    resume_state: Optional[MasterRunState] = None,
+    max_rounds: Optional[int] = None,
+    pool_pids: Optional[List[int]] = None,
+):
+    """Generator body of the master process (run it under a PVM kernel).
+
+    Parameters
+    ----------
+    resume_state:
+        Continue a paused run from this harvested state instead of creating
+        a fresh initial solution.
+    max_rounds:
+        Run at most this many global iterations this invocation, then pause
+        and return an incomplete result (session ``step``/chunked submit).
+    pool_pids:
+        Pids of persistent TSW worker loops (one per TSW, in ``tsw_index``
+        order) to configure via ``SETUP`` instead of spawning fresh workers.
+    """
     sync = SyncPolicy(mode=params.sync_mode, report_fraction=params.report_fraction)
     num_cells = problem.num_cells
 
     # ---- initial solution and reference cost ------------------------------
-    init_seed = (
-        params.initial_placement_seed
-        if params.initial_placement_seed is not None
-        else derive_seed(params.seed, "initial")
-    )
-    initial_solution = problem.random_solution(init_seed)
-    evaluator = problem.make_evaluator(initial_solution)
-    yield ctx.compute(problem.install_work_units(), label="initial-eval")
-    best_cost = evaluator.cost()
-    initial_cost = best_cost
-    best_solution = initial_solution.copy()
-    best_tabu_payload: Optional[tuple] = None
-    start_time = yield ctx.now()
-    master_trace: List[Tuple[float, float]] = [(start_time, best_cost)]
-    worker_points: List[Tuple[float, float]] = []
-    global_records: List[GlobalIterationRecord] = []
+    if resume_state is None:
+        init_seed = (
+            params.initial_placement_seed
+            if params.initial_placement_seed is not None
+            else derive_seed(params.seed, "initial")
+        )
+        initial_solution = problem.random_solution(init_seed)
+        evaluator = problem.make_evaluator(initial_solution)
+        yield ctx.compute(problem.install_work_units(), label="initial-eval")
+        best_cost = evaluator.cost()
+        initial_cost = best_cost
+        best_solution = initial_solution.copy()
+        best_tabu_payload: Optional[tuple] = None
+        start_time = yield ctx.now()
+        master_trace: List[Tuple[float, float]] = [(start_time, best_cost)]
+        worker_points: List[Tuple[float, float]] = []
+        global_records: List[GlobalIterationRecord] = []
+        total_tsw_evaluations = 0
+        start_round = 0
+        time_offset = 0.0
+    else:
+        resume_start = yield ctx.now()
+        evaluator = problem.make_evaluator(
+            np.asarray(resume_state.evaluator_assignment, dtype=np.int64)
+        )
+        yield ctx.compute(problem.install_work_units(), label="initial-eval")
+        evaluator.restore_state(pickle.loads(resume_state.evaluator_state))
+        best_cost = float(resume_state.best_cost)
+        initial_cost = float(resume_state.initial_cost)
+        best_solution = np.asarray(resume_state.best_solution, dtype=np.int64).copy()
+        best_tabu_payload = resume_state.best_tabu_payload
+        master_trace = list(resume_state.master_trace)
+        worker_points = list(resume_state.worker_points)
+        global_records = list(resume_state.global_records)
+        total_tsw_evaluations = int(resume_state.total_tsw_evaluations)
+        start_round = int(resume_state.next_iteration)
+        # Same-kernel resume (warm pool): the clock kept rolling past the
+        # harvest time, keep raw times.  Fresh-kernel resume (checkpoint
+        # restore): the clock restarted, shift new points past the stitched
+        # history so the merged trace stays monotone in time.
+        time_offset = max(0.0, float(resume_state.clock_base) - float(resume_start))
 
     # ---- worker topology ---------------------------------------------------
     tsw_ranges = partition_cells(
@@ -95,29 +194,79 @@ def master_process(ctx, problem: SearchProblem, params: ParallelSearchParams):
     clw_ranges = partition_cells(
         num_cells, params.clws_per_tsw, scheme=params.clw_partition_scheme, label_prefix="clw"
     )
-    tsw_pids: List[int] = []
-    for tsw_index in range(params.num_tsws):
-        pid = yield ctx.spawn(
-            tsw_process,
-            problem,
-            params,
-            tsw_index,
-            tsw_ranges[tsw_index],
-            list(clw_ranges),
-            derive_seed(params.seed, "tsw", tsw_index),
-            name=f"tsw{tsw_index}",
-        )
-        tsw_pids.append(pid)
+    worker_states_by_index: Dict[int, TswWorkerState] = {}
+    if resume_state is not None:
+        worker_states_by_index = {s.tsw_index: s for s in resume_state.worker_states}
 
-    total_tsw_evaluations = 0
+    if pool_pids is not None:
+        # Warm pool: the TSW loops are already alive — ship each a SETUP and
+        # wait for every ack before any run traffic (the explicit handshake
+        # beats the simulated network's size-dependent message latency).
+        if len(pool_pids) != params.num_tsws:
+            raise ValueError(
+                f"pool provides {len(pool_pids)} TSW loops, params want {params.num_tsws}"
+            )
+        tsw_pids = list(pool_pids)
+        for tsw_index, pid in enumerate(tsw_pids):
+            yield ctx.send(
+                pid,
+                Tags.SETUP,
+                TswSetup(
+                    problem=problem,
+                    params=params,
+                    tsw_index=tsw_index,
+                    tsw_range=tsw_ranges[tsw_index],
+                    clw_ranges=tuple(clw_ranges),
+                    seed=derive_seed(params.seed, "tsw", tsw_index),
+                    initial_state=worker_states_by_index.get(tsw_index),
+                ),
+            )
+        acked: Set[int] = set()
+        while len(acked) < len(tsw_pids):
+            ack = yield ctx.recv(tag=Tags.SETUP_ACK)
+            acked.add(ack.src)
+    else:
+        tsw_pids = []
+        for tsw_index in range(params.num_tsws):
+            pid = yield ctx.spawn(
+                tsw_process,
+                problem,
+                params,
+                tsw_index,
+                tsw_ranges[tsw_index],
+                list(clw_ranges),
+                derive_seed(params.seed, "tsw", tsw_index),
+                name=f"tsw{tsw_index}",
+                initial_state=worker_states_by_index.get(tsw_index),
+            )
+            tsw_pids.append(pid)
+    index_of_pid = {pid: index for index, pid in enumerate(tsw_pids)}
+
     # Per-TSW resident tracking: broadcasts go out as swap-list deltas
     # against each TSW's previously *reported* solution (what it keeps
     # resident after normalising), falling back to full shipment on first
     # contact, after a needs_full NACK, or when the searches diverged.
     encoder = DeltaEncoder()
+    if resume_state is not None:
+        encoder.install_residents(
+            {
+                tsw_pids[index]: entry
+                for index, entry in resume_state.master_residents.items()
+                if 0 <= int(index) < len(tsw_pids)
+            }
+        )
 
     # ---- global iterations --------------------------------------------------
-    for global_iteration in range(params.global_iterations):
+    stop_round = params.global_iterations
+    if max_rounds is not None:
+        stop_round = min(stop_round, start_round + max(0, int(max_rounds)))
+    next_round = start_round
+    cancelled = False
+    for global_iteration in range(start_round, stop_round):
+        cancel = yield ctx.probe(tag=Tags.CANCEL)
+        if cancel is not None:
+            cancelled = True
+            break
         broadcast_solution = best_solution.copy()
         for pid in tsw_pids:
             payload = encoder.encode(pid, broadcast_solution, version=global_iteration)
@@ -184,7 +333,12 @@ def master_process(ctx, problem: SearchProblem, params: ParallelSearchParams):
             # record it so the next broadcast can be a delta
             encoder.set_resident(reply.src, global_iteration, decoded)
             results.append(result)
-            worker_points.extend(result.trace)
+            if time_offset:
+                worker_points.extend(
+                    (float(t) + time_offset, float(c)) for t, c in result.trace
+                )
+            else:
+                worker_points.extend(result.trace)
             if (
                 sync.is_heterogeneous
                 and not interrupt_sent
@@ -229,9 +383,13 @@ def master_process(ctx, problem: SearchProblem, params: ParallelSearchParams):
             evaluator.restore_state(base_state)
         if winner is not None:
             best_tabu_payload = winner.tabu_payload
+        # each report carries the TSW's *cumulative* evaluation count (it
+        # survives checkpoint/resume via the restored evaluator), so the
+        # latest round overwrites rather than accumulates
         total_tsw_evaluations = sum(result.evaluations for result in results)
 
         now = yield ctx.now()
+        now = float(now) + time_offset
         master_trace.append((now, best_cost))
         global_records.append(
             GlobalIterationRecord(
@@ -242,24 +400,63 @@ def master_process(ctx, problem: SearchProblem, params: ParallelSearchParams):
                 finish_time=now,
             )
         )
+        next_round = global_iteration + 1
+
+    complete = next_round >= params.global_iterations and not cancelled
+
+    run_state: Optional[MasterRunState] = None
+    if not complete:
+        # ---- harvest the worker subtree before stopping anyone ------------
+        # Only reached at a global-iteration boundary: every worker is idle
+        # at the top of its receive loop, no run traffic is in flight.
+        harvested: Dict[int, TswWorkerState] = {}
+        for pid in tsw_pids:
+            yield ctx.send(pid, Tags.STATE_REQUEST)
+        while len(harvested) < len(tsw_pids):
+            reply = yield ctx.recv(tag=Tags.STATE_REPLY)
+            tsw_state: TswWorkerState = reply.payload
+            harvested[tsw_state.tsw_index] = tsw_state
+        pause_time = yield ctx.now()
+        run_state = MasterRunState(
+            next_iteration=next_round,
+            best_cost=float(best_cost),
+            best_solution=best_solution.copy(),
+            best_tabu_payload=best_tabu_payload,
+            initial_cost=float(initial_cost),
+            evaluator_assignment=evaluator.snapshot(),
+            evaluator_state=pickle.dumps(evaluator.save_state(), protocol=4),
+            master_residents={
+                index_of_pid[pid]: entry
+                for pid, entry in encoder.export_residents().items()
+                if pid in index_of_pid
+            },
+            master_trace=list(master_trace),
+            worker_points=list(worker_points),
+            global_records=list(global_records),
+            total_tsw_evaluations=int(total_tsw_evaluations),
+            worker_states=tuple(harvested[i] for i in sorted(harvested)),
+            clock_base=float(pause_time) + time_offset,
+        )
 
     # ---- shutdown ------------------------------------------------------------
+    # Under a warm pool the STOP only ends the *inner* worker bodies; the
+    # persistent loops return to idle and await the next SETUP.
     for pid in tsw_pids:
         yield ctx.send(pid, Tags.STOP)
 
-    # exact objectives of the final best solution
-    evaluator.install_solution(best_solution)
-    evaluator.exact_cost()
-    best_objectives = evaluator.objectives()
+    if complete:
+        # exact objectives of the final best solution
+        evaluator.install_solution(best_solution)
+        evaluator.exact_cost()
+        best_objectives = evaluator.objectives()
+    else:
+        # paused: keep the harvested evaluator blob canonical — do not touch
+        # the evaluator again, and leave the objectives unevaluated
+        best_objectives = None
 
     # Merge the master's coarse points with the per-worker fine-grained points
     # into one best-so-far envelope sorted by time.
-    merged = sorted(master_trace + worker_points, key=lambda point: point[0])
-    envelope: List[Tuple[float, float]] = []
-    incumbent = float("inf")
-    for moment, cost in merged:
-        incumbent = min(incumbent, cost)
-        envelope.append((moment, incumbent))
+    envelope = list(best_so_far_envelope(master_trace + worker_points))
 
     return MasterResult(
         best_cost=float(best_cost),
@@ -270,4 +467,6 @@ def master_process(ctx, problem: SearchProblem, params: ParallelSearchParams):
         master_trace=master_trace,
         global_records=global_records,
         total_tsw_evaluations=total_tsw_evaluations,
+        complete=complete,
+        run_state=run_state,
     )

@@ -19,7 +19,7 @@ sees the embedded NumPy solution arrays.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple, Union
+from typing import Any, Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -34,6 +34,11 @@ __all__ = [
     "ClwResult",
     "ClwSummary",
     "TswSummary",
+    "ClwWorkerState",
+    "TswWorkerState",
+    "ClwSetup",
+    "TswSetup",
+    "SetupAck",
 ]
 
 
@@ -46,6 +51,19 @@ class Tags:
     CLW_TASK = "clw_task"
     CLW_RESULT = "clw_result"
     STOP = "stop"
+    # --- session / pool extensions (PR 7) ---------------------------------
+    #: Pool → persistent worker loop: configure for a new run.
+    SETUP = "setup"
+    #: Worker loop → parent/pool: setup installed, ready for traffic.
+    SETUP_ACK = "setup_ack"
+    #: Master → TSW → CLW: export your live run state for a checkpoint.
+    STATE_REQUEST = "state_request"
+    #: Child → parent: the requested worker-state export.
+    STATE_REPLY = "state_reply"
+    #: Driver → master: pause the run at the next global-iteration boundary.
+    CANCEL = "cancel"
+    #: Pool → persistent worker loops: exit for good.
+    POOL_SHUTDOWN = "pool_shutdown"
 
 
 @dataclass
@@ -171,3 +189,93 @@ class TswSummary:
     interruptions: int
     best_cost: float
     evaluations: int
+
+
+# --------------------------------------------------------------------------- #
+# Session / pool extensions (PR 7)
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class ClwWorkerState:
+    """Full serializable run state of one CLW, harvested for a checkpoint.
+
+    ``evaluator_state`` is the pickled backend-specific
+    ``evaluator.save_state()`` blob: delta-adopted and fully-installed
+    solutions agree only to float tolerance (incremental cost accumulation),
+    so bit-identical resumption must restore the evaluator's exact internal
+    state rather than re-install the assignment.
+    """
+
+    clw_index: int
+    rng_state: Dict[str, Any]
+    assignment: np.ndarray
+    evaluator_state: bytes
+    evaluations: int
+    resident_version: int
+    tasks_done: int
+    trials: int
+    interruptions: int
+
+
+@dataclass
+class TswWorkerState:
+    """Full serializable run state of one TSW (including its CLWs)."""
+
+    tsw_index: int
+    #: ``TabuSearch.export_state()`` — RNG, tabu list, frequency memory,
+    #: iteration counters, best-so-far.
+    search_state: Any
+    assignment: np.ndarray
+    evaluator_state: bytes
+    evaluations: int
+    resident_version: int
+    #: ``DeltaEncoder.export_residents()`` of the TSW→master encoder
+    #: (keyed by the literal ``"master"``).
+    master_residents: Dict[Any, Tuple[int, np.ndarray]]
+    #: ``DeltaEncoder.export_residents()`` of the TSW→CLW encoder
+    #: (keyed by ``clw_index`` — stable across respawns).
+    clw_residents: Dict[Any, Tuple[int, np.ndarray]]
+    round_counter: int
+    global_iterations_done: int
+    local_iterations_done: int
+    interruptions: int
+    clw_states: Tuple[ClwWorkerState, ...] = ()
+
+
+@dataclass
+class ClwSetup:
+    """Pool → persistent CLW loop: arguments of one ``clw_process`` run."""
+
+    problem: Any
+    tabu_params: Any
+    cell_range: Any
+    clw_index: int
+    seed: int
+    initial_state: Optional[ClwWorkerState] = None
+
+
+@dataclass
+class TswSetup:
+    """Pool → persistent TSW loop: arguments of one ``tsw_process`` run."""
+
+    problem: Any
+    params: Any
+    tsw_index: int
+    tsw_range: Any
+    clw_ranges: Tuple[Any, ...]
+    seed: int
+    initial_state: Optional[TswWorkerState] = None
+
+
+@dataclass
+class SetupAck:
+    """Worker loop → parent/pool: setup fully installed (CLWs included).
+
+    The explicit ack closes a simulated-network ordering hazard: a large
+    SETUP payload has a size-dependent latency, so a smaller message sent
+    later could otherwise overtake it.  The master never sends run traffic
+    to a pool worker before its ack arrived.
+    """
+
+    worker_name: str

@@ -1,15 +1,25 @@
-"""Backwards-compatible home of :class:`PlacementProblem`.
+"""Deprecated backwards-compatible home of :class:`PlacementProblem`.
 
 The shared problem description moved behind the domain-agnostic core
 contract: the class now lives in :mod:`repro.problems.placement` (one
 registered :class:`~repro.core.protocols.SearchProblem` implementation among
 others), and everything in :mod:`repro.parallel` is written against the
 protocol rather than the placement domain.  This module re-exports the old
-names so existing imports keep working.
+names so existing imports keep working, but importing it is deprecated —
+import from :mod:`repro.problems.placement` instead.
 """
 
 from __future__ import annotations
 
+import warnings
+
 from ..problems.placement import PlacementProblem, restore_shared_problem
+
+warnings.warn(
+    "repro.parallel.problem is deprecated; import PlacementProblem and "
+    "restore_shared_problem from repro.problems.placement instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 __all__ = ["PlacementProblem", "restore_shared_problem"]

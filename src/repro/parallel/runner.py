@@ -20,27 +20,27 @@ through the domain registry).  A QAP run looks like::
     problem = get_domain("qap").build_problem("rand64")
     result = run_parallel_search(problem=problem, params=params)
 
-The runner spawns the master on the requested cluster backend, runs it to
-completion and packages the master's result together with the kernel
-statistics.
+Since PR 7 the runner is a thin wrapper over
+:class:`~repro.session.SearchSession`: it builds a session, runs it to
+completion in a single epoch, and returns the packaged result.  Anything
+beyond one-shot runs — pausing, checkpoints, warm worker pools, background
+submission — lives on the session API.
 """
 
 from __future__ import annotations
 
-import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, List, Literal, Optional, Tuple
 
 import numpy as np
 
-from ..core.protocols import SearchProblem, ensure_search_problem
+from ..core.protocols import SearchProblem
 from ..errors import ParallelSearchError
-from ..pvm.cluster import ClusterSpec, paper_cluster
-from ..pvm.process_backend import ProcessKernel
-from ..pvm.simulator import ProcessInfo, SimKernel, SimStats
-from ..pvm.threads_backend import ThreadKernel
+from ..pvm.cluster import ClusterSpec
+from ..pvm.simulator import ProcessInfo, SimStats
 from .config import ParallelSearchParams
-from .master import GlobalIterationRecord, MasterResult, master_process
+from .master import GlobalIterationRecord
 
 __all__ = ["ParallelSearchResult", "run_parallel_search", "build_problem"]
 
@@ -52,13 +52,14 @@ class ParallelSearchResult:
     """Everything a parallel-tabu-search run produced."""
 
     #: Name of the problem instance (a circuit for placement, a QAP
-    #: instance name otherwise; the field name predates the multi-domain
-    #: core and is kept for compatibility).
-    circuit: str
+    #: instance name otherwise).  Renamed from ``circuit`` when the core
+    #: went multi-domain; the old name survives as a deprecated alias.
+    instance: str
     params: ParallelSearchParams
     best_cost: float
     initial_cost: float
-    #: Domain-specific crisp objective values of the best solution.
+    #: Domain-specific crisp objective values of the best solution
+    #: (``None`` on a paused, incomplete session result).
     best_objectives: Any
     best_solution: np.ndarray
     #: (virtual time, best cost) trace recorded by the master.
@@ -70,6 +71,19 @@ class ParallelSearchResult:
     sim_stats: Optional[SimStats]
     process_infos: List[ProcessInfo] = field(default_factory=list)
     wall_clock_seconds: float = 0.0
+    #: ``False`` when the producing session was paused before all global
+    #: iterations finished.
+    complete: bool = True
+
+    @property
+    def circuit(self) -> str:
+        """Deprecated alias of :attr:`instance` (pre-multi-domain name)."""
+        warnings.warn(
+            "ParallelSearchResult.circuit is deprecated; use .instance",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.instance
 
     @property
     def improvement(self) -> float:
@@ -146,60 +160,22 @@ def run_parallel_search(
         real backends (``"threads"`` / ``"processes"``) — not a per-worker
         allowance.
     """
-    params = params or ParallelSearchParams()
-    cluster = cluster or paper_cluster()
-    if problem is None:
-        if netlist is None:
-            raise ParallelSearchError(
-                "run_parallel_search needs an instance: pass a netlist or problem="
-            )
-        # a SearchProblem passed positionally is used as-is; a bare netlist
-        # goes through the legacy placement shorthand
-        if hasattr(netlist, "make_evaluator"):
-            problem = netlist
-        else:
-            problem = build_problem(netlist, params)
-    ensure_search_problem(problem)
-    wall_start = time.perf_counter()
+    from ..errors import SessionError
+    from ..session.session import SearchSession
 
-    if backend == "simulated":
-        kernel = SimKernel(cluster)
-        master_pid = kernel.spawn(
-            master_process, problem, params, name="master", machine_index=master_machine
-        )
-        stats = kernel.run()
-        master_result: MasterResult = kernel.result_of(master_pid)
-        virtual_runtime = stats.virtual_makespan
-        process_infos = kernel.all_processes()
-        sim_stats: Optional[SimStats] = stats
-    elif backend in ("threads", "processes"):
-        real_kernel = ThreadKernel(cluster) if backend == "threads" else ProcessKernel(cluster)
-        try:
-            master_pid = real_kernel.spawn(
-                master_process, problem, params, name="master", machine_index=master_machine
-            )
-            real_kernel.join_all(timeout=join_timeout)
-            master_result = real_kernel.result_of(master_pid)
-            virtual_runtime = real_kernel.now
-        finally:
-            real_kernel.shutdown()
-        process_infos = []
-        sim_stats = None
-    else:
+    if backend not in ("simulated", "threads", "processes"):
         raise ParallelSearchError(f"unknown backend {backend!r}")
-
-    wall_clock = time.perf_counter() - wall_start
-    return ParallelSearchResult(
-        circuit=problem.name,
-        params=params,
-        best_cost=master_result.best_cost,
-        initial_cost=master_result.initial_cost,
-        best_objectives=master_result.best_objectives,
-        best_solution=master_result.best_solution,
-        trace=master_result.trace,
-        global_records=master_result.global_records,
-        virtual_runtime=virtual_runtime,
-        sim_stats=sim_stats,
-        process_infos=process_infos,
-        wall_clock_seconds=wall_clock,
-    )
+    try:
+        session = SearchSession(
+            netlist,
+            params,
+            problem=problem,
+            backend=backend,
+            cluster=cluster,
+            master_machine=master_machine,
+            join_timeout=join_timeout,
+        )
+    except SessionError as error:
+        # keep the runner's historical error type for bad arguments
+        raise ParallelSearchError(str(error)) from error
+    return session.run()

@@ -34,6 +34,7 @@ Solution state is *resident* on every hop of this process:
 
 from __future__ import annotations
 
+import pickle
 from typing import Dict, List, Optional, Set
 
 import numpy as np
@@ -46,7 +47,17 @@ from ..tabu.search import TabuSearch
 from .clw import clw_process
 from .config import ParallelSearchParams
 from .delta import DeltaEncoder, ResidentSolution, as_payload, solution_crc, swap_list_between
-from .messages import ClwResult, ClwTask, GlobalStart, ReportNow, Tags, TswResult, TswSummary
+from .messages import (
+    ClwResult,
+    ClwTask,
+    ClwWorkerState,
+    GlobalStart,
+    ReportNow,
+    Tags,
+    TswResult,
+    TswSummary,
+    TswWorkerState,
+)
 from .sync import SyncPolicy
 
 __all__ = ["tsw_process"]
@@ -101,23 +112,41 @@ def tsw_process(
     tsw_range: CellRange,
     clw_ranges: List[CellRange],
     seed: int,
+    initial_state: Optional[TswWorkerState] = None,
+    master_pid: Optional[int] = None,
+    clw_pids: Optional[List[int]] = None,
 ):
-    """Generator body of a TSW process (run it under a PVM kernel)."""
-    sync = SyncPolicy(mode=params.sync_mode, report_fraction=params.report_fraction)
+    """Generator body of a TSW process (run it under a PVM kernel).
 
-    # ---- spawn the candidate-list workers --------------------------------
-    clw_pids: List[int] = []
-    for clw_index, clw_range in enumerate(clw_ranges):
-        pid = yield ctx.spawn(
-            clw_process,
-            problem,
-            params.tabu,
-            clw_range,
-            clw_index,
-            derive_seed(seed, "tsw", tsw_index, "clw", clw_index),
-            name=f"tsw{tsw_index}.clw{clw_index}",
-        )
-        clw_pids.append(pid)
+    ``initial_state`` resumes the TSW from a checkpointed
+    :class:`~repro.parallel.messages.TswWorkerState` (the CLWs it spawns get
+    their own slices).  ``master_pid`` overrides where results are reported
+    (persistent worker loops run under a pool parent, not under the master).
+    ``clw_pids`` reuses already-running CLWs instead of spawning fresh ones —
+    the warm-pool path; their order must match ``clw_ranges``.
+    """
+    sync = SyncPolicy(mode=params.sync_mode, report_fraction=params.report_fraction)
+    if master_pid is None:
+        master_pid = ctx.parent
+
+    # ---- spawn (or adopt) the candidate-list workers ---------------------
+    clw_states_by_index: Dict[int, ClwWorkerState] = {}
+    if initial_state is not None:
+        clw_states_by_index = {s.clw_index: s for s in initial_state.clw_states}
+    if clw_pids is None:
+        clw_pids = []
+        for clw_index, clw_range in enumerate(clw_ranges):
+            pid = yield ctx.spawn(
+                clw_process,
+                problem,
+                params.tabu,
+                clw_range,
+                clw_index,
+                derive_seed(seed, "tsw", tsw_index, "clw", clw_index),
+                name=f"tsw{tsw_index}.clw{clw_index}",
+                initial_state=clw_states_by_index.get(clw_index),
+            )
+            clw_pids.append(pid)
     clw_index_of = {pid: index for index, pid in enumerate(clw_pids)}
 
     evaluator = None
@@ -130,6 +159,28 @@ def tsw_process(
     local_iterations_done = 0
     interruptions = 0
 
+    if initial_state is not None and initial_state.search_state is not None:
+        evaluator = problem.make_evaluator(
+            np.asarray(initial_state.assignment, dtype=np.int64)
+        )
+        yield ctx.compute(problem.install_work_units(), label="install")
+        evaluator.restore_state(pickle.loads(initial_state.evaluator_state))
+        evaluator.evaluations = int(initial_state.evaluations)
+        search = TabuSearch(
+            evaluator,
+            params.tabu,
+            cell_range=tsw_range,
+            seed=derive_seed(seed, "tsw-search", tsw_index),
+        )
+        search.install_state(initial_state.search_state)
+        resident.version = int(initial_state.resident_version)
+        master_encoder.install_residents(initial_state.master_residents)
+        clw_encoder.install_residents(initial_state.clw_residents)
+        round_counter = int(initial_state.round_counter)
+        global_iterations_done = int(initial_state.global_iterations_done)
+        local_iterations_done = int(initial_state.local_iterations_done)
+        interruptions = int(initial_state.interruptions)
+
     while True:
         message = yield ctx.recv()
         if message.tag == Tags.STOP:
@@ -138,6 +189,40 @@ def tsw_process(
             break
         if message.tag == Tags.REPORT_NOW:
             continue  # stale: we already reported for that iteration
+        if message.tag == Tags.STATE_REQUEST:
+            # Harvest for a checkpoint: fan the request out to the CLWs,
+            # collect their states, and reply with the full subtree.  Only
+            # sent at a global-iteration boundary, when everyone is idle.
+            replies: Dict[int, ClwWorkerState] = {}
+            for pid in clw_pids:
+                yield ctx.send(pid, Tags.STATE_REQUEST)
+            while len(replies) < len(clw_pids):
+                reply = yield ctx.recv(tag=Tags.STATE_REPLY)
+                clw_state: ClwWorkerState = reply.payload
+                replies[clw_state.clw_index] = clw_state
+            state = TswWorkerState(
+                tsw_index=tsw_index,
+                search_state=(search.export_state() if search is not None else None),
+                assignment=(
+                    evaluator.snapshot() if evaluator is not None else np.empty(0, np.int64)
+                ),
+                evaluator_state=(
+                    pickle.dumps(evaluator.save_state(), protocol=4)
+                    if evaluator is not None
+                    else b""
+                ),
+                evaluations=(evaluator.evaluations if evaluator is not None else 0),
+                resident_version=resident.version,
+                master_residents=master_encoder.export_residents(),
+                clw_residents=clw_encoder.export_residents(),
+                round_counter=round_counter,
+                global_iterations_done=global_iterations_done,
+                local_iterations_done=local_iterations_done,
+                interruptions=interruptions,
+                clw_states=tuple(replies[i] for i in sorted(replies)),
+            )
+            yield ctx.send(message.src, Tags.STATE_REPLY, state)
+            continue
         if message.tag != Tags.GLOBAL_START:
             continue
         start: GlobalStart = message.payload
@@ -147,7 +232,7 @@ def tsw_process(
         if evaluator is None:
             if not payload.is_full:
                 yield ctx.send(
-                    ctx.parent,
+                    master_pid,
                     Tags.TSW_RESULT,
                     _needs_full_result(tsw_index, start.global_iteration),
                 )
@@ -165,7 +250,7 @@ def tsw_process(
             plan, data = resident.plan(payload)
             if plan == "mismatch":
                 yield ctx.send(
-                    ctx.parent,
+                    master_pid,
                     Tags.TSW_RESULT,
                     _needs_full_result(tsw_index, start.global_iteration),
                 )
@@ -181,7 +266,7 @@ def tsw_process(
                 if solution_crc(evaluator.snapshot()) != payload.target_crc:
                     resident.version = -1
                     yield ctx.send(
-                        ctx.parent,
+                        master_pid,
                         Tags.TSW_RESULT,
                         _needs_full_result(tsw_index, start.global_iteration),
                     )
@@ -309,7 +394,7 @@ def tsw_process(
             tabu_payload=search.tabu_list.to_payload(),
             trace=tuple(local_trace),
         )
-        yield ctx.send(ctx.parent, Tags.TSW_RESULT, result)
+        yield ctx.send(master_pid, Tags.TSW_RESULT, result)
         # Normalise the resident solution onto the reported best — the base
         # the master encodes the next broadcast against.  Applied even when
         # no swaps are needed: the exact timing refresh leaves the evaluator

@@ -1,0 +1,122 @@
+"""Persistent worker loops for the warm :class:`~repro.session.WorkerPool`.
+
+A cold run spawns its whole TSW/CLW tree per search and tears it down at the
+end — on the processes backend that means OS-process startup plus
+shared-memory export on every run.  A *warm* pool instead keeps one
+:func:`tsw_worker_loop` process per TSW (each owning its
+:func:`clw_worker_loop` children) alive across runs; a new search ships a
+``SETUP`` message carrying the problem and parameters, the loop runs the
+ordinary :func:`~repro.parallel.tsw.tsw_process` /
+:func:`~repro.parallel.clw.clw_process` body inline (``yield from``), and
+returns to idle when the master sends ``STOP``.
+
+The loops reproduce the cold spawn topology exactly — worker names (which
+seed the per-worker RNG streams) and seed derivations are identical — so a
+search on a warm pool takes the same decisions as a cold one.
+
+Setup is acknowledged bottom-up: each CLW loop acks its TSW loop after
+installing the setup, the TSW loop acks the master only after all CLW acks
+arrived, and the master starts run traffic only after all TSW acks.  The
+handshake closes the simulated network's ordering hazard where a large
+``SETUP`` payload (size-dependent latency) could be overtaken by a smaller
+message sent later.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .._rng import derive_seed
+from ..errors import ProcessError
+from .clw import clw_process
+from .messages import ClwSetup, ClwWorkerState, SetupAck, Tags, TswSetup
+from .tsw import tsw_process
+
+__all__ = ["clw_worker_loop", "tsw_worker_loop"]
+
+
+def clw_worker_loop(ctx):
+    """Persistent CLW: serve one :func:`clw_process` run per ``SETUP``."""
+    runs = 0
+    while True:
+        message = yield ctx.recv()
+        if message.tag == Tags.POOL_SHUTDOWN:
+            break
+        if message.tag != Tags.SETUP:
+            continue
+        setup: ClwSetup = message.payload
+        yield ctx.send(message.src, Tags.SETUP_ACK, SetupAck(worker_name=ctx.name))
+        yield from clw_process(
+            ctx,
+            setup.problem,
+            setup.tabu_params,
+            setup.cell_range,
+            setup.clw_index,
+            setup.seed,
+            initial_state=setup.initial_state,
+        )
+        runs += 1
+    return runs
+
+
+def tsw_worker_loop(ctx, clws_per_tsw: int):
+    """Persistent TSW: own ``clws_per_tsw`` CLW loops, serve runs on ``SETUP``."""
+    clw_pids: List[int] = []
+    for clw_index in range(clws_per_tsw):
+        # Cold runs name CLWs f"tsw{i}.clw{j}" and the name feeds the CLW's
+        # RNG stream — the pool loop must be named f"tsw{i}" for the warm
+        # topology to reproduce cold decisions.
+        pid = yield ctx.spawn(clw_worker_loop, name=f"{ctx.name}.clw{clw_index}")
+        clw_pids.append(pid)
+
+    runs = 0
+    while True:
+        message = yield ctx.recv()
+        if message.tag == Tags.POOL_SHUTDOWN:
+            for pid in clw_pids:
+                yield ctx.send(pid, Tags.POOL_SHUTDOWN)
+            break
+        if message.tag != Tags.SETUP:
+            continue
+        setup: TswSetup = message.payload
+        if len(setup.clw_ranges) != len(clw_pids):
+            raise ProcessError(
+                f"{ctx.name}: setup ships {len(setup.clw_ranges)} CLW ranges "
+                f"but the pool keeps {len(clw_pids)} CLW loops"
+            )
+        clw_states: Dict[int, ClwWorkerState] = {}
+        if setup.initial_state is not None:
+            clw_states = {s.clw_index: s for s in setup.initial_state.clw_states}
+        for clw_index, pid in enumerate(clw_pids):
+            yield ctx.send(
+                pid,
+                Tags.SETUP,
+                ClwSetup(
+                    problem=setup.problem,
+                    tabu_params=setup.params.tabu,
+                    cell_range=setup.clw_ranges[clw_index],
+                    clw_index=clw_index,
+                    # identical to the cold spawn chain in tsw_process
+                    seed=derive_seed(setup.seed, "tsw", setup.tsw_index, "clw", clw_index),
+                    initial_state=clw_states.get(clw_index),
+                ),
+            )
+        acked = 0
+        while acked < len(clw_pids):
+            yield ctx.recv(tag=Tags.SETUP_ACK)
+            acked += 1
+        yield ctx.send(message.src, Tags.SETUP_ACK, SetupAck(worker_name=ctx.name))
+        yield from tsw_process(
+            ctx,
+            setup.problem,
+            setup.params,
+            setup.tsw_index,
+            setup.tsw_range,
+            list(setup.clw_ranges),
+            setup.seed,
+            initial_state=setup.initial_state,
+            master_pid=message.src,
+            clw_pids=list(clw_pids),
+        )
+        runs += 1
+    return runs

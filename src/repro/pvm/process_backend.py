@@ -389,6 +389,31 @@ class ProcessKernel(RealKernelBase):
         worker_conn.close()  # the worker holds its own handle now
         return pid
 
+    def post(self, dst: int, tag: str, payload: Any = None) -> None:
+        """Inject a message into a worker's inbox from outside any process.
+
+        The driver-side control channel of the session layer: a cancel
+        request reaches a running master exactly like a peer's send would
+        (``src=0`` — no real process ever holds pid 0).  Messages to a
+        finished worker are dropped, mirroring send semantics.
+        """
+        record = self._record(dst)
+        assert isinstance(record, _ProcessRecord)
+        if record.finished or record.inbox is None:
+            return
+        now = self.now
+        record.inbox.put(
+            Message(
+                src=0,
+                dst=dst,
+                tag=tag,
+                payload=payload,
+                size_bytes=estimate_payload_bytes(payload),
+                send_time=now,
+                arrival_time=now,
+            )
+        )
+
     def _share_large_args(self, args: Tuple[Any, ...]) -> Tuple[Any, ...]:
         """Replace shm-exportable arguments with shared-memory refs.
 

@@ -168,14 +168,23 @@ class SimKernel:
             start_time=start_time,
         )
 
-    def run(self, *, until: Optional[float] = None) -> SimStats:
+    def run(
+        self, *, until: Optional[float] = None, allow_blocked: bool = False
+    ) -> SimStats:
         """Process events until completion (or until the virtual time limit).
+
+        ``allow_blocked=True`` suppresses the deadlock check: processes left
+        blocked in a receive when the event queue drains are treated as
+        *idle*, not deadlocked.  A persistent worker pool uses this — its
+        workers park in a blocking receive between runs, and a later
+        :meth:`spawn` + :meth:`run` wakes them with new messages.
 
         Raises
         ------
         SimulationError
             If a deadlock is detected (event queue empty while processes are
-            blocked) or the event budget is exhausted.
+            blocked, and ``allow_blocked`` is not set) or the event budget is
+            exhausted.
         ProcessError
             If a process body raised; the original exception is chained.
         """
@@ -204,7 +213,7 @@ class SimKernel:
                 raise SimulationError(f"unknown event kind {kind!r}")
 
         blocked = [rec for rec in self._procs.values() if rec.state is ProcessState.BLOCKED]
-        if blocked and (until is None or not self._events):
+        if blocked and not allow_blocked and (until is None or not self._events):
             names = ", ".join(f"{rec.name or rec.pid}" for rec in blocked)
             raise SimulationError(
                 f"deadlock: no more events but {len(blocked)} process(es) still blocked: {names}"

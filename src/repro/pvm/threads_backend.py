@@ -129,6 +129,31 @@ class ThreadKernel(RealKernelBase):
         self._register_and_start(record, thread.start)
         return pid
 
+    def post(self, dst: int, tag: str, payload: Any = None) -> None:
+        """Inject a message into a worker's mailbox from outside any process.
+
+        The driver-side control channel of the session layer: a cancel
+        request reaches a running master exactly like a peer's send would
+        (``src=0`` — no real process ever holds pid 0).  Messages to a
+        finished worker are dropped, mirroring send semantics.
+        """
+        record = self._record(dst)
+        assert isinstance(record, _ThreadRecord)
+        if record.finished:
+            return
+        now = self.now
+        record.mailbox.put(
+            Message(
+                src=0,
+                dst=dst,
+                tag=tag,
+                payload=payload,
+                size_bytes=estimate_payload_bytes(payload),
+                send_time=now,
+                arrival_time=now,
+            )
+        )
+
     def _wait_record(self, record: WorkerRecord, timeout: Optional[float]) -> bool:
         assert isinstance(record, _ThreadRecord) and record.thread is not None
         deadline = None if timeout is None else time.monotonic() + timeout

@@ -1,0 +1,33 @@
+"""Resumable search sessions, serializable run state, and warm worker pools.
+
+The session layer splits *worker lifecycle* from *run lifecycle*:
+
+* :class:`SearchSession` — one resumable run with a submit/status/cancel
+  lifecycle, epoch stepping, and byte-stable checkpoints;
+* :class:`SessionState` — the versioned checkpoint artifact;
+* :class:`WorkerPool` — persistent TSW/CLW worker loops serving consecutive
+  runs without respawning (warm start).
+"""
+
+from .pool import WorkerPool, make_kernel
+from .session import ProgressEvent, SearchSession, SessionStatus
+from .state import (
+    SCHEMA_VERSION,
+    SerialSearchState,
+    SessionState,
+    export_serial_state,
+    restore_serial_search,
+)
+
+__all__ = [
+    "WorkerPool",
+    "make_kernel",
+    "ProgressEvent",
+    "SearchSession",
+    "SessionStatus",
+    "SessionState",
+    "SerialSearchState",
+    "SCHEMA_VERSION",
+    "export_serial_state",
+    "restore_serial_search",
+]

@@ -1,0 +1,193 @@
+"""Warm worker pools: keep the PVM worker tree alive across searches.
+
+Worker lifecycle and run lifecycle are split: a :class:`WorkerPool` owns one
+kernel (any backend) plus one persistent
+:func:`~repro.parallel.worker_loop.tsw_worker_loop` process per TSW — each
+owning its CLW loops — and serves any number of consecutive master runs
+against them.  A warm run ships the problem and parameters in ``SETUP``
+messages instead of respawning processes, which on the real processes
+backend skips OS-process startup entirely and reuses the kernel's
+shared-memory exports (the kernel dedupes exports by object identity, so a
+repeated problem object ships as a tiny handle).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, List, Optional, Tuple
+
+from ..errors import SessionError
+from ..parallel.config import ParallelSearchParams
+from ..parallel.master import MasterResult, MasterRunState, master_process
+from ..parallel.messages import Tags
+from ..parallel.worker_loop import tsw_worker_loop
+from ..pvm.cluster import ClusterSpec, paper_cluster
+from ..pvm.process_backend import ProcessKernel
+from ..pvm.simulator import SimKernel, SimStats
+from ..pvm.threads_backend import ThreadKernel
+
+__all__ = ["make_kernel", "WorkerPool"]
+
+
+def make_kernel(backend: str, cluster: Optional[ClusterSpec] = None):
+    """Build a PVM kernel for ``backend`` (shared by runner, pool, session)."""
+    cluster = cluster or paper_cluster()
+    if backend == "simulated":
+        return SimKernel(cluster)
+    if backend == "threads":
+        return ThreadKernel(cluster)
+    if backend == "processes":
+        return ProcessKernel(cluster)
+    raise SessionError(f"unknown backend {backend!r}")
+
+
+def _pool_shutdown_process(ctx, pids):
+    """One-shot process that tells every persistent worker loop to exit."""
+    for pid in pids:
+        yield ctx.send(pid, Tags.POOL_SHUTDOWN)
+
+
+class WorkerPool:
+    """A persistent TSW/CLW worker tree serving consecutive master runs."""
+
+    def __init__(
+        self,
+        num_tsws: int = 4,
+        clws_per_tsw: int = 1,
+        *,
+        backend: str = "simulated",
+        cluster: Optional[ClusterSpec] = None,
+    ) -> None:
+        self.backend = backend
+        self.num_tsws = int(num_tsws)
+        self.clws_per_tsw = int(clws_per_tsw)
+        self.cluster = cluster or paper_cluster()
+        self.kernel = make_kernel(backend, self.cluster)
+        self._closed = False
+        self._lock = threading.Lock()
+        self._active_master_pid: Optional[int] = None
+        self._runs_served = 0
+        self._tsw_pids: List[int] = [
+            self.kernel.spawn(tsw_worker_loop, self.clws_per_tsw, name=f"tsw{i}")
+            for i in range(self.num_tsws)
+        ]
+        if self.is_simulated:
+            # let the loops spawn their CLW loops and park in their receives
+            self.kernel.run(allow_blocked=True)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_simulated(self) -> bool:
+        return isinstance(self.kernel, SimKernel)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def tsw_pids(self) -> Tuple[int, ...]:
+        """Pids of the persistent TSW loops (stable across runs)."""
+        return tuple(self._tsw_pids)
+
+    @property
+    def runs_served(self) -> int:
+        """How many master runs this pool has completed."""
+        return self._runs_served
+
+    # ------------------------------------------------------------------ #
+    def run_master(
+        self,
+        problem: Any,
+        params: ParallelSearchParams,
+        *,
+        resume_state: Optional[MasterRunState] = None,
+        max_rounds: Optional[int] = None,
+        master_machine: int = 0,
+        join_timeout: float = 3600.0,
+    ) -> Tuple[MasterResult, Optional[SimStats], float]:
+        """Run one master epoch against the warm workers.
+
+        Returns ``(master_result, sim_stats_or_None, kernel_time_at_end)``.
+        """
+        if self._closed:
+            raise SessionError("worker pool is closed")
+        if params.num_tsws != self.num_tsws or params.clws_per_tsw != self.clws_per_tsw:
+            raise SessionError(
+                f"pool topology ({self.num_tsws} TSWs x {self.clws_per_tsw} CLWs) "
+                f"does not match params ({params.num_tsws} x {params.clws_per_tsw})"
+            )
+        if self.is_simulated:
+            pid = self.kernel.spawn(
+                master_process,
+                problem,
+                params,
+                name="master",
+                machine_index=master_machine,
+                start_time=self.kernel.now,
+                resume_state=resume_state,
+                max_rounds=max_rounds,
+                pool_pids=list(self._tsw_pids),
+            )
+            stats = self.kernel.run(allow_blocked=True)
+            self._runs_served += 1
+            return self.kernel.result_of(pid), stats, self.kernel.now
+        pid = self.kernel.spawn(
+            master_process,
+            problem,
+            params,
+            name="master",
+            machine_index=master_machine,
+            resume_state=resume_state,
+            max_rounds=max_rounds,
+            pool_pids=list(self._tsw_pids),
+        )
+        with self._lock:
+            self._active_master_pid = pid
+        try:
+            # raises ProcessError if the master misses the deadline
+            self.kernel.join(pid, timeout=join_timeout)
+        finally:
+            with self._lock:
+                self._active_master_pid = None
+        self._runs_served += 1
+        return self.kernel.result_of(pid), None, self.kernel.now
+
+    def post_cancel(self) -> bool:
+        """Ask the currently-running pooled master (if any) to pause.
+
+        Only meaningful on the real backends — the simulated kernel runs on
+        the caller's own thread, so there is no concurrent master to signal.
+        """
+        with self._lock:
+            pid = self._active_master_pid
+        if pid is None or not hasattr(self.kernel, "post"):
+            return False
+        self.kernel.post(pid, Tags.CANCEL)
+        return True
+
+    # ------------------------------------------------------------------ #
+    def close(self, join_timeout: float = 60.0) -> None:
+        """Shut the persistent worker loops down and release the kernel."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.is_simulated:
+            self.kernel.spawn(
+                _pool_shutdown_process,
+                list(self._tsw_pids),
+                name="pool-shutdown",
+                start_time=self.kernel.now,
+            )
+            self.kernel.run(allow_blocked=True)
+        else:
+            self.kernel.spawn(
+                _pool_shutdown_process, list(self._tsw_pids), name="pool-shutdown"
+            )
+            self.kernel.join_all(timeout=join_timeout)
+            self.kernel.shutdown()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -29,7 +29,13 @@ from .moves import (
     build_compound_move,
 )
 from .params import TabuSearchParams
-from .search import SearchResult, StepResult, TabuSearch, make_aspiration
+from .search import (
+    SearchResult,
+    StepResult,
+    TabuSearch,
+    TabuSearchState,
+    make_aspiration,
+)
 from .tabu_list import ArrayTabuList, FrequencyMemory, TabuList, make_tabu_list
 from .termination import TerminationCriteria
 
@@ -59,6 +65,7 @@ __all__ = [
     "SearchResult",
     "StepResult",
     "TabuSearch",
+    "TabuSearchState",
     "make_aspiration",
     "FrequencyMemory",
     "TabuList",

@@ -36,8 +36,9 @@ locally (see :mod:`repro.parallel.tsw`).
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -57,7 +58,13 @@ from .params import TabuSearchParams
 from .tabu_list import ArrayTabuList, FrequencyMemory, TabuList, make_tabu_list
 from .termination import TerminationCriteria
 
-__all__ = ["StepResult", "SearchResult", "TabuSearch", "make_aspiration"]
+__all__ = [
+    "StepResult",
+    "SearchResult",
+    "TabuSearch",
+    "TabuSearchState",
+    "make_aspiration",
+]
 
 
 def make_aspiration(params: TabuSearchParams) -> AspirationCriterion:
@@ -92,6 +99,28 @@ class SearchResult:
     evaluations: int
     #: (iteration, evaluations, current cost, best cost) after every step.
     trace: List[Tuple[int, int, float, float]] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class TabuSearchState:
+    """Serializable snapshot of a :class:`TabuSearch`'s private state.
+
+    Captures everything the search object itself owns — RNG bit-generator
+    state, tabu-list export (shared wire format of both memory layouts),
+    frequency counts, iteration/stall counters and the best-so-far — but
+    *not* the evaluator: the evaluator's incremental caches are checkpointed
+    separately (``evaluator.save_state()`` blobs) so a resumed run replays
+    the exact same incremental code paths bit-for-bit.
+    """
+
+    rng_state: Dict[str, Any]
+    tabu_payload: Tuple[Tuple[str, Tuple[int, ...], int], ...]
+    tabu_tenure: int
+    frequency_counts: np.ndarray
+    iteration: int
+    stall: int
+    best_cost: float
+    best_solution: np.ndarray
 
 
 class TabuSearch:
@@ -257,6 +286,39 @@ class TabuSearch:
         else:
             self._tabu = TabuList.from_payload(payload, effective_tenure)
         return self._tabu
+
+    def export_state(self) -> TabuSearchState:
+        """Snapshot the search's own serializable state (see
+        :class:`TabuSearchState` — the evaluator is deliberately excluded)."""
+        return TabuSearchState(
+            rng_state=copy.deepcopy(self._rng.bit_generator.state),
+            tabu_payload=self._tabu.to_payload(),
+            tabu_tenure=self._tabu.tenure,
+            frequency_counts=self._frequency.counts.copy(),
+            iteration=self._iteration,
+            stall=self._stall,
+            best_cost=self._best_cost,
+            best_solution=self._best_solution.copy(),
+        )
+
+    def install_state(self, state: TabuSearchState) -> None:
+        """Restore a snapshot produced by :meth:`export_state`.
+
+        The evaluator must already be positioned on the checkpointed
+        solution (restored by the caller); this installs RNG, memories and
+        counters so the next :meth:`step` continues the original trajectory
+        bit-for-bit.
+        """
+        self._rng.bit_generator.state = copy.deepcopy(state.rng_state)
+        self.adopt_tabu_list(state.tabu_payload, tenure=state.tabu_tenure)
+        # Restore the lazy-expiry watermark so live-set views (payload,
+        # len) match the checkpointed list exactly.
+        self._tabu.expire(state.iteration)
+        self._frequency.load_counts(state.frequency_counts)
+        self._iteration = int(state.iteration)
+        self._stall = int(state.stall)
+        self._best_cost = float(state.best_cost)
+        self._best_solution = np.asarray(state.best_solution, dtype=np.int64).copy()
 
     def note_best(self) -> None:
         """Record the current solution as best if it improves on the incumbent."""

@@ -687,6 +687,17 @@ class FrequencyMemory:
         """Zero all counters."""
         self._counts[:] = 0
 
+    def load_counts(self, counts) -> None:
+        """Install a counts vector exported from another memory (checkpoint
+        restore): copied in so the caller's array stays unshared."""
+        arr = np.asarray(counts, dtype=np.int64)
+        if arr.shape != self._counts.shape:
+            raise TabuSearchError(
+                f"frequency counts shape {arr.shape} does not match "
+                f"memory shape {self._counts.shape}"
+            )
+        self._counts[:] = arr
+
 
 def least_moved_of(
     counts: np.ndarray, candidates: np.ndarray, rng: np.random.Generator

@@ -1,15 +1,20 @@
 """Architectural boundary enforcement for the domain-agnostic core.
 
-The engine layers — ``repro.tabu`` (serial search) and ``repro.parallel``
-(master/TSW/CLW protocol) — must be written against the
-:mod:`repro.core` protocols only, never against a concrete problem domain.
-This test parses every module of those packages and fails on any import
-that resolves into ``repro.placement`` (or ``repro.problems.*``, which
-would be the same leak through the new layering).
+The engine layers — ``repro.tabu`` (serial search), ``repro.parallel``
+(master/TSW/CLW protocol) and ``repro.session`` (resumable sessions, warm
+pools, checkpoint state) — must be written against the :mod:`repro.core`
+protocols only, never against a concrete problem domain.  This test parses
+every module of those packages and fails on any import that resolves into
+``repro.placement`` (or ``repro.problems.*``, which would be the same leak
+through the new layering).
 
-``repro.parallel.problem`` is the one sanctioned exception: it is the
-backwards-compatibility shim re-exporting ``PlacementProblem`` from its new
-home in ``repro.problems.placement``.
+Two sanctioned exceptions keep legacy import paths alive:
+
+* ``repro.parallel.problem`` — the deprecated shim re-exporting
+  ``PlacementProblem`` from its new home in ``repro.problems.placement``;
+* ``repro.parallel.__init__`` — a lazy ``__getattr__`` re-export of the
+  same legacy name (``from repro.parallel import PlacementProblem``), so
+  the domain module is only touched when the alias is actually used.
 """
 
 from __future__ import annotations
@@ -22,11 +27,11 @@ import pytest
 import repro
 
 SRC_ROOT = Path(repro.__file__).resolve().parent.parent  # .../src
-ENGINE_PACKAGES = ("repro/tabu", "repro/parallel")
+ENGINE_PACKAGES = ("repro/tabu", "repro/parallel", "repro/session")
 #: Module prefixes the engine must not import (domain implementations).
 FORBIDDEN_PREFIXES = ("repro.placement", "repro.problems")
-#: The compatibility shim keeps the old import path alive by design.
-ALLOWED_SHIMS = {"repro/parallel/problem.py"}
+#: The compatibility shims keep old import paths alive by design.
+ALLOWED_SHIMS = {"repro/parallel/problem.py", "repro/parallel/__init__.py"}
 
 
 def engine_modules():
@@ -79,4 +84,6 @@ def test_the_suite_actually_sees_the_engine_modules():
     paths = list(engine_modules())
     names = {path.name for path in paths}
     assert {"search.py", "master.py", "tsw.py", "clw.py", "runner.py"} <= names
-    assert len(paths) >= 15
+    # the session layer is part of the engine surface
+    assert {"session.py", "state.py", "pool.py", "worker_loop.py"} <= names
+    assert len(paths) >= 19

@@ -37,7 +37,12 @@ class TestRunnerBasics:
         assert result.best_cost < result.initial_cost
         assert 0.0 < result.improvement < 1.0
         assert result.virtual_runtime > 0
-        assert result.circuit == CIRCUIT
+        assert result.instance == CIRCUIT
+
+    def test_circuit_is_a_deprecated_alias_of_instance(self, netlist):
+        result = run_parallel_search(netlist, quick_params())
+        with pytest.warns(DeprecationWarning, match="circuit is deprecated"):
+            assert result.circuit == result.instance
 
     def test_best_solution_is_a_valid_assignment(self, netlist):
         result = run_parallel_search(netlist, quick_params())

@@ -14,7 +14,7 @@ import numpy as np
 import pytest
 
 from repro.parallel import PlacementProblem
-from repro.parallel.problem import restore_shared_problem
+from repro.problems.placement import restore_shared_problem
 from repro.placement import load_benchmark
 from repro.pvm.shm import (
     SharedArrayPack,

@@ -1,0 +1,125 @@
+"""Warm worker pools: persistent TSW/CLW loops serving consecutive runs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.registry import get_domain
+from repro.errors import SessionError
+from repro.parallel import ParallelSearchParams
+from repro.session import SearchSession, WorkerPool, make_kernel
+from repro.pvm import SimKernel, homogeneous_cluster
+from repro.tabu import TabuSearchParams
+
+NUM_TSWS = 2
+CLWS_PER_TSW = 2
+
+
+def quick_params(**overrides) -> ParallelSearchParams:
+    defaults = dict(
+        num_tsws=NUM_TSWS,
+        clws_per_tsw=CLWS_PER_TSW,
+        global_iterations=3,
+        sync_mode="homogeneous",
+        tabu=TabuSearchParams(local_iterations=4, pairs_per_step=3, move_depth=2),
+        seed=11,
+    )
+    defaults.update(overrides)
+    return ParallelSearchParams(**defaults)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return get_domain("placement").build_problem("tiny16", reference_seed=7)
+
+
+class TestMakeKernel:
+    def test_simulated_kernel(self):
+        assert isinstance(make_kernel("simulated", homogeneous_cluster(4)), SimKernel)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SessionError, match="backend"):
+            make_kernel("quantum")
+
+
+class TestWarmPool:
+    def test_two_consecutive_runs_without_respawning(self, problem):
+        params = quick_params()
+        cold = SearchSession(problem=problem, params=params).run()
+        with WorkerPool(
+            NUM_TSWS, CLWS_PER_TSW, cluster=homogeneous_cluster(6)
+        ) as pool:
+            pids_before = pool.tsw_pids
+            first = SearchSession(problem=problem, params=params, pool=pool).run()
+            second = SearchSession(problem=problem, params=params, pool=pool).run()
+            # the persistent loops survived both runs: same pids, no respawn
+            assert pool.tsw_pids == pids_before
+            assert pool.runs_served == 2
+        # warm runs take the same decisions as a cold run
+        for warm in (first, second):
+            assert warm.best_cost == cold.best_cost
+            assert np.array_equal(warm.best_solution, cold.best_solution)
+            for ours, theirs in zip(warm.global_records, cold.global_records):
+                assert ours.received_costs == theirs.received_costs
+
+    def test_warm_resume_after_checkpoint(self, problem):
+        params = quick_params()
+        cold = SearchSession(problem=problem, params=params).run()
+        with WorkerPool(
+            NUM_TSWS, CLWS_PER_TSW, cluster=homogeneous_cluster(6)
+        ) as pool:
+            session = SearchSession(problem=problem, params=params, pool=pool)
+            session.step(1)
+            state = session.checkpoint()
+            resumed = SearchSession.restore(state, pool=pool).run()
+        assert resumed.best_cost == cold.best_cost
+        assert np.array_equal(resumed.best_solution, cold.best_solution)
+
+    def test_topology_mismatch_is_rejected(self, problem):
+        with WorkerPool(
+            NUM_TSWS, CLWS_PER_TSW, cluster=homogeneous_cluster(6)
+        ) as pool:
+            bad = quick_params(num_tsws=NUM_TSWS + 1)
+            session = SearchSession(problem=problem, params=bad, pool=pool)
+            with pytest.raises(SessionError, match="topology"):
+                session.run()
+
+    def test_closed_pool_refuses_runs(self, problem):
+        pool = WorkerPool(NUM_TSWS, CLWS_PER_TSW, cluster=homogeneous_cluster(6))
+        pool.close()
+        assert pool.closed
+        with pytest.raises(SessionError, match="closed"):
+            pool.run_master(problem, quick_params())
+        # closing twice is a no-op
+        pool.close()
+
+    def test_session_adopts_pool_backend(self, problem):
+        with WorkerPool(
+            NUM_TSWS, CLWS_PER_TSW, cluster=homogeneous_cluster(6)
+        ) as pool:
+            session = SearchSession(
+                problem=problem, params=quick_params(), backend="threads", pool=pool
+            )
+            assert session.backend == pool.backend == "simulated"
+
+
+class TestWarmPoolThreads:
+    def test_threads_pool_serves_two_runs(self, problem):
+        params = quick_params()
+        cold = SearchSession(problem=problem, params=params).run()
+        with WorkerPool(
+            NUM_TSWS,
+            CLWS_PER_TSW,
+            backend="threads",
+            cluster=homogeneous_cluster(6),
+        ) as pool:
+            pids_before = pool.tsw_pids
+            first = SearchSession(problem=problem, params=params, pool=pool).run()
+            second = SearchSession(problem=problem, params=params, pool=pool).run()
+            assert pool.tsw_pids == pids_before
+            assert pool.runs_served == 2
+        # homogeneous sync: real-time scheduling must not change decisions
+        for warm in (first, second):
+            assert warm.best_cost == cold.best_cost
+            assert np.array_equal(warm.best_solution, cold.best_solution)

@@ -1,0 +1,194 @@
+"""Interrupted-checkpointed-restored trajectories match the uninterrupted run.
+
+The PR 5 driver-identity suite proves the vectorized and reference iteration
+drivers walk one trajectory; this suite is the equivalent oracle for the
+session layer: a run interrupted at global iteration ``k``, checkpointed,
+restored (from bytes or from disk) and continued must be **bit-identical** to
+the run that never paused — same best cost, same best solution, same per-round
+received costs — on both registered problem domains, serial and parallel,
+including a tabu-heavy regime where the tabu list and frequency memory carry
+most of the trajectory.
+
+The guarantee holds under ``sync_mode="homogeneous"`` (timing-independent
+decisions).  The paper's default ``"heterogeneous"`` mode decides interrupts
+from virtual timing, so there a checkpoint/resume must merely *work* — the
+smoke test below pins that — without the bit-identity claim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.registry import get_domain
+from repro.parallel import ParallelSearchParams
+from repro.session import (
+    SearchSession,
+    SessionState,
+    export_serial_state,
+    restore_serial_search,
+)
+from repro.tabu import TabuSearch, TabuSearchParams, TerminationCriteria
+
+ROUNDS = 4
+
+
+def make_problem(domain: str):
+    instance = {"placement": "tiny16", "qap": "rand32"}[domain]
+    return get_domain(domain).build_problem(instance, reference_seed=7)
+
+
+def quick_params(**overrides) -> ParallelSearchParams:
+    defaults = dict(
+        num_tsws=2,
+        clws_per_tsw=2,
+        global_iterations=ROUNDS,
+        sync_mode="homogeneous",
+        tabu=TabuSearchParams(local_iterations=4, pairs_per_step=3, move_depth=2),
+        seed=11,
+    )
+    defaults.update(overrides)
+    return ParallelSearchParams(**defaults)
+
+
+def assert_bit_identical(resumed, baseline):
+    assert resumed.best_cost == baseline.best_cost
+    assert np.array_equal(resumed.best_solution, baseline.best_solution)
+    assert len(resumed.global_records) == len(baseline.global_records)
+    for ours, theirs in zip(resumed.global_records, baseline.global_records):
+        assert ours.index == theirs.index
+        assert ours.received_costs == theirs.received_costs
+        assert ours.best_cost_after == theirs.best_cost_after
+
+
+class TestParallelResume:
+    @pytest.mark.parametrize("domain", ["placement", "qap"])
+    @pytest.mark.parametrize("interrupt_after", [1, 2])
+    def test_resumed_run_is_bit_identical(self, domain, interrupt_after):
+        problem = make_problem(domain)
+        params = quick_params()
+        baseline = SearchSession(problem=problem, params=params).run()
+
+        session = SearchSession(problem=problem, params=params)
+        session.step(interrupt_after)
+        assert not session.complete
+        assert session.rounds_done == interrupt_after
+        blob = session.checkpoint().to_bytes()
+
+        restored = SearchSession.restore(SessionState.from_bytes(blob))
+        result = restored.run()
+        assert result.complete
+        assert_bit_identical(result, baseline)
+
+    def test_resume_from_disk_is_bit_identical(self, tmp_path):
+        problem = make_problem("placement")
+        params = quick_params()
+        baseline = SearchSession(problem=problem, params=params).run()
+
+        session = SearchSession(problem=problem, params=params)
+        session.step(2)
+        session.checkpoint(tmp_path / "ckpt.rtss")
+
+        result = SearchSession.restore(tmp_path / "ckpt.rtss").run()
+        assert_bit_identical(result, baseline)
+
+    def test_tabu_heavy_regime_resumes_bit_identically(self):
+        # a tiny tenure over a tiny candidate pool keeps the tabu list and
+        # the frequency memory on the critical path of every decision
+        problem = make_problem("placement")
+        params = quick_params(
+            tabu=TabuSearchParams(
+                local_iterations=8,
+                pairs_per_step=2,
+                move_depth=1,
+                tabu_tenure=2,
+                early_accept=False,
+            )
+        )
+        baseline = SearchSession(problem=problem, params=params).run()
+
+        session = SearchSession(problem=problem, params=params)
+        session.step(2)
+        restored = SearchSession.restore(session.checkpoint())
+        assert_bit_identical(restored.run(), baseline)
+
+    def test_double_interrupt_still_matches(self):
+        # pausing twice (k=1, then k=2) must compose: the second checkpoint
+        # carries state already restored once
+        problem = make_problem("qap")
+        params = quick_params()
+        baseline = SearchSession(problem=problem, params=params).run()
+
+        session = SearchSession(problem=problem, params=params)
+        session.step(1)
+        second = SearchSession.restore(session.checkpoint())
+        second.step(1)
+        assert second.rounds_done == 2
+        third = SearchSession.restore(second.checkpoint())
+        assert_bit_identical(third.run(), baseline)
+
+    def test_heterogeneous_checkpoint_resume_smoke(self):
+        # the paper's timing-dependent sync mode: resume must complete and
+        # improve, but carries no bit-identity guarantee
+        problem = make_problem("placement")
+        params = quick_params(sync_mode="heterogeneous")
+        session = SearchSession(problem=problem, params=params)
+        session.step(2)
+        restored = SearchSession.restore(session.checkpoint())
+        result = restored.run()
+        assert result.complete
+        assert result.best_cost < result.initial_cost
+        assert len(result.global_records) == ROUNDS
+
+
+class TestSerialResume:
+    @pytest.mark.parametrize("domain", ["placement", "qap"])
+    def test_serial_export_restore_is_bit_identical(self, domain):
+        problem = make_problem(domain)
+        tabu = TabuSearchParams(local_iterations=6, pairs_per_step=3, move_depth=2)
+
+        def fresh_search() -> TabuSearch:
+            evaluator = problem.make_evaluator(problem.random_solution(seed=3))
+            return TabuSearch(evaluator, tabu, seed=5)
+
+        full = fresh_search()
+        full_result = full.run(TerminationCriteria(max_iterations=12))
+
+        half = fresh_search()
+        half.run(TerminationCriteria(max_iterations=6))
+        state = export_serial_state(half)
+
+        resumed = restore_serial_search(problem, tabu, state, seed=5)
+        resumed_result = resumed.run(TerminationCriteria(max_iterations=12))
+
+        assert resumed_result.iterations == full_result.iterations
+        assert resumed_result.best_cost == full_result.best_cost
+        assert np.array_equal(resumed_result.best_solution, full_result.best_solution)
+        # the working solutions (not just the incumbents) must agree exactly
+        assert np.array_equal(resumed.evaluator.snapshot(), full.evaluator.snapshot())
+        assert resumed.evaluator.cost() == full.evaluator.cost()
+        assert resumed_result.evaluations == full_result.evaluations
+
+    def test_serial_resume_in_tabu_heavy_regime(self):
+        problem = make_problem("placement")
+        tabu = TabuSearchParams(
+            local_iterations=10,
+            pairs_per_step=2,
+            move_depth=1,
+            tabu_tenure=2,
+            early_accept=False,
+        )
+        evaluator = problem.make_evaluator(problem.random_solution(seed=3))
+        full = TabuSearch(evaluator, tabu, seed=5)
+        full_result = full.run(TerminationCriteria(max_iterations=20))
+
+        half = TabuSearch(
+            problem.make_evaluator(problem.random_solution(seed=3)), tabu, seed=5
+        )
+        half.run(TerminationCriteria(max_iterations=10))
+        resumed = restore_serial_search(problem, tabu, export_serial_state(half), seed=5)
+        resumed_result = resumed.run(TerminationCriteria(max_iterations=20))
+
+        assert resumed_result.best_cost == full_result.best_cost
+        assert np.array_equal(resumed_result.best_solution, full_result.best_solution)
+        assert np.array_equal(resumed.evaluator.snapshot(), full.evaluator.snapshot())

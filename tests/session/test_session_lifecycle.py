@@ -1,0 +1,192 @@
+"""The submit/status/cancel lifecycle of a :class:`SearchSession`."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.registry import get_domain
+from repro.errors import SessionError
+from repro.parallel import ParallelSearchParams
+from repro.session import ProgressEvent, SearchSession
+from repro.pvm import homogeneous_cluster
+from repro.tabu import TabuSearchParams
+
+ROUNDS = 4
+
+
+def quick_params(**overrides) -> ParallelSearchParams:
+    defaults = dict(
+        num_tsws=2,
+        clws_per_tsw=1,
+        global_iterations=ROUNDS,
+        sync_mode="homogeneous",
+        tabu=TabuSearchParams(local_iterations=3, pairs_per_step=3, move_depth=2),
+        seed=11,
+    )
+    defaults.update(overrides)
+    return ParallelSearchParams(**defaults)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return get_domain("placement").build_problem("tiny16", reference_seed=7)
+
+
+def make_session(problem, **session_kwargs) -> SearchSession:
+    return SearchSession(problem=problem, params=quick_params(), **session_kwargs)
+
+
+class TestSynchronousLifecycle:
+    def test_fresh_session_is_idle(self, problem):
+        status = make_session(problem).status()
+        assert status.state == "idle"
+        assert status.rounds_done == 0
+        assert status.total_rounds == ROUNDS
+        assert status.best_cost is None
+        assert status.progress == 0.0
+
+    def test_step_pauses_at_the_iteration_boundary(self, problem):
+        session = make_session(problem)
+        status = session.step(2)
+        assert status.state == "paused"
+        assert status.rounds_done == 2
+        assert status.progress == pytest.approx(0.5)
+        assert status.best_cost is not None
+
+    def test_stepping_to_the_end_completes(self, problem):
+        session = make_session(problem)
+        for _ in range(ROUNDS):
+            status = session.step(1)
+        assert status.state == "complete"
+        assert session.complete
+        assert session.result().complete
+
+    def test_run_after_step_finishes_the_run(self, problem):
+        baseline = make_session(problem).run()
+        session = make_session(problem)
+        session.step(1)
+        result = session.run()
+        assert result.complete
+        assert result.best_cost == baseline.best_cost
+        assert np.array_equal(result.best_solution, baseline.best_solution)
+
+    def test_step_rejects_nonpositive_rounds(self, problem):
+        with pytest.raises(SessionError, match="at least one round"):
+            make_session(problem).step(0)
+
+    def test_completed_session_rejects_further_epochs(self, problem):
+        session = make_session(problem)
+        session.run()
+        # step() degrades to a status query once complete; submit() refuses
+        assert session.step(1).state == "complete"
+        with pytest.raises(SessionError, match="completion"):
+            session.submit()
+
+    def test_result_before_any_epoch_is_an_error(self, problem):
+        with pytest.raises(SessionError, match="no epoch"):
+            make_session(problem).result()
+
+    def test_needs_an_instance(self):
+        with pytest.raises(SessionError, match="instance"):
+            SearchSession(params=quick_params())
+
+
+class TestBackgroundLifecycle:
+    def test_submit_streams_progress_events(self, problem):
+        session = make_session(problem)
+        events = []
+        session.submit(chunk_rounds=1, on_event=events.append)
+        result = session.result(timeout=60.0)
+        assert result.complete
+        assert session.status().state == "complete"
+        assert len(events) == ROUNDS
+        assert all(isinstance(event, ProgressEvent) for event in events)
+        assert [event.rounds_done for event in events] == list(range(1, ROUNDS + 1))
+        assert events[-1].complete
+        assert not events[0].complete
+        # best-so-far can only improve
+        costs = [event.best_cost for event in events]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_background_run_matches_foreground(self, problem):
+        baseline = make_session(problem).run()
+        session = make_session(problem)
+        session.submit(chunk_rounds=2)
+        result = session.result(timeout=60.0)
+        assert result.best_cost == baseline.best_cost
+        assert np.array_equal(result.best_solution, baseline.best_solution)
+
+    def test_cancel_from_the_event_callback_pauses(self, problem):
+        session = make_session(problem)
+
+        def stop_after_first(event: ProgressEvent) -> None:
+            session.cancel()
+
+        session.submit(chunk_rounds=1, on_event=stop_after_first)
+        result = session.result(timeout=60.0)
+        assert not result.complete
+        assert session.status().state == "cancelled"
+        assert session.rounds_done == 1
+        # a cancelled session resumes from where it paused
+        resumed = SearchSession.restore(session.checkpoint())
+        final = resumed.run()
+        assert final.complete
+        baseline = make_session(problem).run()
+        assert final.best_cost == baseline.best_cost
+
+    def test_submit_while_running_is_rejected(self, problem):
+        session = make_session(problem)
+        gate = threading.Event()
+
+        def hold(event: ProgressEvent) -> None:
+            gate.wait(30.0)
+
+        session.submit(chunk_rounds=1, on_event=hold)
+        try:
+            with pytest.raises(SessionError, match="background"):
+                session.submit()
+        finally:
+            session.cancel()
+            gate.set()
+        session.result(timeout=60.0)
+
+    def test_callback_errors_surface_in_result(self, problem):
+        session = make_session(problem)
+
+        def boom(event: ProgressEvent) -> None:
+            raise RuntimeError("observer crashed")
+
+        session.submit(chunk_rounds=1, on_event=boom)
+        with pytest.raises(RuntimeError, match="observer crashed"):
+            session.result(timeout=60.0)
+        assert session.status().state == "failed"
+
+
+class TestRealBackendLifecycle:
+    def test_threads_submit_cancel_resume(self, problem):
+        baseline = make_session(problem).run()
+        session = make_session(
+            problem, backend="threads", cluster=homogeneous_cluster(4)
+        )
+
+        def stop_after_first(event: ProgressEvent) -> None:
+            session.cancel()
+
+        session.submit(chunk_rounds=1, on_event=stop_after_first)
+        partial = session.result(timeout=120.0)
+        assert not partial.complete
+        assert session.rounds_done < ROUNDS
+        # resume on the simulated backend: checkpoints are backend-portable
+        resumed = SearchSession.restore(session.checkpoint(), backend="simulated")
+        final = resumed.run()
+        assert final.complete
+        assert final.best_cost == baseline.best_cost
+        assert np.array_equal(final.best_solution, baseline.best_solution)
+
+    def test_context_manager_closes_background_work(self, problem):
+        with make_session(problem) as session:
+            session.submit(chunk_rounds=1)
+        assert session.status().state in ("cancelled", "complete", "paused")

@@ -98,6 +98,65 @@ class TestRunCommand:
         assert "error" in capsys.readouterr().err
 
 
+class TestSessionsWorkflow:
+    """The checkpoint / resume / inspect loop through the CLI."""
+
+    RUN_ARGS = [
+        "run",
+        "--circuit", "tiny16",
+        "--tsws", "2",
+        "--clws", "1",
+        "--global-iterations", "3",
+        "--local-iterations", "2",
+        "--sync", "homogeneous",
+        "--cluster", "homogeneous:4",
+    ]
+
+    def test_pause_checkpoint_inspect_resume(self, tmp_path, capsys):
+        ckpt = tmp_path / "run.rtss"
+
+        code = main(self.RUN_ARGS + ["--pause-after", "1", "--checkpoint", str(ckpt)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1/3 global iterations (paused)" in out
+        assert ckpt.exists()
+
+        assert main(["sessions", str(ckpt)]) == 0
+        out = capsys.readouterr().out
+        assert "tiny16" in out
+        assert "1/3" in out
+        assert "paused" in out
+
+        code = main(["run", "--resume", str(ckpt), "--checkpoint", str(ckpt)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Resuming tiny16" in out
+        assert "best cost" in out
+
+        assert main(["sessions", str(ckpt)]) == 0
+        assert "complete" in capsys.readouterr().out
+
+    def test_resume_rejects_instance_flags(self, tmp_path, capsys):
+        ckpt = tmp_path / "run.rtss"
+        assert main(self.RUN_ARGS + ["--pause-after", "1", "--checkpoint", str(ckpt)]) == 0
+        capsys.readouterr()
+        code = main(["run", "--resume", str(ckpt), "--circuit", "tiny16"])
+        assert code == 2
+        assert "drop --instance/--circuit" in capsys.readouterr().err
+
+    def test_pause_after_must_be_positive(self, capsys):
+        code = main(self.RUN_ARGS + ["--pause-after", "0"])
+        assert code == 2
+        assert "at least one" in capsys.readouterr().err
+
+    def test_sessions_rejects_a_non_checkpoint_file(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.rtss"
+        bogus.write_bytes(b"definitely not a checkpoint")
+        code = main(["sessions", str(bogus)])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
 class TestFigureCommand:
     def test_runs_fig9_on_a_small_circuit(self, capsys, monkeypatch):
         # keep it quick: the tiny generated circuit and the quick scale
