@@ -52,6 +52,7 @@ from .errors import (
 )
 from .metrics import CostTrace, speedup_curve, speedup_to_quality
 from .parallel import (
+    FaultPolicy,
     ParallelSearchParams,
     ParallelSearchResult,
     PlacementProblem,
@@ -79,6 +80,10 @@ from .session import (
 )
 from .pvm import (
     ClusterSpec,
+    FaultPlan,
+    KillWorker,
+    MessageFaults,
+    ThrottleMachine,
     ProcessKernel,
     SimKernel,
     ThreadKernel,
@@ -133,8 +138,13 @@ __all__ = [
     "ProcessKernel",
     "paper_cluster",
     "homogeneous_cluster",
+    "FaultPlan",
+    "KillWorker",
+    "ThrottleMachine",
+    "MessageFaults",
     # parallel
     "ParallelSearchParams",
+    "FaultPolicy",
     "ParallelSearchResult",
     "PlacementProblem",
     "SyncPolicy",

@@ -35,10 +35,10 @@ from .core.registry import available_domains, get_domain
 from .errors import ReproError
 from .experiments import ALL_FIGURES, current_scale
 from .metrics import format_mapping, format_table
-from .parallel import ParallelSearchParams, classify
+from .parallel import FaultPolicy, ParallelSearchParams, classify
 from .placement import Placement, benchmark_names, load_benchmark
 from .placement.io import write_placement
-from .pvm import homogeneous_cluster, paper_cluster
+from .pvm import FaultPlan, homogeneous_cluster, paper_cluster
 from .session import SearchSession, SessionState
 from .tabu import TabuSearchParams
 
@@ -119,6 +119,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="continue a previous run from a checkpoint written by "
              "--checkpoint (instance and parameters come from the artifact)",
     )
+    run_parser.add_argument(
+        "--fault-tolerant", action="store_true",
+        help="survive worker death mid-run: deadline tracking, range "
+             "re-assignment over the survivors, degraded completion",
+    )
+    run_parser.add_argument(
+        "--round-deadline", type=float, metavar="SECONDS", default=None,
+        help="report deadline per global iteration before a worker is struck "
+             "out (implies --fault-tolerant; default 30)",
+    )
+    run_parser.add_argument(
+        "--fault-plan", metavar="FILE", default=None,
+        help="JSON fault-injection plan (seeded kills/throttles/message "
+             "faults) replayed by the simulated backend; implies "
+             "--fault-tolerant",
+    )
 
     # figure -------------------------------------------------------------------
     figure_parser = subparsers.add_parser(
@@ -195,13 +211,27 @@ def _command_problems(_: argparse.Namespace) -> int:
     return 0
 
 
+def _fault_policy(args: argparse.Namespace):
+    if not (args.fault_tolerant or args.round_deadline is not None or args.fault_plan):
+        return None
+    round_deadline = args.round_deadline if args.round_deadline is not None else 30.0
+    return FaultPolicy(round_deadline=round_deadline, clw_deadline=round_deadline / 2.0)
+
+
 def _build_session(args: argparse.Namespace) -> SearchSession:
     cluster = _make_cluster(args.cluster)
+    fault = _fault_policy(args)
+    fault_plan = FaultPlan.from_file(args.fault_plan) if args.fault_plan else None
     if args.resume is not None:
         if args.instance is not None or args.circuit is not None:
             raise ReproError(
                 "--resume restores the instance and parameters from the "
                 "checkpoint; drop --instance/--circuit"
+            )
+        if fault is not None:
+            raise ReproError(
+                "--resume restores the parameters (fault policy included) "
+                "from the checkpoint; drop the fault flags"
             )
         session = SearchSession.restore(
             args.resume, backend=args.backend, cluster=cluster
@@ -228,14 +258,18 @@ def _build_session(args: argparse.Namespace) -> SearchSession:
         diversify=not args.no_diversify,
         tabu=tabu,
         seed=args.seed,
+        fault=fault,
     )
+    extras = ", fault-tolerant" if fault is not None else ""
     print(f"Running {args.problem}:{problem.name} with {args.tsws} TSWs x "
-          f"{args.clws} CLWs ({args.sync} sync) on {cluster.num_machines} machines ...")
+          f"{args.clws} CLWs ({args.sync} sync{extras}) on "
+          f"{cluster.num_machines} machines ...")
     return SearchSession(
         problem=problem,
         params=params,
         backend=args.backend or "simulated",
         cluster=cluster,
+        fault_plan=fault_plan,
     )
 
 
@@ -278,6 +312,16 @@ def _command_run(args: argparse.Namespace) -> int:
         }
     )
     print(format_mapping(summary, title="Result"))
+    fault_events = getattr(result, "fault_events", None)
+    if fault_events:
+        print()
+        print(
+            format_table(
+                ["time (s)", "event", "worker", "detail"],
+                [(round(e.time, 3), e.kind, e.worker, e.detail) for e in fault_events],
+                title="Fault events",
+            )
+        )
     if args.checkpoint:
         session.checkpoint(args.checkpoint)
         print(f"Checkpoint written to {args.checkpoint}")

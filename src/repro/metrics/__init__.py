@@ -8,10 +8,11 @@ from .speedup import (
     speedup_to_quality,
     time_to_quality,
 )
-from .trace import CostTrace, best_so_far_envelope, shift_times
+from .trace import CostTrace, FaultEvent, best_so_far_envelope, shift_times
 
 __all__ = [
     "CostTrace",
+    "FaultEvent",
     "best_so_far_envelope",
     "shift_times",
     "SpeedupPoint",

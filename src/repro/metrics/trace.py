@@ -13,7 +13,24 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import ExperimentError
 
-__all__ = ["CostTrace", "best_so_far_envelope", "shift_times"]
+__all__ = ["CostTrace", "FaultEvent", "best_so_far_envelope", "shift_times"]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault-related incident observed during a parallel run.
+
+    Recorded by the fault-tolerant master (and the session layer for pool
+    repairs) so a run's recovery trajectory is inspectable next to its cost
+    trace.  ``kind`` is one of ``"worker-dead"``, ``"deadline-resend"``,
+    ``"limplock"``, ``"range-reassigned"``, ``"worker-respawned"`` or
+    ``"all-workers-dead"``.
+    """
+
+    time: float
+    kind: str
+    worker: str
+    detail: str = ""
 
 
 def best_so_far_envelope(

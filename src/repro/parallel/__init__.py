@@ -7,7 +7,8 @@ heterogeneous clusters, and :func:`~repro.parallel.runner.run_parallel_search`
 """
 
 from .clw import clw_process
-from .config import ParallelSearchParams, SyncMode
+from .config import FaultPolicy, ParallelSearchParams, SyncMode
+from .health import HealthLedger, WorkerHealth
 from .master import GlobalIterationRecord, MasterResult, MasterRunState, master_process
 from .messages import (
     ClwResult,
@@ -20,6 +21,7 @@ from .messages import (
     TswResult,
     TswSummary,
     TswWorkerState,
+    WorkerDown,
 )
 from .runner import ParallelSearchResult, build_problem, run_parallel_search
 from .sync import SyncPolicy
@@ -50,6 +52,10 @@ def __getattr__(name):
 
 __all__ = [
     "ParallelSearchParams",
+    "FaultPolicy",
+    "HealthLedger",
+    "WorkerHealth",
+    "WorkerDown",
     "SyncMode",
     "SyncPolicy",
     "PlacementProblem",

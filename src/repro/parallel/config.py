@@ -2,16 +2,103 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 from typing import Any, Literal, Optional
 
 from ..errors import ParallelSearchError
 from ..tabu.params import TabuSearchParams
 
-__all__ = ["SyncMode", "ParallelSearchParams"]
+__all__ = ["SyncMode", "FaultPolicy", "ParallelSearchParams"]
 
 #: Synchronisation strategy between a parent and its children.
 SyncMode = Literal["heterogeneous", "homogeneous"]
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPolicy:
+    """How the master survives and adapts to worker failure mid-run.
+
+    With a policy enabled the master (and each TSW, toward its CLWs) tracks
+    per-worker report deadlines and death notices instead of trusting every
+    worker to answer: a worker that misses ``max_missed_deadlines + 1``
+    deadlines — or whose backend reports it dead — is declared dead, its
+    candidate range is re-partitioned across the survivors (throughput-
+    weighted when ``rebalance`` is set), its resident solution state is
+    re-shipped through the existing delta/NACK path, and the run completes
+    with degraded parallelism instead of raising.
+
+    Attributes
+    ----------
+    round_deadline:
+        Seconds the master waits for one TSW report per global round
+        (virtual seconds on the simulated backend, wall-clock on the real
+        ones).  A missed deadline triggers a full re-send; repeated misses
+        kill the worker.
+    clw_deadline:
+        Seconds a TSW waits for one CLW result per local iteration.
+    max_missed_deadlines:
+        How many missed deadlines are forgiven (with a re-send) before a
+        worker is declared dead; ``0`` kills on the first miss.
+    rebalance:
+        Re-partition ranges over survivors weighted by *observed* per-round
+        throughput (when every survivor has reported at least once);
+        otherwise survivors split the cells evenly.
+    limplock_ratio:
+        A worker whose observed throughput stays below ``limplock_ratio``
+        times the fastest survivor's for ``limplock_rounds`` consecutive
+        rounds is *limplocked*: it stays in the run but gets a shrunk
+        local-iteration budget sized from its observed rate.
+    limplock_rounds:
+        Consecutive slow rounds before the limplock flag engages.
+    min_iteration_share:
+        Floor of the shrunk budget, as a fraction of the configured
+        ``tabu.local_iterations`` (so a limplocked worker still contributes).
+    throughput_smoothing:
+        EWMA weight of the newest per-round throughput observation.
+    """
+
+    round_deadline: float = 30.0
+    clw_deadline: float = 15.0
+    max_missed_deadlines: int = 1
+    rebalance: bool = True
+    limplock_ratio: float = 0.25
+    limplock_rounds: int = 2
+    min_iteration_share: float = 0.25
+    throughput_smoothing: float = 0.5
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("round_deadline", self.round_deadline),
+            ("clw_deadline", self.clw_deadline),
+        ):
+            if not math.isfinite(value) or value <= 0:
+                raise ParallelSearchError(f"{label} must be finite and positive, got {value}")
+        if self.max_missed_deadlines < 0:
+            raise ParallelSearchError(
+                f"max_missed_deadlines must be >= 0, got {self.max_missed_deadlines}"
+            )
+        if not (0.0 < self.limplock_ratio < 1.0):
+            raise ParallelSearchError(
+                f"limplock_ratio must be in (0, 1), got {self.limplock_ratio}"
+            )
+        if self.limplock_rounds < 1:
+            raise ParallelSearchError(
+                f"limplock_rounds must be >= 1, got {self.limplock_rounds}"
+            )
+        if not (0.0 < self.min_iteration_share <= 1.0):
+            raise ParallelSearchError(
+                f"min_iteration_share must be in (0, 1], got {self.min_iteration_share}"
+            )
+        if not (0.0 < self.throughput_smoothing <= 1.0):
+            raise ParallelSearchError(
+                f"throughput_smoothing must be in (0, 1], got {self.throughput_smoothing}"
+            )
+
+    def with_(self, **changes) -> "FaultPolicy":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
 
 
 @dataclass(frozen=True, slots=True)
@@ -49,6 +136,10 @@ class ParallelSearchParams:
         placement).  The parallel engine itself never interprets this value.
     seed:
         Root seed; every process derives its own independent stream from it.
+    fault:
+        Optional :class:`FaultPolicy`.  ``None`` (the default) keeps the
+        historical fail-fast behaviour — any worker death aborts the run —
+        and changes nothing about message traffic or trajectories.
     """
 
     num_tsws: int = 4
@@ -63,6 +154,15 @@ class ParallelSearchParams:
     cost: Optional[Any] = None
     seed: int = 2003
     initial_placement_seed: Optional[int] = None
+    fault: Optional[FaultPolicy] = None
+
+    @property
+    def fault_enabled(self) -> bool:
+        """Whether a fault policy is present and switched on."""
+        # getattr: params pickled before this field existed restore without
+        # the slot — treat them as fault-less rather than crash
+        fault = getattr(self, "fault", None)
+        return fault is not None and fault.enabled
 
     def __post_init__(self) -> None:
         if self.num_tsws < 1:

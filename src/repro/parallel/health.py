@@ -1,0 +1,203 @@
+"""Master-side worker health ledger: liveness, deadlines and throughput.
+
+The fault-tolerant master keeps one :class:`HealthLedger` over its TSWs (and
+each TSW keeps one over its CLWs): every report updates an EWMA of the
+worker's *observed* per-round throughput, every missed deadline increments a
+strike counter, and a death — by strike-out or by backend obituary — flips
+the worker's ``alive`` bit.  The ledger is pure bookkeeping driven by times
+the caller passes in (virtual on the simulated backend, wall-clock on the
+real ones), so the same code is bit-deterministic under the simulator and
+its state serialises into run checkpoints.
+
+Throughput observations feed two decisions:
+
+* **re-partitioning** — when a worker dies, survivors split the cells
+  proportionally to their smoothed rates (:meth:`throughput_weights`);
+* **limplock shrinking** — a persistently slow-but-alive worker gets a
+  smaller local-iteration budget (:meth:`iteration_budget`) sized from its
+  observed rate rather than its declared machine speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .config import FaultPolicy
+
+__all__ = ["WorkerHealth", "HealthLedger"]
+
+
+@dataclass
+class WorkerHealth:
+    """Observed state of one worker (plain data, checkpoint-friendly)."""
+
+    key: int
+    alive: bool = True
+    missed_deadlines: int = 0
+    rate: Optional[float] = None  # EWMA evaluations/second
+    last_evaluations: int = 0
+    rounds_reported: int = 0
+    slow_streak: int = 0
+    limplocked: bool = False
+
+
+class HealthLedger:
+    """Deadline, liveness and throughput bookkeeping for a set of workers."""
+
+    def __init__(self, policy: FaultPolicy, keys: List[int]) -> None:
+        self._policy = policy
+        self._workers: Dict[int, WorkerHealth] = {key: WorkerHealth(key=key) for key in keys}
+
+    # -- liveness -------------------------------------------------------- #
+    def alive_keys(self) -> List[int]:
+        """Keys of workers still considered alive, in key order."""
+        return [key for key in sorted(self._workers) if self._workers[key].alive]
+
+    def dead_keys(self) -> List[int]:
+        return [key for key in sorted(self._workers) if not self._workers[key].alive]
+
+    def is_alive(self, key: int) -> bool:
+        return self._workers[key].alive
+
+    def mark_dead(self, key: int) -> None:
+        self._workers[key].alive = False
+
+    def register_miss(self, key: int) -> bool:
+        """Record a missed deadline; returns True when the worker struck out."""
+        worker = self._workers[key]
+        worker.missed_deadlines += 1
+        return worker.missed_deadlines > self._policy.max_missed_deadlines
+
+    def clear_misses(self, key: int) -> None:
+        self._workers[key].missed_deadlines = 0
+
+    # -- throughput ------------------------------------------------------ #
+    def record_report(self, key: int, evaluations_total: int, elapsed: float) -> None:
+        """Fold one round's report into the worker's smoothed throughput.
+
+        ``evaluations_total`` is the worker's *cumulative* evaluation count
+        (what :class:`~repro.parallel.messages.TswResult` carries); the
+        ledger differences it against the previous report.
+        """
+        worker = self._workers[key]
+        worker.rounds_reported += 1
+        worker.missed_deadlines = 0
+        delta = max(0, int(evaluations_total) - worker.last_evaluations)
+        worker.last_evaluations = int(evaluations_total)
+        if elapsed <= 0:
+            return
+        observed = delta / elapsed
+        if worker.rate is None:
+            worker.rate = observed
+        else:
+            alpha = self._policy.throughput_smoothing
+            worker.rate = alpha * observed + (1.0 - alpha) * worker.rate
+        self._update_limplock(worker)
+
+    def _update_limplock(self, worker: WorkerHealth) -> None:
+        """Fold the report just recorded into ``worker``'s limplock streak.
+
+        Only the reporting worker's streak moves — a streak counts *its own*
+        consecutive slow reports, one per round, not every peer's report.
+        """
+        rates = [w.rate for w in self._workers.values() if w.alive and w.rate is not None]
+        if not rates:
+            return
+        fastest = max(rates)
+        if fastest <= 0:
+            return
+        threshold = self._policy.limplock_ratio * fastest
+        if worker.rate < threshold:
+            worker.slow_streak += 1
+        else:
+            worker.slow_streak = 0
+            worker.limplocked = False
+        if worker.slow_streak >= self._policy.limplock_rounds:
+            worker.limplocked = True
+
+    def limplocked_keys(self) -> List[int]:
+        return [
+            key
+            for key in sorted(self._workers)
+            if self._workers[key].alive and self._workers[key].limplocked
+        ]
+
+    def rate_of(self, key: int) -> Optional[float]:
+        return self._workers[key].rate
+
+    def throughput_weights(self, keys: List[int]) -> Optional[List[float]]:
+        """Smoothed rates of ``keys`` as partition weights.
+
+        Returns ``None`` unless *every* worker has a positive observed rate —
+        re-partitioning on declared-speed guesses is exactly what this layer
+        replaces, so without full observations the caller splits evenly.
+        """
+        weights: List[float] = []
+        for key in keys:
+            rate = self._workers[key].rate
+            if rate is None or rate <= 0:
+                return None
+            weights.append(rate)
+        return weights
+
+    def iteration_budget(self, key: int, base_iterations: int) -> int:
+        """Local-iteration budget for one worker under limplock shrinking.
+
+        Healthy workers keep the configured budget; a limplocked worker gets
+        a budget proportional to its observed rate relative to the fastest
+        survivor, floored at ``min_iteration_share`` of the base.
+        """
+        worker = self._workers[key]
+        if not worker.limplocked or worker.rate is None:
+            return base_iterations
+        rates = [w.rate for w in self._workers.values() if w.alive and w.rate is not None]
+        fastest = max(rates) if rates else 0.0
+        if fastest <= 0:
+            return base_iterations
+        floor = max(1, int(round(base_iterations * self._policy.min_iteration_share)))
+        scaled = int(round(base_iterations * worker.rate / fastest))
+        return max(floor, min(base_iterations, scaled))
+
+    # -- checkpointing --------------------------------------------------- #
+    def export_state(self) -> Tuple[Tuple[int, bool, int, Optional[float], int, int, int, bool], ...]:
+        """Plain-tuple snapshot (stable field order; pickles byte-stably)."""
+        return tuple(
+            (
+                w.key,
+                w.alive,
+                w.missed_deadlines,
+                w.rate,
+                w.last_evaluations,
+                w.rounds_reported,
+                w.slow_streak,
+                w.limplocked,
+            )
+            for _, w in sorted(self._workers.items())
+        )
+
+    def install_state(self, state, *, revive: bool = True) -> None:
+        """Restore a snapshot from a checkpoint.
+
+        ``revive`` resets every worker to alive: deaths are per-epoch facts
+        (a cold resume respawns all workers; a pool resume repairs dead
+        loops first), while throughput history is worth keeping.
+        """
+        for row in state:
+            key = row[0]
+            if key not in self._workers:
+                continue
+            worker = self._workers[key]
+            (
+                _,
+                worker.alive,
+                worker.missed_deadlines,
+                worker.rate,
+                worker.last_evaluations,
+                worker.rounds_reported,
+                worker.slow_streak,
+                worker.limplocked,
+            ) = row
+            if revive:
+                worker.alive = True
+                worker.missed_deadlines = 0

@@ -32,10 +32,11 @@ import numpy as np
 
 from .._rng import derive_seed
 from ..core.protocols import SearchProblem
-from ..metrics.trace import best_so_far_envelope
-from ..tabu.candidate import partition_cells
+from ..metrics.trace import FaultEvent, best_so_far_envelope
+from ..tabu.candidate import partition_cells, partition_cells_weighted
 from .config import ParallelSearchParams
 from .delta import DeltaEncoder, decode_solution, swap_list_between
+from .health import HealthLedger
 from .messages import GlobalStart, ReportNow, Tags, TswResult, TswSetup, TswWorkerState
 from .sync import SyncPolicy
 from .tsw import tsw_process
@@ -88,6 +89,13 @@ class MasterRunState:
     #: resume under a fresh kernel (clock restarts at zero) shifts its new
     #: trace points by this much so the stitched trace stays monotone.
     clock_base: float = 0.0
+    #: ``HealthLedger.export_state()`` of the fault-tolerant master, or
+    #: ``None``.  A resume revives every worker (cold resumes respawn, pool
+    #: resumes repair) but keeps the observed throughput history.
+    health: Optional[tuple] = None
+    #: Fault incidents of the epoch that produced this state (observability;
+    #: the session layer accumulates events across epochs).
+    fault_events: List[FaultEvent] = field(default_factory=list)
 
 
 @dataclass
@@ -117,6 +125,11 @@ class MasterResult:
     #: all global iterations finished; ``run_state`` then resumes it.
     complete: bool = True
     run_state: Optional[MasterRunState] = None
+    #: Fault incidents observed during the run (fault mode only): worker
+    #: deaths, deadline re-sends, limplock transitions, range re-assignments.
+    fault_events: List[FaultEvent] = field(default_factory=list)
+    #: Worker names (``"tsw<i>"``) declared dead during the run.
+    dead_workers: Tuple[str, ...] = ()
 
 
 def master_process(
@@ -221,11 +234,9 @@ def master_process(
                     initial_state=worker_states_by_index.get(tsw_index),
                 ),
             )
-        acked: Set[int] = set()
-        while len(acked) < len(tsw_pids):
-            ack = yield ctx.recv(tag=Tags.SETUP_ACK)
-            acked.add(ack.src)
+        awaiting_acks = True  # collected below, once fault bookkeeping exists
     else:
+        awaiting_acks = False
         tsw_pids = []
         for tsw_index in range(params.num_tsws):
             pid = yield ctx.spawn(
@@ -242,6 +253,58 @@ def master_process(
             tsw_pids.append(pid)
     index_of_pid = {pid: index for index, pid in enumerate(tsw_pids)}
 
+    # ---- fault mode: health ledger and elastic range bookkeeping -----------
+    fault = params.fault if params.fault_enabled else None
+    fault_events: List[FaultEvent] = []
+    dead_pids: Set[int] = set()
+    ledger: Optional[HealthLedger] = None
+    # current range assignment per tsw_index vs what each worker last got
+    assigned_range: Dict[int, Any] = dict(enumerate(tsw_ranges))
+    shipped_range: Dict[int, Any] = dict(assigned_range)  # shipped at startup
+    if fault is not None:
+        ledger = HealthLedger(fault, list(range(params.num_tsws)))
+        if resume_state is not None and getattr(resume_state, "health", None) is not None:
+            ledger.install_state(resume_state.health, revive=True)
+
+    def _note_event(kind: str, index: int, detail: str = "", at: float = 0.0) -> None:
+        fault_events.append(
+            FaultEvent(time=float(at), kind=kind, worker=f"tsw{index}", detail=detail)
+        )
+
+    def _declare_dead(pid: int, reason: str, at: float) -> None:
+        """Mark a TSW dead and re-partition its range over the survivors."""
+        index = index_of_pid[pid]
+        dead_pids.add(pid)
+        ledger.mark_dead(index)
+        encoder.invalidate(pid)
+        _note_event("worker-dead", index, reason, at)
+        survivors = [index_of_pid[p] for p in tsw_pids if p not in dead_pids]
+        if not survivors:
+            return
+        weights = ledger.throughput_weights(survivors) if fault.rebalance else None
+        if weights is not None:
+            new_ranges = partition_cells_weighted(
+                num_cells,
+                weights,
+                scheme=params.tsw_partition_scheme,
+                label_prefix="tsw",
+            )
+        else:
+            new_ranges = partition_cells(
+                num_cells,
+                len(survivors),
+                scheme=params.tsw_partition_scheme,
+                label_prefix="tsw",
+            )
+        for new_range, survivor in zip(new_ranges, survivors):
+            assigned_range[survivor] = new_range
+        _note_event(
+            "range-reassigned",
+            index,
+            f"range split over {len(survivors)} survivor(s)",
+            at,
+        )
+
     # Per-TSW resident tracking: broadcasts go out as swap-list deltas
     # against each TSW's previously *reported* solution (what it keeps
     # resident after normalising), falling back to full shipment on first
@@ -256,20 +319,75 @@ def master_process(
             }
         )
 
+    cancel_seen = False
+    if awaiting_acks:
+        # Warm pool: wait for every SETUP ack before any run traffic (the
+        # explicit handshake beats the simulated network's size-dependent
+        # message latency).
+        acked: Set[int] = set()
+        if fault is None:
+            while len(acked) < len(tsw_pids):
+                ack = yield ctx.recv(tag=Tags.SETUP_ACK)
+                acked.add(ack.src)
+        else:
+            # A loop that dies before acking must not wedge the handshake:
+            # give the ack round one deadline and strike silent loops out up
+            # front, so the run starts degraded instead of never starting.
+            ack_deadline = float((yield ctx.now())) + fault.round_deadline
+            while len(acked | dead_pids) < len(tsw_pids):
+                now = yield ctx.now()
+                remaining = ack_deadline - float(now)
+                if remaining <= 0:
+                    for pid in sorted(set(tsw_pids) - acked - dead_pids):
+                        _declare_dead(pid, "no setup ack", float(now) + time_offset)
+                    break
+                reply = yield ctx.recv_timeout(remaining)
+                if reply is None:
+                    continue
+                if reply.tag == Tags.SETUP_ACK:
+                    acked.add(reply.src)
+                elif reply.tag == Tags.WORKER_DOWN:
+                    down_pid = getattr(reply.payload, "pid", None)
+                    if down_pid in index_of_pid and down_pid not in dead_pids:
+                        at = yield ctx.now()
+                        reason = getattr(reply.payload, "reason", "") or "backend obituary"
+                        _declare_dead(down_pid, reason, float(at) + time_offset)
+                elif reply.tag == Tags.CANCEL:
+                    # honoured at the first global-iteration boundary
+                    cancel_seen = True
+
     # ---- global iterations --------------------------------------------------
     stop_round = params.global_iterations
     if max_rounds is not None:
         stop_round = min(stop_round, start_round + max(0, int(max_rounds)))
     next_round = start_round
     cancelled = False
+    all_dead = False
     for global_iteration in range(start_round, stop_round):
         cancel = yield ctx.probe(tag=Tags.CANCEL)
-        if cancel is not None:
+        if cancel is not None or cancel_seen:
             cancelled = True
             break
+        participants = [pid for pid in tsw_pids if pid not in dead_pids]
+        if fault is not None and not participants:
+            now = yield ctx.now()
+            _note_event(
+                "all-workers-dead", -1, "no survivors left", float(now) + time_offset
+            )
+            all_dead = True
+            break
         broadcast_solution = best_solution.copy()
-        for pid in tsw_pids:
+        for pid in participants:
             payload = encoder.encode(pid, broadcast_solution, version=global_iteration)
+            range_update = None
+            budget_update = None
+            if fault is not None:
+                index = index_of_pid[pid]
+                if assigned_range[index] is not shipped_range[index]:
+                    range_update = assigned_range[index]
+                budget = ledger.iteration_budget(index, params.tabu.local_iterations)
+                if budget != params.tabu.local_iterations:
+                    budget_update = budget
             yield ctx.send(
                 pid,
                 Tags.GLOBAL_START,
@@ -277,15 +395,82 @@ def master_process(
                     global_iteration=global_iteration,
                     solution=payload,
                     tabu_payload=best_tabu_payload,
+                    tsw_range=range_update,
+                    local_iterations=budget_update,
                 ),
             )
+            if range_update is not None:
+                shipped_range[index] = range_update
 
-        pending: Set[int] = set(tsw_pids)
+        pending: Set[int] = set(participants)
         results: List[TswResult] = []
         decoded_solutions: Dict[int, np.ndarray] = {}
         interrupt_sent = False
+        round_start = None
+        deadline = None
+        if fault is not None:
+            round_start = yield ctx.now()
+            deadline = float(round_start) + fault.round_deadline
         while pending:
-            reply = yield ctx.recv(tag=Tags.TSW_RESULT)
+            if fault is None:
+                reply = yield ctx.recv(tag=Tags.TSW_RESULT)
+            else:
+                now = yield ctx.now()
+                remaining = deadline - float(now)
+                if remaining <= 0:
+                    # deadline elapsed: forgive with a full re-broadcast, or
+                    # strike the worker out and re-partition its range
+                    struck: List[int] = []
+                    for pid in sorted(pending):
+                        index = index_of_pid[pid]
+                        if ledger.register_miss(index):
+                            struck.append(pid)
+                            continue
+                        encoder.invalidate(pid)
+                        payload = encoder.encode(
+                            pid, broadcast_solution, version=global_iteration
+                        )
+                        _note_event(
+                            "deadline-resend", index, at=float(now) + time_offset
+                        )
+                        yield ctx.send(
+                            pid,
+                            Tags.GLOBAL_START,
+                            GlobalStart(
+                                global_iteration=global_iteration,
+                                solution=payload,
+                                tabu_payload=best_tabu_payload,
+                                tsw_range=assigned_range[index],
+                            ),
+                        )
+                        shipped_range[index] = assigned_range[index]
+                    for pid in struck:
+                        pending.discard(pid)
+                        _declare_dead(
+                            pid,
+                            "missed report deadline",
+                            float(now) + time_offset,
+                        )
+                    deadline = float((yield ctx.now())) + fault.round_deadline
+                    continue
+                reply = yield ctx.recv_timeout(remaining)
+                if reply is None:
+                    continue
+                if reply.tag == Tags.WORKER_DOWN:
+                    down_pid = getattr(reply.payload, "pid", None)
+                    if down_pid in index_of_pid and down_pid not in dead_pids:
+                        pending.discard(down_pid)
+                        reason = getattr(reply.payload, "reason", "") or "backend obituary"
+                        at = yield ctx.now()
+                        _declare_dead(down_pid, reason, float(at) + time_offset)
+                    continue
+                if reply.tag == Tags.CANCEL:
+                    # scooped by the untagged receive — honoured at the next
+                    # global-iteration boundary, like the probe
+                    cancel_seen = True
+                    continue
+                if reply.tag != Tags.TSW_RESULT:
+                    continue
             result: TswResult = reply.payload
             # Account for the sender *before* the staleness check: under a
             # truly asynchronous backend a late or duplicate report from an
@@ -314,6 +499,8 @@ def master_process(
                     ),
                 )
                 pending.add(reply.src)
+                if fault is not None:
+                    deadline = float((yield ctx.now())) + fault.round_deadline
                 continue
             if any(r.tsw_index == result.tsw_index for r in results):
                 encoder.invalidate(reply.src)
@@ -343,7 +530,7 @@ def master_process(
                 sync.is_heterogeneous
                 and not interrupt_sent
                 and pending
-                and sync.should_interrupt(len(results), len(tsw_pids))
+                and sync.should_interrupt(len(results), len(participants))
             ):
                 for pid in pending:
                     yield ctx.send(pid, Tags.REPORT_NOW, ReportNow(round_id=global_iteration))
@@ -353,6 +540,24 @@ def master_process(
         # round's results by worker index so everything downstream (records,
         # cost ties) is independent of message timing.
         results.sort(key=lambda r: r.tsw_index)
+
+        if fault is not None:
+            # fold this round's reports into the throughput ledger and note
+            # any fresh limplock transitions
+            round_end = yield ctx.now()
+            elapsed = float(round_end) - float(round_start)
+            limplocked_before = set(ledger.limplocked_keys())
+            for result in results:
+                ledger.record_report(result.tsw_index, result.evaluations, elapsed)
+            for index in ledger.limplocked_keys():
+                if index not in limplocked_before:
+                    rate = ledger.rate_of(index)
+                    _note_event(
+                        "limplock",
+                        index,
+                        f"observed rate {rate:.1f} evals/s",
+                        float(round_end) + time_offset,
+                    )
 
         # Adopt the best reported solution.  The master re-evaluates the
         # winner with its own (exact) evaluator so that the best-cost trace
@@ -385,8 +590,11 @@ def master_process(
             best_tabu_payload = winner.tabu_payload
         # each report carries the TSW's *cumulative* evaluation count (it
         # survives checkpoint/resume via the restored evaluator), so the
-        # latest round overwrites rather than accumulates
-        total_tsw_evaluations = sum(result.evaluations for result in results)
+        # latest round overwrites rather than accumulates.  In fault mode an
+        # all-struck-out round may report nothing — keep the previous total
+        # rather than zeroing it.
+        if results or fault is None:
+            total_tsw_evaluations = sum(result.evaluations for result in results)
 
         now = yield ctx.now()
         now = float(now) + time_offset
@@ -403,6 +611,10 @@ def master_process(
         next_round = global_iteration + 1
 
     complete = next_round >= params.global_iterations and not cancelled
+    if all_dead:
+        # every worker died: nothing left to drive, return the best found so
+        # far as the final (degraded) outcome rather than an unresumable pause
+        complete = True
 
     run_state: Optional[MasterRunState] = None
     if not complete:
@@ -410,12 +622,39 @@ def master_process(
         # Only reached at a global-iteration boundary: every worker is idle
         # at the top of its receive loop, no run traffic is in flight.
         harvested: Dict[int, TswWorkerState] = {}
-        for pid in tsw_pids:
-            yield ctx.send(pid, Tags.STATE_REQUEST)
-        while len(harvested) < len(tsw_pids):
-            reply = yield ctx.recv(tag=Tags.STATE_REPLY)
-            tsw_state: TswWorkerState = reply.payload
-            harvested[tsw_state.tsw_index] = tsw_state
+        if fault is None:
+            for pid in tsw_pids:
+                yield ctx.send(pid, Tags.STATE_REQUEST)
+            while len(harvested) < len(tsw_pids):
+                reply = yield ctx.recv(tag=Tags.STATE_REPLY)
+                tsw_state: TswWorkerState = reply.payload
+                harvested[tsw_state.tsw_index] = tsw_state
+        else:
+            # harvest only the survivors, and survive a worker dying during
+            # the harvest itself (a resume revives it from the others)
+            awaiting = {pid for pid in tsw_pids if pid not in dead_pids}
+            for pid in sorted(awaiting):
+                yield ctx.send(pid, Tags.STATE_REQUEST)
+            while awaiting:
+                reply = yield ctx.recv_timeout(fault.round_deadline)
+                now = yield ctx.now()
+                if reply is None:
+                    for pid in sorted(awaiting):
+                        _declare_dead(pid, "no state reply", float(now) + time_offset)
+                    break
+                if reply.tag == Tags.WORKER_DOWN:
+                    down_pid = getattr(reply.payload, "pid", None)
+                    if down_pid in awaiting:
+                        awaiting.discard(down_pid)
+                        reason = getattr(reply.payload, "reason", "") or "backend obituary"
+                        _declare_dead(down_pid, reason, float(now) + time_offset)
+                    continue
+                if reply.tag == Tags.CANCEL:
+                    continue  # already pausing
+                if reply.tag != Tags.STATE_REPLY:
+                    continue
+                harvested[reply.payload.tsw_index] = reply.payload
+                awaiting.discard(reply.src)
         pause_time = yield ctx.now()
         run_state = MasterRunState(
             next_iteration=next_round,
@@ -436,6 +675,8 @@ def master_process(
             total_tsw_evaluations=int(total_tsw_evaluations),
             worker_states=tuple(harvested[i] for i in sorted(harvested)),
             clock_base=float(pause_time) + time_offset,
+            health=(ledger.export_state() if ledger is not None else None),
+            fault_events=list(fault_events),
         )
 
     # ---- shutdown ------------------------------------------------------------
@@ -469,4 +710,8 @@ def master_process(
         total_tsw_evaluations=total_tsw_evaluations,
         complete=complete,
         run_state=run_state,
+        fault_events=fault_events,
+        dead_workers=tuple(
+            f"tsw{index}" for index in sorted(index_of_pid[pid] for pid in dead_pids)
+        ),
     )

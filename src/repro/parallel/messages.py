@@ -23,10 +23,12 @@ from typing import Any, Dict, Optional, Tuple, Union
 
 import numpy as np
 
+from ..pvm.faults import WORKER_DOWN_TAG, WorkerDown
 from .delta import SolutionPayload
 
 __all__ = [
     "Tags",
+    "WorkerDown",
     "GlobalStart",
     "ReportNow",
     "TswResult",
@@ -64,6 +66,11 @@ class Tags:
     CANCEL = "cancel"
     #: Pool → persistent worker loops: exit for good.
     POOL_SHUTDOWN = "pool_shutdown"
+    # --- fault tolerance (PR 8) -------------------------------------------
+    #: Kernel/backend → parent or death listener: a worker died.  The tag
+    #: literal lives in :mod:`repro.pvm.faults` (the kernels cannot import
+    #: this module); the payload is :class:`~repro.pvm.faults.WorkerDown`.
+    WORKER_DOWN = WORKER_DOWN_TAG
 
 
 @dataclass
@@ -83,6 +90,14 @@ class GlobalStart:
     #: Tabu list associated with the solution (``TabuList.to_payload()``), or
     #: ``None`` for the very first iteration.
     tabu_payload: Optional[tuple] = None
+    #: Elastic re-assignment (fault mode only): a new diversification /
+    #: candidate range for this TSW, shipped when the master re-partitioned
+    #: ranges over the survivors.  ``None`` keeps the current range.
+    tsw_range: Optional[Any] = None
+    #: Limplock shrinking (fault mode only): override of
+    #: ``params.tabu.local_iterations`` for this round, sized from the
+    #: worker's observed throughput.  ``None`` keeps the configured budget.
+    local_iterations: Optional[int] = None
 
 
 @dataclass
@@ -114,6 +129,10 @@ class ClwTask:
 
     round_id: int
     solution: Union[np.ndarray, SolutionPayload]
+    #: Elastic re-assignment (fault mode only): a new compound-move range for
+    #: this CLW, shipped when the TSW re-partitioned its CLW ranges after a
+    #: CLW death.  ``None`` keeps the current range.
+    cell_range: Optional[Any] = None
 
 
 @dataclass

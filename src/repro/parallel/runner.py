@@ -74,6 +74,9 @@ class ParallelSearchResult:
     #: ``False`` when the producing session was paused before all global
     #: iterations finished.
     complete: bool = True
+    #: Fault incidents (:class:`~repro.metrics.trace.FaultEvent`) observed
+    #: across the producing session's epochs; empty without a fault policy.
+    fault_events: List[Any] = field(default_factory=list)
 
     @property
     def circuit(self) -> str:

@@ -41,7 +41,7 @@ import numpy as np
 
 from .._rng import derive_seed
 from ..core.protocols import SearchProblem
-from ..tabu.candidate import CellRange
+from ..tabu.candidate import CellRange, partition_cells
 from ..tabu.moves import CompoundMove, SwapMove
 from ..tabu.search import TabuSearch
 from .clw import clw_process
@@ -149,6 +149,29 @@ def tsw_process(
             clw_pids.append(pid)
     clw_index_of = {pid: index for index, pid in enumerate(clw_pids)}
 
+    # ---- fault mode: CLW liveness and elastic range bookkeeping ----------
+    fault = params.fault if params.fault_enabled else None
+    alive_clws: Set[int] = set(clw_pids)
+    clw_range_of: Dict[int, CellRange] = dict(enumerate(clw_ranges))
+    range_dirty: Set[int] = set()  # CLW indices whose new range must ship
+    clw_missed: Dict[int, int] = {}
+
+    def _drop_clw(pid: int) -> None:
+        """Remove a dead CLW and re-partition its range over the survivors."""
+        alive_clws.discard(pid)
+        survivors = [clw_index_of[p] for p in clw_pids if p in alive_clws]
+        if not survivors:
+            return
+        new_ranges = partition_cells(
+            problem.num_cells,
+            len(survivors),
+            scheme=params.clw_partition_scheme,
+            label_prefix="clw",
+        )
+        for new_range, index in zip(new_ranges, survivors):
+            clw_range_of[index] = new_range
+            range_dirty.add(index)
+
     evaluator = None
     search: Optional[TabuSearch] = None
     resident = ResidentSolution()  # what we hold vs the master's broadcasts
@@ -223,9 +246,22 @@ def tsw_process(
             )
             yield ctx.send(message.src, Tags.STATE_REPLY, state)
             continue
+        if message.tag == Tags.WORKER_DOWN:
+            # backend obituary for one of our CLWs, delivered between rounds
+            down_pid = getattr(message.payload, "pid", None)
+            if fault is not None and down_pid in alive_clws:
+                _drop_clw(down_pid)
+            continue
         if message.tag != Tags.GLOBAL_START:
             continue
         start: GlobalStart = message.payload
+        # elastic re-assignment: the master re-partitioned TSW ranges over
+        # the survivors and shipped us a new diversification range
+        new_tsw_range = getattr(start, "tsw_range", None)
+        if new_tsw_range is not None:
+            tsw_range = new_tsw_range
+            if search is not None:
+                search.set_cell_range(new_tsw_range)
         payload = as_payload(start.solution, version=start.global_iteration)
 
         # ---- adopt the master's solution (and its tabu list) -------------
@@ -298,23 +334,85 @@ def tsw_process(
         interrupted = False
         locals_this_round = 0
         local_trace = []
-        for _ in range(params.tabu.local_iterations):
+        # limplock shrinking (fault mode only): the master may ship a smaller
+        # per-round budget sized from this worker's observed throughput
+        budget = getattr(start, "local_iterations", None)
+        if budget is None:
+            budget = params.tabu.local_iterations
+        for _ in range(budget):
             round_counter += 1
             solution = evaluator.snapshot()
-            pending: Set[int] = set(clw_pids)
-            for pid in clw_pids:
-                task_payload = clw_encoder.encode(
-                    clw_index_of[pid], solution, version=round_counter
-                )
+            active = [pid for pid in clw_pids if pid in alive_clws]
+            pending: Set[int] = set(active)
+            for pid in active:
+                index = clw_index_of[pid]
+                task_payload = clw_encoder.encode(index, solution, version=round_counter)
                 yield ctx.send(
                     pid,
                     Tags.CLW_TASK,
-                    ClwTask(round_id=round_counter, solution=task_payload),
+                    ClwTask(
+                        round_id=round_counter,
+                        solution=task_payload,
+                        cell_range=(clw_range_of[index] if index in range_dirty else None),
+                    ),
                 )
+                range_dirty.discard(index)
             results: List[ClwResult] = []
             interrupt_sent = False
+            stashed_report = None
+            deadline = None
+            if fault is not None:
+                deadline = (yield ctx.now()) + fault.clw_deadline
             while pending:
-                reply = yield ctx.recv(tag=Tags.CLW_RESULT)
+                if fault is None:
+                    reply = yield ctx.recv(tag=Tags.CLW_RESULT)
+                else:
+                    now = yield ctx.now()
+                    remaining = deadline - now
+                    if remaining <= 0:
+                        # deadline elapsed: forgive with a full re-send, or
+                        # strike the worker out and re-partition its range
+                        struck: List[int] = []
+                        for pid in sorted(pending):
+                            index = clw_index_of[pid]
+                            clw_missed[index] = clw_missed.get(index, 0) + 1
+                            if clw_missed[index] > fault.max_missed_deadlines:
+                                struck.append(pid)
+                                continue
+                            clw_encoder.invalidate(index)
+                            task_payload = clw_encoder.encode(
+                                index, solution, version=round_counter
+                            )
+                            yield ctx.send(
+                                pid,
+                                Tags.CLW_TASK,
+                                ClwTask(
+                                    round_id=round_counter,
+                                    solution=task_payload,
+                                    cell_range=clw_range_of[index],
+                                ),
+                            )
+                        for pid in struck:
+                            pending.discard(pid)
+                            _drop_clw(pid)
+                        deadline = (yield ctx.now()) + fault.clw_deadline
+                        continue
+                    reply = yield ctx.recv_timeout(remaining)
+                    if reply is None:
+                        continue
+                    if reply.tag == Tags.WORKER_DOWN:
+                        down_pid = getattr(reply.payload, "pid", None)
+                        if down_pid in alive_clws:
+                            pending.discard(down_pid)
+                            _drop_clw(down_pid)
+                        continue
+                    if reply.tag == Tags.REPORT_NOW:
+                        # the master's early-report request, scooped by the
+                        # untagged receive — honoured at the probe point below
+                        stashed_report = reply
+                        continue
+                    if reply.tag != Tags.CLW_RESULT:
+                        continue
                 result: ClwResult = reply.payload
                 # Discard the sender before the staleness check — a late or
                 # duplicate result from an earlier round must still release
@@ -338,18 +436,22 @@ def tsw_process(
                         ClwTask(round_id=round_counter, solution=task_payload),
                     )
                     pending.add(reply.src)
+                    if fault is not None:
+                        deadline = (yield ctx.now()) + fault.clw_deadline
                     continue
                 if any(r.clw_index == result.clw_index for r in results):
                     # duplicate of an already-recorded result: a double-report
                     # means the CLW's resident state can no longer be trusted
                     clw_encoder.invalidate(result.clw_index)
                     continue
+                if fault is not None:
+                    clw_missed[result.clw_index] = 0
                 results.append(result)
                 if (
                     sync.is_heterogeneous
                     and not interrupt_sent
                     and pending
-                    and sync.should_interrupt(len(results), len(clw_pids))
+                    and sync.should_interrupt(len(results), len(active))
                 ):
                     for pid in pending:
                         yield ctx.send(pid, Tags.REPORT_NOW, ReportNow(round_id=round_counter))
@@ -368,7 +470,9 @@ def tsw_process(
             local_trace.append((float(now), float(search.best_cost)))
 
             # Did the master ask us to cut this global iteration short?
-            request = yield ctx.probe(tag=Tags.REPORT_NOW)
+            request = stashed_report
+            if request is None:
+                request = yield ctx.probe(tag=Tags.REPORT_NOW)
             if request is not None:
                 report: ReportNow = request.payload
                 if report.round_id == start.global_iteration:

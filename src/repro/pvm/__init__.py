@@ -9,6 +9,14 @@ for true multi-core wall-clock speedups.
 """
 
 from .cluster import ClusterSpec, heterogeneous_cluster, homogeneous_cluster, paper_cluster
+from .faults import (
+    WORKER_DOWN_TAG,
+    FaultPlan,
+    KillWorker,
+    MessageFaults,
+    ThrottleMachine,
+    WorkerDown,
+)
 from .machine import MachineSpec, SpeedClass
 from .message import Message, estimate_payload_bytes
 from .process import (
@@ -50,4 +58,10 @@ __all__ = [
     "SimStats",
     "ThreadKernel",
     "ProcessKernel",
+    "WORKER_DOWN_TAG",
+    "FaultPlan",
+    "KillWorker",
+    "ThrottleMachine",
+    "MessageFaults",
+    "WorkerDown",
 ]

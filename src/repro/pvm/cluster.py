@@ -14,6 +14,7 @@ constructors build the configurations used by the experiments:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Sequence, Tuple
 
@@ -60,6 +61,16 @@ class ClusterSpec:
         names = [m.name for m in self.machines]
         if len(set(names)) != len(names):
             raise ClusterError(f"duplicate machine names in cluster: {names}")
+        for machine in self.machines:
+            rate = machine.effective_rate
+            if not math.isfinite(rate) or rate <= 0:
+                # A zero/denormal rate would flow into work-unit sizing and
+                # produce empty or inverted candidate ranges downstream.
+                raise ClusterError(
+                    f"machine {machine.name!r}: effective rate must be finite and "
+                    f"positive, got {rate} (speed_factor={machine.speed_factor}, "
+                    f"load={machine.load})"
+                )
         if self.seconds_per_work_unit <= 0:
             raise ClusterError("seconds_per_work_unit must be positive")
         if self.message_latency < 0:

@@ -1,0 +1,201 @@
+"""Deterministic fault-injection plans for the simulated cluster.
+
+A :class:`FaultPlan` is a *seeded, declarative schedule* of failures — node
+death, slow-node throttling, message loss/jitter — that the
+:class:`~repro.pvm.simulator.SimKernel` replays as ordinary discrete events.
+Because the simulator is single-threaded and every random draw comes from the
+plan's own seeded generator, the same plan produces bit-identical failure
+trajectories run after run: recovery policies become testable in CI at
+cluster scales (and failure rates) the CI box could never host for real.
+
+This module sits in the ``pvm`` layer, below ``repro.parallel``: the payload
+of a death notice (:class:`WorkerDown`) and its tag live here so kernels can
+emit obituaries without importing the search protocol.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import SimulationError
+
+__all__ = [
+    "WORKER_DOWN_TAG",
+    "WorkerDown",
+    "KillWorker",
+    "ThrottleMachine",
+    "MessageFaults",
+    "FaultPlan",
+]
+
+#: Tag of a death notice.  ``repro.parallel.messages.Tags.WORKER_DOWN`` uses
+#: the same literal so the two layers agree without importing each other.
+WORKER_DOWN_TAG = "worker_down"
+
+#: Tags that message-level faults never touch by default: dropping lifecycle
+#: or obituary traffic does not model a lossy network, it wedges the harness.
+DEFAULT_PROTECTED_TAGS: Tuple[str, ...] = (
+    "stop",
+    "pool_shutdown",
+    "setup",
+    "setup_ack",
+    "state_request",
+    "state_reply",
+    WORKER_DOWN_TAG,
+)
+
+
+@dataclass(frozen=True)
+class WorkerDown:
+    """Payload of a death notice delivered to a parent or death listener."""
+
+    pid: int
+    name: str
+    reason: str = ""
+
+
+def _require_time(label: str, value: float) -> float:
+    value = float(value)
+    if not math.isfinite(value) or value < 0:
+        raise SimulationError(f"{label} must be a finite non-negative time, got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class KillWorker:
+    """Kill every live process matching ``name`` / ``machine`` at time ``at``.
+
+    Matching is by exact process name, by machine index, or both; at least
+    one selector is required.  ``kill_children`` (default) also kills the
+    victim's live descendants — a dead TSW takes its CLWs down with it, the
+    way a dead PVM host takes every task it placed.
+    """
+
+    at: float
+    name: Optional[str] = None
+    machine: Optional[int] = None
+    kill_children: bool = True
+
+    def __post_init__(self) -> None:
+        _require_time("KillWorker.at", self.at)
+        if self.name is None and self.machine is None:
+            raise SimulationError("KillWorker needs a name and/or machine selector")
+        if self.machine is not None and self.machine < 0:
+            raise SimulationError(f"KillWorker.machine must be >= 0, got {self.machine}")
+
+
+@dataclass(frozen=True)
+class ThrottleMachine:
+    """Scale one machine's effective speed by ``factor`` from ``at`` on.
+
+    ``factor`` multiplies the machine's speed: ``0.25`` makes every compute on
+    it take 4x longer (a limplocked node); ``until`` (optional) restores full
+    speed at that time.
+    """
+
+    at: float
+    machine: int
+    factor: float
+    until: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        _require_time("ThrottleMachine.at", self.at)
+        if self.machine < 0:
+            raise SimulationError(f"ThrottleMachine.machine must be >= 0, got {self.machine}")
+        if not math.isfinite(self.factor) or self.factor <= 0:
+            raise SimulationError(
+                f"ThrottleMachine.factor must be finite and positive, got {self.factor}"
+            )
+        if self.until is not None:
+            _require_time("ThrottleMachine.until", self.until)
+            if self.until <= self.at:
+                raise SimulationError("ThrottleMachine.until must be after .at")
+
+
+@dataclass(frozen=True)
+class MessageFaults:
+    """Seeded message-level faults: independent loss and delivery jitter.
+
+    Applies to sends whose clock falls in ``[start, stop)`` and whose tag is
+    not protected.  ``loss_probability`` drops the message outright;
+    ``delay_jitter`` adds a uniform ``[0, delay_jitter)`` delay to delivery,
+    which reorders messages relative to their send order.
+    """
+
+    loss_probability: float = 0.0
+    delay_jitter: float = 0.0
+    start: float = 0.0
+    stop: Optional[float] = None
+    protect_tags: Tuple[str, ...] = DEFAULT_PROTECTED_TAGS
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.loss_probability < 1.0):
+            raise SimulationError(
+                f"loss_probability must be in [0, 1), got {self.loss_probability}"
+            )
+        if not math.isfinite(self.delay_jitter) or self.delay_jitter < 0:
+            raise SimulationError(f"delay_jitter must be >= 0, got {self.delay_jitter}")
+        _require_time("MessageFaults.start", self.start)
+        if self.stop is not None:
+            _require_time("MessageFaults.stop", self.stop)
+            if self.stop <= self.start:
+                raise SimulationError("MessageFaults.stop must be after .start")
+        object.__setattr__(self, "protect_tags", tuple(self.protect_tags))
+
+    def active_at(self, time: float) -> bool:
+        if time < self.start:
+            return False
+        return self.stop is None or time < self.stop
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, seeded failure schedule for one simulated run."""
+
+    seed: int = 0
+    kills: Tuple[KillWorker, ...] = ()
+    throttles: Tuple[ThrottleMachine, ...] = ()
+    message_faults: Optional[MessageFaults] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kills", tuple(self.kills))
+        object.__setattr__(self, "throttles", tuple(self.throttles))
+
+    @property
+    def empty(self) -> bool:
+        return not self.kills and not self.throttles and self.message_faults is None
+
+    # -- JSON loading (CLI surface) ------------------------------------- #
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        if not isinstance(data, dict):
+            raise SimulationError(f"fault plan must be a JSON object, got {type(data).__name__}")
+        known = {"seed", "kills", "throttles", "message_faults"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise SimulationError(f"unknown fault-plan keys: {', '.join(unknown)}")
+        try:
+            kills = tuple(KillWorker(**k) for k in data.get("kills", ()))
+            throttles = tuple(ThrottleMachine(**t) for t in data.get("throttles", ()))
+            mf = data.get("message_faults")
+            message_faults = MessageFaults(**mf) if mf is not None else None
+        except TypeError as error:
+            raise SimulationError(f"malformed fault plan: {error}") from error
+        return cls(
+            seed=int(data.get("seed", 0)),
+            kills=kills,
+            throttles=throttles,
+            message_faults=message_faults,
+        )
+
+    @classmethod
+    def from_file(cls, path: str) -> "FaultPlan":
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            raise SimulationError(f"cannot load fault plan from {path!r}: {error}") from error
+        return cls.from_dict(data)

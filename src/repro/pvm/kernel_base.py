@@ -49,12 +49,21 @@ class RealKernelBase:
     :meth:`_wait_record` (how to wait for one worker, honouring a timeout).
     """
 
-    def __init__(self, cluster: ClusterSpec) -> None:
+    def __init__(self, cluster: ClusterSpec, *, failure_grace: float = 10.0) -> None:
+        if failure_grace < 0:
+            raise ProcessError(f"failure_grace must be >= 0, got {failure_grace}")
         self._cluster = cluster
         self._records: Dict[int, WorkerRecord] = {}
         self._next_pid = itertools.count(1)
         self._next_machine = 0
         self._lock = threading.Lock()
+        #: Once any worker has finished with an error, how long join_all keeps
+        #: waiting for the rest before aborting — a dead worker usually means
+        #: the survivors are blocked on messages that will never arrive, and
+        #: burning the whole deadline (an hour by default in the runner) just
+        #: delays the real diagnosis.
+        self.failure_grace = failure_grace
+        self._death_listener: Optional[int] = None
 
     # ------------------------------------------------------------------ #
     # identity / placement
@@ -118,12 +127,32 @@ class RealKernelBase:
         if not self._wait_record(record, timeout):
             raise ProcessError(f"process {record.name!r} did not finish within {timeout} s")
 
-    #: Once any worker has finished with an error, how long join_all keeps
-    #: waiting for the rest before aborting — a dead worker usually means the
-    #: survivors are blocked on messages that will never arrive, and burning
-    #: the whole deadline (an hour by default in the runner) just delays the
-    #: real diagnosis.
-    failure_grace: float = 10.0
+    def notify_deaths_to(self, pid: Optional[int]) -> None:
+        """Register (or clear) the pid that receives ``worker_down`` notices.
+
+        The base implementation only records the listener; each backend
+        decides how deaths are detected (thread crash, OS process exit).
+        """
+        with self._lock:
+            self._death_listener = pid
+
+    def worker_dead(self, pid: int) -> bool:
+        """Whether a worker's execution vehicle is gone (finished or crashed).
+
+        Used by pool repair to find persistent loops that need respawning;
+        backends with out-of-band liveness (OS exit codes) override this to
+        report hard deaths before any join observes them.
+        """
+        return self._record(pid).finished
+
+    def child_pids(self, pid: int) -> list:
+        """Pids of the direct children of ``pid`` in the spawn tree.
+
+        Pool repair uses this to find the orphaned CLW loops of a dead
+        persistent TSW loop (their parent edge survives the parent's death).
+        """
+        with self._lock:
+            return [r.pid for r in self._records.values() if r.parent == pid]
 
     def join_all(self, timeout: Optional[float] = None) -> None:
         """Wait for every spawned process — including ones spawned meanwhile.
@@ -153,10 +182,13 @@ class RealKernelBase:
                     failure_deadline = time.monotonic() + self.failure_grace
             now = time.monotonic()
             if deadline is not None and now >= deadline:
+                shown = [f"{r.name!r} (pid {r.pid})" for r in unfinished[:8]]
+                if len(unfinished) > len(shown):
+                    shown.append(f"+{len(unfinished) - len(shown)} more")
                 raise ProcessError(
                     f"join_all deadline of {timeout} s elapsed with "
-                    f"{len(unfinished)} process(es) still running "
-                    f"(first: {unfinished[0].name!r})"
+                    f"{len(unfinished)} process(es) still running: "
+                    f"{', '.join(shown)}"
                 )
             if failure_deadline is not None and now >= failure_deadline:
                 assert failed is not None

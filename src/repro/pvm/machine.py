@@ -11,6 +11,7 @@ about (other users' jobs on a shared workstation).
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass
 
 from ..errors import ClusterError
@@ -54,10 +55,17 @@ class MachineSpec:
     load: float = 0.0
 
     def __post_init__(self) -> None:
-        if self.speed_factor <= 0:
-            raise ClusterError(f"machine {self.name!r}: speed_factor must be positive")
-        if self.load < 0:
-            raise ClusterError(f"machine {self.name!r}: load must be non-negative")
+        # `not (x > 0)` instead of `x <= 0`: NaN fails both comparisons and
+        # must be rejected, not waved through into work-unit sizing.
+        if not (self.speed_factor > 0) or not math.isfinite(self.speed_factor):
+            raise ClusterError(
+                f"machine {self.name!r}: speed_factor must be finite and positive, "
+                f"got {self.speed_factor}"
+            )
+        if not (self.load >= 0) or not math.isfinite(self.load):
+            raise ClusterError(
+                f"machine {self.name!r}: load must be finite and non-negative, got {self.load}"
+            )
 
     @property
     def effective_rate(self) -> float:

@@ -58,6 +58,7 @@ from multiprocessing.connection import Connection
 
 from ..errors import ProcessError
 from .cluster import ClusterSpec
+from .faults import WORKER_DOWN_TAG, WorkerDown
 from .kernel_base import RealKernelBase, WorkerRecord
 from .machine import MachineSpec
 from .message import Message, estimate_payload_bytes
@@ -310,12 +311,31 @@ class ProcessKernel(RealKernelBase):
     and any straggler processes are reaped.
     """
 
-    def __init__(self, cluster: ClusterSpec, *, start_method: str = "spawn") -> None:
-        super().__init__(cluster)
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        *,
+        start_method: str = "spawn",
+        failure_grace: float = 10.0,
+        death_report_grace: float = 10.0,
+        death_notify_grace: float = 0.5,
+    ) -> None:
+        super().__init__(cluster, failure_grace=failure_grace)
+        #: How long a dead (exited) process gets to have its final exit
+        #: message drained by the router before being declared
+        #: dead-without-reporting.  The clock persists on the record, so
+        #: short join_all wait slices still accumulate toward it.
+        self.death_report_grace = death_report_grace
+        #: How long the death monitor waits after spotting an exit code
+        #: before posting a ``worker_down`` notice — long enough for the
+        #: router to drain a *clean* exit message, short enough that the
+        #: master learns of a crash well before any round deadline.
+        self.death_notify_grace = death_notify_grace
         self._mp = multiprocessing.get_context(start_method)
         self._epoch = time.time()
         self._router_queue = self._mp.Queue()
         self._closed = False
+        self._monitor_thread: Optional[threading.Thread] = None
         # shared-memory exports: id(object) -> (object, ref) — the object is
         # kept referenced so its id cannot be recycled — plus packs to unlink
         self._shm_refs: Dict[int, Tuple[Any, SharedObjectRef]] = {}
@@ -449,11 +469,109 @@ class ProcessKernel(RealKernelBase):
         assert isinstance(record, _ProcessRecord)
         record.done.set()
 
-    #: How long a dead (exited) process gets to have its final exit message
-    #: drained by the router before being declared dead-without-reporting.
-    #: The clock persists on the record, so short join_all wait slices still
-    #: accumulate toward it.
-    death_report_grace: float = 10.0
+    def worker_dead(self, pid: int) -> bool:
+        """Finished, or the OS process has an exit code (hard death)."""
+        record = self._record(pid)
+        assert isinstance(record, _ProcessRecord)
+        if record.finished:
+            return True
+        process = record.process
+        return process is not None and not process.is_alive() and process.exitcode is not None
+
+    def terminate_worker(self, pid: int) -> bool:
+        """Hard-kill one worker OS process (failure injection for tests).
+
+        Returns whether a live process was actually signalled.  The death
+        monitor / deadline tracking then observe the death exactly as they
+        would a real crash.
+        """
+        record = self._record(pid)
+        assert isinstance(record, _ProcessRecord)
+        process = record.process
+        if process is None or not process.is_alive():
+            return False
+        process.terminate()
+        return True
+
+    def reap_worker(self, pid: int) -> bool:
+        """Finalize the record of a worker whose OS process already exited.
+
+        A hard-dead worker never ships an exit message, so its record would
+        otherwise stay unfinished forever and wedge ``join_all`` (e.g. a
+        pool ``close`` after a repair).  Returns whether the record is now
+        finished.  A genuine exit message that was merely slow through the
+        router still overrides the synthesized error.
+        """
+        record = self._record(pid)
+        assert isinstance(record, _ProcessRecord)
+        if record.finished:
+            return True
+        process = record.process
+        if process is None or process.is_alive() or process.exitcode is None:
+            return False
+        process.join(timeout=5.0)
+        if record.death_detected_at is None:
+            record.death_detected_at = time.monotonic()
+        record.error = ProcessError(
+            f"process {record.name!r} died without reporting "
+            f"(exitcode {process.exitcode})"
+        )
+        record.finished = True
+        record.done.set()
+        return True
+
+    def notify_deaths_to(self, pid: Optional[int]) -> None:
+        """Register a death listener and start the exit-code monitor."""
+        super().notify_deaths_to(pid)
+        if pid is not None and self._monitor_thread is None and not self._closed:
+            self._monitor_thread = threading.Thread(
+                target=self._monitor_deaths, name="pvm-death-monitor", daemon=True
+            )
+            self._monitor_thread.start()
+
+    def _monitor_deaths(self) -> None:
+        """Poll worker exit codes; post ``worker_down`` for hard deaths.
+
+        A clean exit ships an exit message through the router, which marks
+        the record finished; the notify grace gives that message time to
+        land so normal completions never produce obituaries.
+        """
+        notified: set = set()
+        suspect_since: Dict[int, float] = {}
+        while not self._closed:
+            with self._lock:
+                records = list(self._records.values())
+                listener = self._death_listener
+            for record in records:
+                assert isinstance(record, _ProcessRecord)
+                pid = record.pid
+                if pid in notified or record.finished:
+                    suspect_since.pop(pid, None)
+                    continue
+                process = record.process
+                if process is None or process.is_alive() or process.exitcode is None:
+                    suspect_since.pop(pid, None)
+                    continue
+                now = time.monotonic()
+                first_seen = suspect_since.setdefault(pid, now)
+                if now - first_seen < self.death_notify_grace:
+                    continue
+                if record.finished:  # exit message landed during the grace
+                    continue
+                notified.add(pid)
+                payload = WorkerDown(
+                    pid=pid,
+                    name=record.name,
+                    reason=f"process exited (exitcode {process.exitcode})",
+                )
+                for target in {record.parent, listener}:
+                    if target is None or target == pid:
+                        continue
+                    try:
+                        self.post(target, WORKER_DOWN_TAG, payload)
+                    except Exception:  # noqa: BLE001 - a closed inbox must not kill the monitor
+                        continue
+            time.sleep(0.05)
 
     def _wait_record(self, record: WorkerRecord, timeout: Optional[float]) -> bool:
         assert isinstance(record, _ProcessRecord) and record.process is not None
@@ -564,6 +682,9 @@ class ProcessKernel(RealKernelBase):
         self._closed = True
         self._router_queue.put(None)
         self._router_thread.join(timeout=10.0)
+        if self._monitor_thread is not None:
+            self._monitor_thread.join(timeout=5.0)
+            self._monitor_thread = None
         with self._lock:
             records = list(self._records.values())
         for record in records:

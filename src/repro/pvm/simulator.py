@@ -20,6 +20,17 @@ Semantics
 * When the event queue drains while some process is still blocked in a
   receive, the kernel raises :class:`~repro.errors.SimulationError` — a
   deadlock in the master/TSW/CLW protocol is a bug, not something to ignore.
+
+Failure injection
+-----------------
+
+A seeded :class:`~repro.pvm.faults.FaultPlan` turns the kernel into a
+deterministic failure harness: scheduled node death (``KillWorker``, which
+also takes down the victim's descendants and posts ``worker_down`` obituaries
+to its parent and any registered death listener), slow-node throttling
+(``ThrottleMachine``), and seeded message loss/reordering
+(``MessageFaults``).  All faults are ordinary events on the one global queue,
+so the same plan reproduces the same failure trajectory bit-for-bit.
 """
 
 from __future__ import annotations
@@ -27,11 +38,13 @@ from __future__ import annotations
 import enum
 import heapq
 import itertools
+import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..errors import ProcessError, SimulationError
 from .cluster import ClusterSpec
+from .faults import WORKER_DOWN_TAG, FaultPlan, KillWorker, ThrottleMachine, WorkerDown
 from .message import Message, estimate_payload_bytes
 from .process import (
     Compute,
@@ -55,6 +68,7 @@ class ProcessState(enum.Enum):
     BLOCKED = "blocked"
     FINISHED = "finished"
     FAILED = "failed"
+    KILLED = "killed"
 
 
 @dataclass(slots=True)
@@ -121,12 +135,22 @@ class SimStats:
 _RESUME = "resume"
 _DELIVER = "deliver"
 _TIMEOUT = "timeout"
+_FAULT = "fault"
+
+#: States in which a process no longer runs or receives messages.
+_DEAD_STATES = (ProcessState.FINISHED, ProcessState.FAILED, ProcessState.KILLED)
 
 
 class SimKernel:
     """Discrete-event scheduler for processes on a :class:`ClusterSpec`."""
 
-    def __init__(self, cluster: ClusterSpec, *, max_events: int = 20_000_000) -> None:
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        *,
+        max_events: int = 20_000_000,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
         if max_events <= 0:
             raise SimulationError("max_events must be positive")
         self._cluster = cluster
@@ -138,6 +162,19 @@ class SimKernel:
         self._next_machine = 0
         self._events_processed = 0
         self._now = 0.0
+        self._fault_plan = fault_plan
+        self._machine_scale: Dict[int, float] = {}
+        self._death_listener: Optional[int] = None
+        self._fault_rng: Optional[random.Random] = None
+        if fault_plan is not None:
+            if fault_plan.message_faults is not None:
+                self._fault_rng = random.Random(fault_plan.seed)
+            for kill in fault_plan.kills:
+                self._schedule(kill.at, _FAULT, ("kill", kill))
+            for throttle in fault_plan.throttles:
+                self._schedule(throttle.at, _FAULT, ("throttle_on", throttle))
+                if throttle.until is not None:
+                    self._schedule(throttle.until, _FAULT, ("throttle_off", throttle))
 
     # ------------------------------------------------------------------ #
     # public API
@@ -209,6 +246,8 @@ class SimKernel:
             elif kind == _TIMEOUT:
                 pid, token = data
                 self._handle_timeout(pid, token, time)
+            elif kind == _FAULT:
+                self._apply_fault(data, time)
             else:  # pragma: no cover - defensive
                 raise SimulationError(f"unknown event kind {kind!r}")
 
@@ -244,9 +283,21 @@ class SimKernel:
         rec = self._record(pid)
         if rec.state is ProcessState.FAILED:
             raise ProcessError(f"process {rec.name or pid} failed") from rec.error
+        if rec.state is ProcessState.KILLED:
+            raise ProcessError(f"process {rec.name or pid} was killed") from rec.error
         if rec.state is not ProcessState.FINISHED:
             raise ProcessError(f"process {rec.name or pid} has not finished (state={rec.state})")
         return rec.result
+
+    def notify_deaths_to(self, pid: Optional[int]) -> None:
+        """Register (or clear) the pid that receives ``worker_down`` notices.
+
+        Obituaries always go to a killed process's parent; a death listener
+        additionally hears about *every* kill — a pool master is not the
+        parent of the persistent worker loops it drives, but still needs to
+        know when one dies mid-run.
+        """
+        self._death_listener = pid
 
     def all_processes(self) -> List[ProcessInfo]:
         """Information about every process ever created."""
@@ -351,7 +402,7 @@ class SimKernel:
     def _step(self, pid: int, send_value: Any, at_time: float) -> None:
         """Resume a process and interpret its syscalls until it blocks/ends."""
         rec = self._record(pid)
-        if rec.state in (ProcessState.FINISHED, ProcessState.FAILED):
+        if rec.state in _DEAD_STATES:
             return
         rec.state = ProcessState.READY
         rec.clock = max(rec.clock, at_time)
@@ -376,6 +427,9 @@ class SimKernel:
 
             if isinstance(syscall, Compute):
                 seconds = self._cluster.compute_seconds(rec.machine_index, syscall.work_units)
+                scale = self._machine_scale.get(rec.machine_index % self._cluster.num_machines)
+                if scale is not None:
+                    seconds /= scale
                 rec.busy_seconds += seconds
                 rec.work_units += syscall.work_units
                 rec.clock += seconds
@@ -415,12 +469,22 @@ class SimKernel:
     # -- send / receive -------------------------------------------------- #
     def _do_send(self, rec: _ProcessRecord, syscall: Send) -> None:
         dst = self._record(syscall.dst)
-        if dst.state in (ProcessState.FINISHED, ProcessState.FAILED):
+        if dst.state in _DEAD_STATES:
             # Late messages to finished processes are dropped, mirroring PVM's
             # behaviour of messages to exited tasks.
             return None
         size = estimate_payload_bytes(syscall.payload)
         arrival = rec.clock + self._cluster.transfer_seconds(size)
+        faults = self._fault_plan.message_faults if self._fault_plan else None
+        if faults is not None and faults.active_at(rec.clock) and syscall.tag not in faults.protect_tags:
+            # draws happen in send order, which the single-threaded kernel
+            # replays identically: loss/jitter patterns are seed-reproducible
+            if faults.loss_probability > 0 and self._fault_rng.random() < faults.loss_probability:
+                rec.messages_sent += 1
+                rec.bytes_sent += size
+                return None
+            if faults.delay_jitter > 0:
+                arrival += self._fault_rng.random() * faults.delay_jitter
         message = Message(
             src=rec.pid,
             dst=syscall.dst,
@@ -466,7 +530,7 @@ class SimKernel:
             dst = self._record(message.dst)
         except ProcessError:
             return  # receiver vanished; drop
-        if dst.state in (ProcessState.FINISHED, ProcessState.FAILED):
+        if dst.state in _DEAD_STATES:
             return
         dst.mailbox.append(message)
         if dst.state is ProcessState.BLOCKED and dst.pending_recv is not None:
@@ -486,6 +550,99 @@ class SimKernel:
         rec.pending_recv = None
         rec.state = ProcessState.READY
         self._schedule(max(rec.clock, at_time), _RESUME, (pid, None))
+
+    # -- fault injection -------------------------------------------------- #
+    def _apply_fault(self, data: Tuple[str, Any], at_time: float) -> None:
+        action, spec = data
+        if action == "kill":
+            self._apply_kill(spec, at_time)
+        elif action == "throttle_on":
+            machine = spec.machine % self._cluster.num_machines
+            self._machine_scale[machine] = spec.factor
+        elif action == "throttle_off":
+            self._machine_scale.pop(spec.machine % self._cluster.num_machines, None)
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"unknown fault action {action!r}")
+
+    def _apply_kill(self, spec: KillWorker, at_time: float) -> None:
+        victims = [
+            rec
+            for rec in self._procs.values()
+            if rec.state not in _DEAD_STATES
+            and (spec.name is None or rec.name == spec.name)
+            and (
+                spec.machine is None
+                or rec.machine_index == spec.machine % self._cluster.num_machines
+            )
+        ]
+        killed: List[_ProcessRecord] = []
+        for rec in victims:
+            self._kill_record(rec, at_time, f"killed by fault plan at t={at_time:g}", killed)
+            if spec.kill_children:
+                for child in self._live_descendants(rec.pid):
+                    self._kill_record(
+                        child, at_time, f"parent {rec.name!r} killed at t={at_time:g}", killed
+                    )
+        dead_pids = {rec.pid for rec in killed}
+        for rec in killed:
+            self._post_obituary(rec, at_time, dead_pids)
+
+    def _live_descendants(self, pid: int) -> List[_ProcessRecord]:
+        out: List[_ProcessRecord] = []
+        frontier = [pid]
+        while frontier:
+            parent = frontier.pop()
+            for rec in self._procs.values():
+                if rec.parent == parent and rec.state not in _DEAD_STATES:
+                    out.append(rec)
+                    frontier.append(rec.pid)
+        return out
+
+    def _kill_record(
+        self,
+        rec: _ProcessRecord,
+        at_time: float,
+        reason: str,
+        killed: List[_ProcessRecord],
+    ) -> None:
+        if rec.state in _DEAD_STATES:
+            return
+        rec.state = ProcessState.KILLED
+        rec.error = ProcessError(f"process {rec.name!r} (pid {rec.pid}) {reason}")
+        rec.clock = max(rec.clock, at_time)
+        rec.finished_at = rec.clock
+        rec.mailbox.clear()
+        rec.pending_recv = None
+        rec.recv_token += 1  # invalidate any pending receive timeout
+        killed.append(rec)
+
+    def _post_obituary(self, rec: _ProcessRecord, at_time: float, dead_pids: set) -> None:
+        targets = []
+        if rec.parent is not None:
+            targets.append(rec.parent)
+        if self._death_listener is not None and self._death_listener not in targets:
+            targets.append(self._death_listener)
+        payload = WorkerDown(pid=rec.pid, name=rec.name, reason="killed by fault plan")
+        for target in targets:
+            if target in dead_pids or target not in self._procs:
+                continue
+            if self._procs[target].state in _DEAD_STATES:
+                continue
+            size = estimate_payload_bytes(payload)
+            arrival = at_time + self._cluster.message_latency
+            self._schedule(
+                arrival,
+                _DELIVER,
+                Message(
+                    src=rec.pid,
+                    dst=target,
+                    tag=WORKER_DOWN_TAG,
+                    payload=payload,
+                    size_bytes=size,
+                    send_time=at_time,
+                    arrival_time=arrival,
+                ),
+            )
 
 
 #: Sentinel returned by ``_do_receive`` when the caller must stop stepping.

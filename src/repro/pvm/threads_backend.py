@@ -28,6 +28,7 @@ from typing import Any, List, Optional
 
 from ..errors import ProcessError
 from .cluster import ClusterSpec
+from .faults import WORKER_DOWN_TAG, WorkerDown
 from .kernel_base import RealKernelBase, WorkerRecord
 from .message import Message, estimate_payload_bytes
 from .process import (
@@ -85,8 +86,8 @@ class _ThreadRecord(WorkerRecord):
 class ThreadKernel(RealKernelBase):
     """Run generator-based processes on real threads (wall-clock time)."""
 
-    def __init__(self, cluster: ClusterSpec) -> None:
-        super().__init__(cluster)
+    def __init__(self, cluster: ClusterSpec, *, failure_grace: float = 10.0) -> None:
+        super().__init__(cluster, failure_grace=failure_grace)
         self._start_time = time.monotonic()
 
     @property
@@ -183,6 +184,26 @@ class ThreadKernel(RealKernelBase):
         except BaseException as error:  # noqa: BLE001 - stored and re-raised on result_of
             record.error = error
             record.finished = True
+            self._announce_death(record, f"{type(error).__name__}: {error}")
+
+    def _announce_death(self, record: _ThreadRecord, reason: str) -> None:
+        """Post a ``worker_down`` notice to the parent and the death listener.
+
+        Threads cannot die silently — any crash lands in :meth:`_drive`'s
+        ``except`` — so the obituary covers everything but a wedged (still
+        alive, never progressing) worker; deadline tracking in the master
+        covers that case on every backend.
+        """
+        payload = WorkerDown(pid=record.pid, name=record.name, reason=reason)
+        with self._lock:
+            listener = self._death_listener
+        for target in {record.parent, listener}:
+            if target is None:
+                continue
+            try:
+                self.post(target, WORKER_DOWN_TAG, payload)
+            except ProcessError:
+                continue
 
     def _handle(self, record: _ThreadRecord, syscall: Syscall) -> Any:
         if isinstance(syscall, (Compute, Sleep)):

@@ -14,26 +14,45 @@ repeated problem object ships as a tiny handle).
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, List, Optional, Tuple
 
 from ..errors import SessionError
+from ..metrics.trace import FaultEvent
 from ..parallel.config import ParallelSearchParams
 from ..parallel.master import MasterResult, MasterRunState, master_process
 from ..parallel.messages import Tags
 from ..parallel.worker_loop import tsw_worker_loop
 from ..pvm.cluster import ClusterSpec, paper_cluster
+from ..pvm.faults import FaultPlan
 from ..pvm.process_backend import ProcessKernel
-from ..pvm.simulator import SimKernel, SimStats
+from ..pvm.simulator import ProcessState, SimKernel, SimStats
 from ..pvm.threads_backend import ThreadKernel
 
 __all__ = ["make_kernel", "WorkerPool"]
 
+#: Simulator states from which a worker loop never serves traffic again.
+_SIM_DEAD_STATES = (ProcessState.FINISHED, ProcessState.FAILED, ProcessState.KILLED)
 
-def make_kernel(backend: str, cluster: Optional[ClusterSpec] = None):
-    """Build a PVM kernel for ``backend`` (shared by runner, pool, session)."""
+
+def make_kernel(
+    backend: str,
+    cluster: Optional[ClusterSpec] = None,
+    *,
+    fault_plan: Optional[FaultPlan] = None,
+):
+    """Build a PVM kernel for ``backend`` (shared by runner, pool, session).
+
+    ``fault_plan`` injects deterministic failures and is supported by the
+    simulated backend only — the real backends experience *real* failures.
+    """
     cluster = cluster or paper_cluster()
     if backend == "simulated":
-        return SimKernel(cluster)
+        return SimKernel(cluster, fault_plan=fault_plan)
+    if fault_plan is not None:
+        raise SessionError(
+            f"fault plans are a simulated-backend feature, not {backend!r}"
+        )
     if backend == "threads":
         return ThreadKernel(cluster)
     if backend == "processes":
@@ -57,12 +76,13 @@ class WorkerPool:
         *,
         backend: str = "simulated",
         cluster: Optional[ClusterSpec] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self.backend = backend
         self.num_tsws = int(num_tsws)
         self.clws_per_tsw = int(clws_per_tsw)
         self.cluster = cluster or paper_cluster()
-        self.kernel = make_kernel(backend, self.cluster)
+        self.kernel = make_kernel(backend, self.cluster, fault_plan=fault_plan)
         self._closed = False
         self._lock = threading.Lock()
         self._active_master_pid: Optional[int] = None
@@ -95,6 +115,58 @@ class WorkerPool:
         return self._runs_served
 
     # ------------------------------------------------------------------ #
+    def worker_dead(self, index: int) -> bool:
+        """Whether the persistent TSW loop ``index`` is no longer serving."""
+        pid = self._tsw_pids[index]
+        if self.is_simulated:
+            return self.kernel.process_info(pid).state in _SIM_DEAD_STATES
+        return self.kernel.worker_dead(pid)
+
+    def repair(self) -> List[int]:
+        """Respawn dead persistent TSW loops in-slot.
+
+        Returns the indices that were respawned.  A respawned loop starts
+        cold (its CLW loops included) and is re-``SETUP`` by the next warm
+        master run — resident-solution state is recovered through the
+        delta/NACK path.
+        """
+        if self._closed:
+            raise SessionError("worker pool is closed")
+        respawned: List[int] = []
+        reap = getattr(self.kernel, "reap_worker", None)
+        terminate = getattr(self.kernel, "terminate_worker", None)
+        for index in range(self.num_tsws):
+            if not self.worker_dead(index):
+                continue
+            dead_pid = self._tsw_pids[index]
+            if reap is not None:
+                # take the orphaned CLW-loop subtree down with the dead loop,
+                # then finalize every record so join_all will not wait on them
+                doomed = [dead_pid]
+                frontier = list(self.kernel.child_pids(dead_pid))
+                while frontier:
+                    child = frontier.pop()
+                    doomed.append(child)
+                    frontier.extend(self.kernel.child_pids(child))
+                if terminate is not None:
+                    for pid in doomed[1:]:
+                        terminate(pid)
+                deadline = time.monotonic() + 5.0
+                remaining = list(doomed)
+                while remaining and time.monotonic() < deadline:
+                    remaining = [pid for pid in remaining if not reap(pid)]
+                    if remaining:
+                        time.sleep(0.05)
+            self._tsw_pids[index] = self.kernel.spawn(
+                tsw_worker_loop, self.clws_per_tsw, name=f"tsw{index}"
+            )
+            respawned.append(index)
+        if respawned and self.is_simulated:
+            # let the fresh loops spawn their CLW loops and park
+            self.kernel.run(allow_blocked=True)
+        return respawned
+
+    # ------------------------------------------------------------------ #
     def run_master(
         self,
         problem: Any,
@@ -116,6 +188,19 @@ class WorkerPool:
                 f"pool topology ({self.num_tsws} TSWs x {self.clws_per_tsw} CLWs) "
                 f"does not match params ({params.num_tsws} x {params.clws_per_tsw})"
             )
+        repair_events: List[FaultEvent] = []
+        if params.fault_enabled:
+            # dead loops (killed by a fault plan, crashed, or OS-terminated)
+            # are respawned and re-SETUP before any run traffic
+            for index in self.repair():
+                repair_events.append(
+                    FaultEvent(
+                        time=float(self.kernel.now),
+                        kind="worker-respawned",
+                        worker=f"tsw{index}",
+                        detail="pool loop respawned before warm run",
+                    )
+                )
         if self.is_simulated:
             pid = self.kernel.spawn(
                 master_process,
@@ -128,9 +213,15 @@ class WorkerPool:
                 max_rounds=max_rounds,
                 pool_pids=list(self._tsw_pids),
             )
+            if params.fault_enabled:
+                self.kernel.notify_deaths_to(pid)
             stats = self.kernel.run(allow_blocked=True)
+            if params.fault_enabled:
+                self.kernel.notify_deaths_to(None)
             self._runs_served += 1
-            return self.kernel.result_of(pid), stats, self.kernel.now
+            result = self.kernel.result_of(pid)
+            result.fault_events[:0] = repair_events
+            return result, stats, self.kernel.now
         pid = self.kernel.spawn(
             master_process,
             problem,
@@ -141,6 +232,8 @@ class WorkerPool:
             max_rounds=max_rounds,
             pool_pids=list(self._tsw_pids),
         )
+        if params.fault_enabled:
+            self.kernel.notify_deaths_to(pid)
         with self._lock:
             self._active_master_pid = pid
         try:
@@ -149,8 +242,12 @@ class WorkerPool:
         finally:
             with self._lock:
                 self._active_master_pid = None
+            if params.fault_enabled:
+                self.kernel.notify_deaths_to(None)
         self._runs_served += 1
-        return self.kernel.result_of(pid), None, self.kernel.now
+        result = self.kernel.result_of(pid)
+        result.fault_events[:0] = repair_events
+        return result, None, self.kernel.now
 
     def post_cancel(self) -> bool:
         """Ask the currently-running pooled master (if any) to pause.

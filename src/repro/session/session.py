@@ -38,6 +38,7 @@ from ..parallel.config import ParallelSearchParams
 from ..parallel.master import MasterResult, MasterRunState, master_process
 from ..parallel.messages import Tags
 from ..pvm.cluster import ClusterSpec
+from ..pvm.faults import FaultPlan
 from ..pvm.simulator import ProcessInfo, SimStats
 from .pool import WorkerPool, make_kernel
 from .state import SessionState
@@ -111,6 +112,7 @@ class SearchSession:
         pool: Optional[WorkerPool] = None,
         master_machine: int = 0,
         join_timeout: float = 3600.0,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self.params = params or ParallelSearchParams()
         self.problem = _resolve_problem(netlist, problem, self.params)
@@ -119,6 +121,17 @@ class SearchSession:
         self.cluster = pool.cluster if pool is not None else cluster
         self.master_machine = master_machine
         self.join_timeout = join_timeout
+        if fault_plan is not None:
+            if pool is not None:
+                raise SessionError(
+                    "pass the fault plan to the WorkerPool, not the session — "
+                    "the pool owns the kernel"
+                )
+            if self.backend != "simulated":
+                raise SessionError(
+                    f"fault plans are a simulated-backend feature, not {self.backend!r}"
+                )
+        self.fault_plan = fault_plan
 
         self._lock = threading.RLock()
         self._run_state: Optional[MasterRunState] = None
@@ -130,6 +143,7 @@ class SearchSession:
         self._virtual_runtime = 0.0
         self._sim_stats: Optional[SimStats] = None
         self._process_infos: List[ProcessInfo] = []
+        self._fault_events: List[Any] = []
         self._driver: Optional[threading.Thread] = None
         self._driver_error: Optional[BaseException] = None
         self._active: Optional[Tuple[Any, int]] = None  # (kernel, master pid)
@@ -207,7 +221,8 @@ class SearchSession:
                 self.pool.kernel.all_processes() if self.pool.is_simulated else []
             )
         elif self.backend == "simulated":
-            kernel = make_kernel("simulated", self.cluster)
+            fault_mode = self.params.fault_enabled or self.fault_plan is not None
+            kernel = make_kernel("simulated", self.cluster, fault_plan=self.fault_plan)
             pid = kernel.spawn(
                 master_process,
                 self.problem,
@@ -217,7 +232,14 @@ class SearchSession:
                 resume_state=resume_state,
                 max_rounds=max_rounds,
             )
-            stats = kernel.run()
+            if fault_mode:
+                # obituaries route to the master; killed/declared-dead
+                # workers may leave parked processes behind, which is the
+                # expected end state of a degraded run
+                kernel.notify_deaths_to(pid)
+                stats = kernel.run(allow_blocked=True)
+            else:
+                stats = kernel.run()
             master_result = kernel.result_of(pid)
             kernel_time = stats.virtual_makespan
             process_infos = kernel.all_processes()
@@ -235,7 +257,14 @@ class SearchSession:
                 )
                 with self._lock:
                     self._active = (kernel, pid)
-                kernel.join_all(timeout=self.join_timeout)
+                if self.params.fault_enabled:
+                    # a dead worker must not abort the epoch: route its
+                    # obituary to the master and wait for the master alone
+                    # (join_all would abort on the crashed worker's error)
+                    kernel.notify_deaths_to(pid)
+                    kernel.join(pid, timeout=self.join_timeout)
+                else:
+                    kernel.join_all(timeout=self.join_timeout)
                 master_result = kernel.result_of(pid)
                 kernel_time = kernel.now
             finally:
@@ -254,6 +283,7 @@ class SearchSession:
             self._complete = master_result.complete
             self._sim_stats = stats
             self._process_infos = process_infos
+            self._fault_events.extend(getattr(master_result, "fault_events", ()) or ())
             # the master stitches resumed trace points onto the session
             # timeline, so the trace end bounds the session's virtual span
             session_end = (
@@ -276,9 +306,18 @@ class SearchSession:
         """Run all remaining global iterations and return the packaged result."""
         self._ensure_not_running()
         while not self._complete:
+            before = self.rounds_done
             self._run_epoch(None)
             if self._cancel_requested:
                 break
+            if not self._complete and self.rounds_done <= before:
+                # an epoch that neither finished, advanced, nor was cancelled
+                # would loop forever (e.g. a paused run whose workers all
+                # died before the first report)
+                raise SessionError(
+                    "epoch finished incomplete without advancing any global "
+                    "iteration; aborting instead of looping"
+                )
         return self._package()
 
     def step(self, rounds: int = 1) -> SessionStatus:
@@ -445,6 +484,7 @@ class SearchSession:
                 process_infos=self._process_infos,
                 wall_clock_seconds=self._wall_seconds,
                 complete=master_result.complete,
+                fault_events=list(self._fault_events),
             )
 
     # ------------------------------------------------------------------ #

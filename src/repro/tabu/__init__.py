@@ -17,6 +17,7 @@ from .candidate import (
     collision_probability,
     full_range,
     partition_cells,
+    partition_cells_weighted,
     sample_candidate_pairs,
     sample_candidate_pairs_array,
 )
@@ -52,6 +53,7 @@ __all__ = [
     "collision_probability",
     "full_range",
     "partition_cells",
+    "partition_cells_weighted",
     "sample_candidate_pairs",
     "sample_candidate_pairs_array",
     "DiversificationResult",

@@ -26,6 +26,7 @@ from ..errors import TabuSearchError
 __all__ = [
     "CellRange",
     "partition_cells",
+    "partition_cells_weighted",
     "full_range",
     "sample_candidate_pairs",
     "sample_candidate_pairs_array",
@@ -111,6 +112,71 @@ def partition_cells(
         raise TabuSearchError(f"unknown partition scheme {scheme!r}")
     for k, chunk in enumerate(chunks):
         parts.append(CellRange(cells=tuple(int(c) for c in chunk), label=f"{label_prefix}{k}"))
+    return parts
+
+
+def partition_cells_weighted(
+    num_cells: int,
+    weights: Sequence[float],
+    *,
+    scheme: str = "contiguous",
+    label_prefix: str = "part",
+) -> List[CellRange]:
+    """Split cells into ranges sized proportionally to ``weights``.
+
+    The elastic master uses this to re-partition a dead worker's range over
+    survivors sized by *observed* throughput rather than declared speeds.
+    Sizes come from largest-remainder apportionment (deterministic,
+    index-order tie-breaking), with every part guaranteed at least one cell.
+    """
+    if num_cells <= 0:
+        raise TabuSearchError(f"num_cells must be positive, got {num_cells}")
+    num_parts = len(weights)
+    if num_parts == 0:
+        raise TabuSearchError("weights must be non-empty")
+    if num_parts > num_cells:
+        raise TabuSearchError(
+            f"cannot split {num_cells} cells into {num_parts} non-empty ranges"
+        )
+    weights = [float(w) for w in weights]
+    for w in weights:
+        if not np.isfinite(w) or w <= 0:
+            raise TabuSearchError(f"weights must be finite and positive, got {weights}")
+    total = sum(weights)
+    quotas = [w / total * num_cells for w in weights]
+    counts = [int(q) for q in quotas]
+    # hand the leftover cells to the largest fractional remainders
+    remainders = sorted(
+        range(num_parts), key=lambda k: (-(quotas[k] - counts[k]), k)
+    )
+    for k in remainders[: num_cells - sum(counts)]:
+        counts[k] += 1
+    # every part gets at least one cell, taken from the largest parts
+    for k in range(num_parts):
+        while counts[k] == 0:
+            donor = max(range(num_parts), key=lambda j: (counts[j], -j))
+            counts[donor] -= 1
+            counts[k] += 1
+    parts: List[CellRange] = []
+    if scheme == "contiguous":
+        offset = 0
+        for k, count in enumerate(counts):
+            cells = tuple(range(offset, offset + count))
+            offset += count
+            parts.append(CellRange(cells=cells, label=f"{label_prefix}{k}"))
+    elif scheme == "strided":
+        # deal indices round-robin, skipping parts that reached their quota
+        buckets: List[List[int]] = [[] for _ in range(num_parts)]
+        part = 0
+        for cell in range(num_cells):
+            while len(buckets[part]) >= counts[part]:
+                part = (part + 1) % num_parts
+            buckets[part].append(cell)
+            part = (part + 1) % num_parts
+        for k, bucket in enumerate(buckets):
+            parts.append(CellRange(cells=tuple(bucket), label=f"{label_prefix}{k}"))
+    else:
+        raise TabuSearchError(f"unknown partition scheme {scheme!r}")
     return parts
 
 

@@ -184,6 +184,23 @@ class TabuSearch:
     # ------------------------------------------------------------------ #
     # accessors
     # ------------------------------------------------------------------ #
+    def set_cell_range(self, cell_range: CellRange) -> None:
+        """Re-point the search at a new cell range (elastic re-assignment).
+
+        The fault-tolerant master re-partitions a dead worker's range over
+        the survivors mid-run; the surviving searches adopt their widened
+        range here.  Every candidate sub-range collapses to the new range —
+        per-move sub-ranges belong to the static topology being replaced.
+        """
+        self._range = cell_range
+        self._candidate_ranges = tuple([cell_range] * len(self._candidate_ranges))
+        self._range_arrays = tuple(r.as_array() for r in self._candidate_ranges)
+
+    @property
+    def cell_range(self) -> CellRange:
+        """Range the first cell of every candidate pair is drawn from."""
+        return self._range
+
     @property
     def evaluator(self) -> SwapEvaluator:
         """The bound cost evaluator."""

@@ -1,0 +1,12 @@
+"""Shared fixtures for the fault-tolerance suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import get_domain
+
+
+@pytest.fixture(scope="session")
+def problem():
+    return get_domain("placement").build_problem("tiny16", reference_seed=7)

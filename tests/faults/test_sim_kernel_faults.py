@@ -1,0 +1,196 @@
+"""Simulated-kernel fault semantics: kills, obituaries, throttles, loss."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProcessError
+from repro.pvm import (
+    FaultPlan,
+    KillWorker,
+    MessageFaults,
+    ProcessState,
+    SimKernel,
+    ThrottleMachine,
+    homogeneous_cluster,
+)
+from repro.pvm.faults import WORKER_DOWN_TAG
+
+
+def sleeper(ctx, seconds=100.0):
+    yield ctx.sleep(seconds)
+    return "survived"
+
+
+class TestKills:
+    def test_kill_marks_killed_and_result_raises(self):
+        plan = FaultPlan(kills=(KillWorker(at=1.0, name="victim"),))
+        kernel = SimKernel(homogeneous_cluster(2), fault_plan=plan)
+        pid = kernel.spawn(sleeper, name="victim")
+        kernel.run(allow_blocked=True)
+        assert kernel.process_info(pid).state is ProcessState.KILLED
+        with pytest.raises(ProcessError, match="was killed"):
+            kernel.result_of(pid)
+
+    def test_kill_takes_live_descendants_down(self):
+        def parent(ctx):
+            child = yield ctx.spawn(sleeper, name="child")
+            yield ctx.sleep(100.0)
+            return child
+
+        plan = FaultPlan(kills=(KillWorker(at=1.0, name="parent"),))
+        kernel = SimKernel(homogeneous_cluster(2), fault_plan=plan)
+        pid = kernel.spawn(parent, name="parent")
+        kernel.run(allow_blocked=True)
+        states = {info.name: info.state for info in kernel.all_processes()}
+        assert states["parent"] is ProcessState.KILLED
+        assert states["child"] is ProcessState.KILLED
+        assert kernel.process_info(pid).state is ProcessState.KILLED
+
+    def test_kill_by_machine_selector(self):
+        plan = FaultPlan(kills=(KillWorker(at=1.0, machine=1),))
+        kernel = SimKernel(homogeneous_cluster(2), fault_plan=plan)
+        on_m0 = kernel.spawn(sleeper, 2.0, name="a", machine_index=0)
+        on_m1 = kernel.spawn(sleeper, 2.0, name="b", machine_index=1)
+        kernel.run(allow_blocked=True)
+        assert kernel.result_of(on_m0) == "survived"
+        assert kernel.process_info(on_m1).state is ProcessState.KILLED
+
+    def test_obituary_reaches_the_death_listener(self):
+        def listener(ctx):
+            notice = yield ctx.recv(tag=WORKER_DOWN_TAG)
+            return (notice.payload.name, notice.payload.pid)
+
+        plan = FaultPlan(kills=(KillWorker(at=1.0, name="victim"),))
+        kernel = SimKernel(homogeneous_cluster(2), fault_plan=plan)
+        victim = kernel.spawn(sleeper, name="victim")
+        hear = kernel.spawn(listener, name="listener")
+        kernel.notify_deaths_to(hear)
+        kernel.run(allow_blocked=True)
+        assert kernel.result_of(hear) == ("victim", victim)
+
+    def test_kill_matching_no_live_process_is_a_noop(self):
+        plan = FaultPlan(kills=(KillWorker(at=50.0, name="ghost"),))
+        kernel = SimKernel(homogeneous_cluster(2), fault_plan=plan)
+        pid = kernel.spawn(sleeper, 1.0, name="real")
+        kernel.run(allow_blocked=True)
+        assert kernel.result_of(pid) == "survived"
+
+
+class TestThrottles:
+    def _makespan(self, plan):
+        def worker(ctx):
+            yield ctx.compute(100.0)
+            return (yield ctx.now())
+
+        kernel = SimKernel(homogeneous_cluster(1), fault_plan=plan)
+        pid = kernel.spawn(worker, name="w", machine_index=0)
+        kernel.run(allow_blocked=True)
+        return kernel.result_of(pid)
+
+    def test_throttle_slows_compute(self):
+        slow = self._makespan(
+            FaultPlan(throttles=(ThrottleMachine(at=0.0, machine=0, factor=0.5),))
+        )
+        fast = self._makespan(FaultPlan())
+        assert slow == pytest.approx(fast * 2.0, rel=1e-6)
+
+    def test_throttle_window_restores_full_speed(self):
+        # speed is sampled when a compute starts: begin the measured compute
+        # after the throttle window and it must run at full speed again
+        def late_worker(ctx):
+            yield ctx.sleep(0.01)
+            start = yield ctx.now()
+            yield ctx.compute(100.0)
+            return (yield ctx.now()) - start
+
+        def duration(plan):
+            kernel = SimKernel(homogeneous_cluster(1), fault_plan=plan)
+            pid = kernel.spawn(late_worker, name="w", machine_index=0)
+            kernel.run(allow_blocked=True)
+            return kernel.result_of(pid)
+
+        restored = duration(
+            FaultPlan(
+                throttles=(ThrottleMachine(at=0.0, machine=0, factor=0.5, until=0.005),)
+            )
+        )
+        throttled = duration(
+            FaultPlan(throttles=(ThrottleMachine(at=0.0, machine=0, factor=0.5),))
+        )
+        assert throttled == pytest.approx(restored * 2.0, rel=1e-6)
+
+
+class TestMessageLoss:
+    def _received(self, seed, loss):
+        def receiver(ctx):
+            got = 0
+            while True:
+                message = yield ctx.recv_timeout(5.0, tag="data")
+                if message is None:
+                    return got
+                got += 1
+
+        def sender(ctx, dst):
+            for i in range(40):
+                yield ctx.send(dst, "data", i)
+            return None
+
+        plan = FaultPlan(
+            seed=seed, message_faults=MessageFaults(loss_probability=loss)
+        )
+        kernel = SimKernel(homogeneous_cluster(2), fault_plan=plan)
+        dst = kernel.spawn(receiver, name="recv")
+        kernel.spawn(sender, dst, name="send")
+        kernel.run(allow_blocked=True)
+        return kernel.result_of(dst)
+
+    def test_loss_is_seed_deterministic(self):
+        first = self._received(seed=11, loss=0.4)
+        second = self._received(seed=11, loss=0.4)
+        assert first == second
+        assert 0 < first < 40  # some messages dropped, not all
+
+    def test_protected_tags_never_dropped(self):
+        def receiver(ctx):
+            got = 0
+            for _ in range(20):
+                yield ctx.recv(tag="stop")
+                got += 1
+            return got
+
+        def sender(ctx, dst):
+            for _ in range(20):
+                yield ctx.send(dst, "stop")
+            return None
+
+        plan = FaultPlan(
+            seed=3, message_faults=MessageFaults(loss_probability=0.9)
+        )
+        kernel = SimKernel(homogeneous_cluster(2), fault_plan=plan)
+        dst = kernel.spawn(receiver, name="recv")
+        kernel.spawn(sender, dst, name="send")
+        kernel.run(allow_blocked=True)
+        assert kernel.result_of(dst) == 20
+
+    def test_jitter_can_reorder_but_loses_nothing(self):
+        def receiver(ctx):
+            seen = []
+            while len(seen) < 30:
+                message = yield ctx.recv(tag="data")
+                seen.append(message.payload)
+            return seen
+
+        def sender(ctx, dst):
+            for i in range(30):
+                yield ctx.send(dst, "data", i)
+            return None
+
+        plan = FaultPlan(
+            seed=5, message_faults=MessageFaults(delay_jitter=0.05)
+        )
+        kernel = SimKernel(homogeneous_cluster(2), fault_plan=plan)
+        dst = kernel.spawn(receiver, name="recv")
+        kernel.spawn(sender, dst, name="send")
+        kernel.run(allow_blocked=True)
+        assert sorted(kernel.result_of(dst)) == list(range(30))

@@ -1,0 +1,123 @@
+"""End-to-end recovery on the simulated backend: deterministic degradation.
+
+These are the headline tests of the fault-tolerant master: a seeded
+:class:`~repro.pvm.FaultPlan` kills workers (or degrades the network) at
+fixed virtual times, and the run must *complete* — degraded, with the dead
+worker's candidate range re-assigned — with a bit-identical trajectory on
+every repetition of the same plan.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel import FaultPolicy, ParallelSearchParams
+from repro.pvm import FaultPlan, KillWorker, MessageFaults, ThrottleMachine
+from repro.session import SearchSession
+from repro.tabu import TabuSearchParams
+
+NUM_TSWS = 3
+
+
+def fault_params(**overrides) -> ParallelSearchParams:
+    defaults = dict(
+        num_tsws=NUM_TSWS,
+        clws_per_tsw=2,
+        global_iterations=5,
+        sync_mode="homogeneous",
+        tabu=TabuSearchParams(local_iterations=3, pairs_per_step=3, move_depth=2),
+        seed=11,
+        fault=FaultPolicy(
+            round_deadline=50.0, clw_deadline=25.0, max_missed_deadlines=0
+        ),
+    )
+    defaults.update(overrides)
+    return ParallelSearchParams(**defaults)
+
+
+def run_with(problem, plan, **overrides):
+    session = SearchSession(
+        problem=problem, params=fault_params(**overrides), fault_plan=plan
+    )
+    return session.run()
+
+
+def event_tuples(result):
+    return [(e.time, e.kind, e.worker, e.detail) for e in result.fault_events]
+
+
+class TestKillRecovery:
+    def test_tsw_kill_completes_degraded_with_range_reassigned(self, problem):
+        plan = FaultPlan(seed=7, kills=(KillWorker(at=0.08, name="tsw1"),))
+        result = run_with(problem, plan)
+        assert result.complete
+        kinds = [e.kind for e in result.fault_events]
+        assert "worker-dead" in kinds
+        assert "range-reassigned" in kinds
+        dead = [e.worker for e in result.fault_events if e.kind == "worker-dead"]
+        assert dead == ["tsw1"]
+
+    def test_recovery_trajectory_is_bit_identical(self, problem):
+        plan = FaultPlan(seed=7, kills=(KillWorker(at=0.08, name="tsw1"),))
+        first = run_with(problem, plan)
+        second = run_with(problem, plan)
+        assert first.best_cost == second.best_cost
+        assert first.trace == second.trace
+        assert event_tuples(first) == event_tuples(second)
+
+    def test_clw_kill_recovers_through_the_tsw(self, problem):
+        plan = FaultPlan(kills=(KillWorker(at=0.08, name="tsw0.clw1"),))
+        result = run_with(problem, plan)
+        assert result.complete
+        # the TSW lost a CLW, not the master a TSW: no master-level death
+        assert "worker-dead" not in [e.kind for e in result.fault_events]
+
+    def test_all_workers_dead_returns_best_so_far(self, problem):
+        plan = FaultPlan(
+            kills=tuple(
+                KillWorker(at=0.08, name=f"tsw{i}") for i in range(NUM_TSWS)
+            )
+        )
+        result = run_with(problem, plan)
+        # nothing left to drive: the run ends degraded instead of raising
+        assert result.complete
+        kinds = [e.kind for e in result.fault_events]
+        assert "all-workers-dead" in kinds
+        assert result.best_cost is not None
+
+    def test_fault_mode_without_faults_matches_plain_run(self, problem):
+        plain = SearchSession(
+            problem=problem, params=fault_params(fault=None)
+        ).run()
+        armed = run_with(problem, None)
+        assert armed.complete
+        assert armed.fault_events == []
+        assert armed.best_cost == plain.best_cost
+        assert len(armed.global_records) == len(plain.global_records)
+        for ours, theirs in zip(armed.global_records, plain.global_records):
+            assert ours.received_costs == theirs.received_costs
+
+
+class TestNetworkDegradation:
+    def test_loss_and_throttle_complete_deterministically(self, problem):
+        plan = FaultPlan(
+            seed=3,
+            throttles=(ThrottleMachine(at=0.02, machine=1, factor=0.2),),
+            message_faults=MessageFaults(loss_probability=0.15, delay_jitter=0.002),
+        )
+        first = run_with(problem, plan)
+        second = run_with(problem, plan)
+        assert first.complete and second.complete
+        assert first.trace == second.trace
+        assert event_tuples(first) == event_tuples(second)
+
+    def test_heavy_loss_strikes_silent_workers_out(self, problem):
+        # under max_missed_deadlines=0 a single lost report is a strike-out;
+        # at 60% loss some worker will go silent within five rounds
+        plan = FaultPlan(
+            seed=5, message_faults=MessageFaults(loss_probability=0.6)
+        )
+        result = run_with(problem, plan)
+        assert result.complete
+        kinds = {e.kind for e in result.fault_events}
+        assert kinds & {"worker-dead", "deadline-resend"}
