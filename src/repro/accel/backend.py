@@ -1,0 +1,134 @@
+"""Array backend: one device binding with transfer counters and scratch pools.
+
+An :class:`ArrayBackend` is what an evaluator holds instead of a bare module
+reference: it knows which device was resolved, exposes the array module as
+``xp``, moves arrays across the host↔device boundary through *counted*
+transfers (`to_device` / `to_host`), and pools scratch buffers exactly like
+PR 6's per-batch-size scratch packs so steady-state evaluation allocates
+nothing on either side of the boundary.
+
+On the CPU backend every operation is the identity: ``to_device`` and
+``to_host`` return their argument (no copy — the counters prove it), and
+scratch buffers are plain ``numpy.empty`` reuses.  That is deliberate: the
+NumPy path through the xp-generic kernels must be *exactly* as cheap as the
+direct kernels it replaced (the dispatch-tax bar in
+``benchmarks/bench_gpu_kernels.py`` enforces ≤ 1.1×).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..metrics.trace import TransferStats
+from .device import array_module, resolve_device
+
+__all__ = ["ArrayBackend"]
+
+
+class ArrayBackend:
+    """One resolved device plus its array module, counters and scratch pool."""
+
+    #: Distinct scratch keys cached before the pool is dropped wholesale —
+    #: the drivers only ever use a handful of batch sizes, so a tiny cache
+    #: bounds memory without an eviction policy (mirrors
+    #: ``QAPEvaluator._scratch_for``'s behaviour pre-refactor).
+    MAX_POOL_KEYS = 8
+
+    def __init__(self, device: Optional[str] = None) -> None:
+        self.device = resolve_device(device)
+        self.xp = array_module(self.device)
+        self._pool: Dict[Tuple, object] = {}
+        self._bytes_to_device = 0
+        self._bytes_to_host = 0
+        self._transfers_to_device = 0
+        self._transfers_to_host = 0
+        self._transfer_seconds = 0.0
+
+    @property
+    def is_cuda(self) -> bool:
+        """Whether this backend executes on a CUDA device."""
+        return self.device == "cuda"
+
+    # ------------------------------------------------------------------ #
+    # counted host <-> device movement
+    # ------------------------------------------------------------------ #
+    def to_device(self, array: np.ndarray):
+        """Upload a host array (identity — zero copies — on the CPU backend)."""
+        if not self.is_cuda:
+            return array
+        return self._timed_upload(array)  # pragma: no cover - cupy only
+
+    def _timed_upload(self, array):  # pragma: no cover - cupy only
+        start = time.perf_counter()
+        out = self.xp.asarray(array)
+        self._transfer_seconds += time.perf_counter() - start
+        self._bytes_to_device += int(array.nbytes)
+        self._transfers_to_device += 1
+        return out
+
+    def to_host(self, array) -> np.ndarray:
+        """Download a device array (identity — zero copies — on CPU)."""
+        if not self.is_cuda:
+            return array
+        return self._timed_download(array)  # pragma: no cover - cupy only
+
+    def _timed_download(self, array):  # pragma: no cover - cupy only
+        start = time.perf_counter()
+        out = self.xp.asnumpy(array)
+        self._transfer_seconds += time.perf_counter() - start
+        self._bytes_to_host += int(out.nbytes)
+        self._transfers_to_host += 1
+        return out
+
+    # ------------------------------------------------------------------ #
+    # pooled scratch buffers
+    # ------------------------------------------------------------------ #
+    def scratch(self, key: Tuple, shape: Tuple[int, ...], dtype=np.float64):
+        """A reusable uninitialised buffer, cached by ``key``.
+
+        ``key`` must encode everything that determines the buffer's identity
+        (a name plus the shape-defining sizes); callers get the *same* buffer
+        object back on every call with the same key, so per-iteration work
+        allocates nothing once the pool is warm.  On the cuda backend the
+        buffers are device arrays — the pool is what keeps per-iteration
+        device allocations at zero.
+        """
+        buffer = self._pool.get(key)
+        if buffer is None or buffer.shape != tuple(shape) or buffer.dtype != dtype:
+            if len(self._pool) >= self.MAX_POOL_KEYS and key not in self._pool:
+                self._pool.clear()
+            buffer = self.xp.empty(shape, dtype=dtype)
+            self._pool[key] = buffer
+        return buffer
+
+    def pool_size(self) -> int:
+        """Number of scratch buffers currently pooled."""
+        return len(self._pool)
+
+    def drop_scratch(self) -> None:
+        """Release every pooled buffer (e.g. before shipping the evaluator)."""
+        self._pool.clear()
+
+    # ------------------------------------------------------------------ #
+    # accounting
+    # ------------------------------------------------------------------ #
+    def transfer_stats(self) -> TransferStats:
+        """Counters of all host↔device traffic since the last reset."""
+        return TransferStats(
+            bytes_to_device=self._bytes_to_device,
+            bytes_to_host=self._bytes_to_host,
+            transfers_to_device=self._transfers_to_device,
+            transfers_to_host=self._transfers_to_host,
+            seconds=self._transfer_seconds,
+        )
+
+    def reset_transfer_stats(self) -> None:
+        """Zero the transfer counters (per-run accounting)."""
+        self._bytes_to_device = 0
+        self._bytes_to_host = 0
+        self._transfers_to_device = 0
+        self._transfers_to_host = 0
+        self._transfer_seconds = 0.0

@@ -8,11 +8,18 @@ from .speedup import (
     speedup_to_quality,
     time_to_quality,
 )
-from .trace import CostTrace, FaultEvent, best_so_far_envelope, shift_times
+from .trace import (
+    CostTrace,
+    FaultEvent,
+    TransferStats,
+    best_so_far_envelope,
+    shift_times,
+)
 
 __all__ = [
     "CostTrace",
     "FaultEvent",
+    "TransferStats",
     "best_so_far_envelope",
     "shift_times",
     "SpeedupPoint",

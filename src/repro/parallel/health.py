@@ -43,11 +43,47 @@ class WorkerHealth:
 
 
 class HealthLedger:
-    """Deadline, liveness and throughput bookkeeping for a set of workers."""
+    """Deadline, liveness and throughput bookkeeping for a set of workers.
 
-    def __init__(self, policy: FaultPolicy, keys: List[int]) -> None:
+    ``speed_hints`` declares expected *relative* speeds (e.g. a GPU worker at
+    ``40.0`` next to CPU workers at ``1.0``).  Limplock detection and budget
+    shrinking compare hint-normalised rates, so a CPU worker in a mixed
+    cluster is only limplocked when it runs slow *for a CPU* — without hints
+    a 10–50× device-speed skew would strangle every CPU worker's iteration
+    budget even though nothing is wrong with it.  Re-partitioning weights
+    (:meth:`throughput_weights`) deliberately stay raw-observed: splitting
+    cells by real throughput is the point of measuring it.  Hints are
+    config, not observations — they are re-supplied at construction and stay
+    out of the checkpoint rows.
+    """
+
+    def __init__(
+        self,
+        policy: FaultPolicy,
+        keys: List[int],
+        *,
+        speed_hints: Optional[Dict[int, float]] = None,
+    ) -> None:
         self._policy = policy
         self._workers: Dict[int, WorkerHealth] = {key: WorkerHealth(key=key) for key in keys}
+        self._hints: Dict[int, float] = {}
+        if speed_hints:
+            for key, hint in speed_hints.items():
+                if key in self._workers:
+                    self.set_speed_hint(key, hint)
+
+    def set_speed_hint(self, key: int, hint: float) -> None:
+        """Declare a worker's expected relative speed (must be positive)."""
+        hint = float(hint)
+        if not hint > 0 or hint != hint or hint == float("inf"):
+            raise ValueError(f"speed hint must be a positive finite number, got {hint!r}")
+        self._hints[key] = hint
+
+    def _normalized_rate(self, worker: WorkerHealth) -> Optional[float]:
+        """Observed rate divided by the worker's speed hint (default 1.0)."""
+        if worker.rate is None:
+            return None
+        return worker.rate / self._hints.get(worker.key, 1.0)
 
     # -- liveness -------------------------------------------------------- #
     def alive_keys(self) -> List[int]:
@@ -100,15 +136,22 @@ class HealthLedger:
 
         Only the reporting worker's streak moves — a streak counts *its own*
         consecutive slow reports, one per round, not every peer's report.
+        Rates are hint-normalised, so in a declared-heterogeneous cluster
+        "slow" means slow relative to what the worker's hardware should do,
+        not slow relative to the fastest device class.
         """
-        rates = [w.rate for w in self._workers.values() if w.alive and w.rate is not None]
+        rates = [
+            norm
+            for w in self._workers.values()
+            if w.alive and (norm := self._normalized_rate(w)) is not None
+        ]
         if not rates:
             return
         fastest = max(rates)
         if fastest <= 0:
             return
         threshold = self._policy.limplock_ratio * fastest
-        if worker.rate < threshold:
+        if self._normalized_rate(worker) < threshold:
             worker.slow_streak += 1
         else:
             worker.slow_streak = 0
@@ -151,12 +194,16 @@ class HealthLedger:
         worker = self._workers[key]
         if not worker.limplocked or worker.rate is None:
             return base_iterations
-        rates = [w.rate for w in self._workers.values() if w.alive and w.rate is not None]
+        rates = [
+            norm
+            for w in self._workers.values()
+            if w.alive and (norm := self._normalized_rate(w)) is not None
+        ]
         fastest = max(rates) if rates else 0.0
         if fastest <= 0:
             return base_iterations
         floor = max(1, int(round(base_iterations * self._policy.min_iteration_share)))
-        scaled = int(round(base_iterations * worker.rate / fastest))
+        scaled = int(round(base_iterations * self._normalized_rate(worker) / fastest))
         return max(floor, min(base_iterations, scaled))
 
     # -- checkpointing --------------------------------------------------- #

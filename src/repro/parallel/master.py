@@ -262,7 +262,12 @@ def master_process(
     assigned_range: Dict[int, Any] = dict(enumerate(tsw_ranges))
     shipped_range: Dict[int, Any] = dict(assigned_range)  # shipped at startup
     if fault is not None:
-        ledger = HealthLedger(fault, list(range(params.num_tsws)))
+        hints = getattr(params, "worker_speed_hints", None)
+        ledger = HealthLedger(
+            fault,
+            list(range(params.num_tsws)),
+            speed_hints=dict(enumerate(hints)) if hints is not None else None,
+        )
         if resume_state is not None and getattr(resume_state, "health", None) is not None:
             ledger.install_state(resume_state.health, revive=True)
 

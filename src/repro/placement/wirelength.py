@@ -31,10 +31,18 @@ from typing import Iterable, Tuple
 
 import numpy as np
 
+from .. import accel
+from ..metrics.trace import TransferStats
 from . import _kernels
 from .solution import Placement
 
-__all__ = ["full_hpwl", "net_hpwl", "net_bboxes", "WirelengthState"]
+__all__ = [
+    "full_hpwl",
+    "net_hpwl",
+    "net_bboxes",
+    "WirelengthState",
+    "deltas_for_swaps_reference",
+]
 
 logger = logging.getLogger(__name__)
 
@@ -168,10 +176,23 @@ class WirelengthState:
     #: the selection is logged once per mode per process, not per instance.
     _logged_modes: set = set()
 
-    def __init__(self, placement: Placement, *, incidence: str | None = None) -> None:
+    def __init__(
+        self,
+        placement: Placement,
+        *,
+        incidence: str | None = None,
+        device: str | None = None,
+    ) -> None:
         self._placement = placement
         self._netlist = placement.netlist
         self._layout = placement.layout
+        # The batched kernel runs through the accel dispatch layer (xp =
+        # numpy | cupy); on cuda the incidence structure and the bbox caches
+        # live device-resident and only the flat-expanded candidate indices
+        # cross the boundary per call.
+        self._xb = accel.ArrayBackend(device)
+        self._dev_static: tuple | None = None
+        self._dev_bbox: dict | None = None
         # Static structure for the scalar commit path (plain Python lists:
         # no per-item ndarray boxing, so the per-commit net scan beats
         # small-array NumPy several times over).  Built lazily on the first
@@ -256,6 +277,88 @@ class WirelengthState:
         self._per_net = (self._x_max - self._x_min) + (self._y_max - self._y_min)
         weights = self._netlist.net_weights
         self._total = float(np.dot(self._per_net, weights)) if self._per_net.size else 0.0
+        if self._xb.is_cuda:  # pragma: no cover - cupy only
+            self._device_sync()
+
+    # ------------------------------------------------------------------ #
+    # accel plumbing
+    # ------------------------------------------------------------------ #
+    @property
+    def device(self) -> str:
+        """Resolved execution device of the batch kernel (``cpu``/``cuda``)."""
+        return self._xb.device
+
+    def transfer_stats(self) -> TransferStats:
+        """Host↔device traffic this state has caused (all-zero on CPU)."""
+        return self._xb.transfer_stats()
+
+    def _device_sync(self, nets: np.ndarray | None = None) -> None:  # pragma: no cover - cupy only
+        """Refresh the device-resident bbox/HPWL mirrors after a host mutation.
+
+        ``nets`` scatters just those entries (committed swaps touch a
+        handful of nets); ``None`` re-ships the nine cache arrays wholesale
+        (rebuilds, restores).  CPU backends never call this — the kernel
+        reads the live host arrays directly.
+        """
+        xb = self._xb
+        if self._dev_static is None:
+            self._dev_static = (
+                xb.to_device(self._incidence) if self._incidence is not None else None,
+                xb.to_device(self._csr_keys) if self._csr_keys is not None else None,
+                xb.to_device(self._netlist.net_weights),
+            )
+        hosts = (
+            self._x_min, self._x_max, self._y_min, self._y_max,
+            self._n_x_min, self._n_x_max, self._n_y_min, self._n_y_max,
+            self._per_net,
+        )
+        names = (
+            "x_min", "x_max", "y_min", "y_max",
+            "n_x_min", "n_x_max", "n_y_min", "n_y_max",
+            "per_net",
+        )
+        if nets is None or self._dev_bbox is None:
+            self._dev_bbox = {
+                name: xb.to_device(host) for name, host in zip(names, hosts)
+            }
+            return
+        idx = xb.to_device(np.asarray(nets, dtype=np.int64))
+        for name, host in zip(names, hosts):
+            self._dev_bbox[name][idx] = xb.to_device(host[nets])
+
+    def _hpwl_arrays(self) -> accel.HpwlArrays:
+        """Backend-space :class:`~repro.accel.kernels.HpwlArrays` pack.
+
+        On CPU the fields *are* the live host arrays (rebuilt-on-call refs,
+        so rebinds by ``rebuild``/``restore_state`` are always picked up);
+        on cuda they are the device mirrors maintained by
+        :meth:`_device_sync`.
+        """
+        if self._xb.is_cuda:  # pragma: no cover - cupy only
+            incidence_d, csr_keys_d, weights_d = self._dev_static
+            bbox = self._dev_bbox
+            return accel.HpwlArrays(
+                num_nets=self._netlist.num_nets,
+                incidence=incidence_d,
+                csr_keys=csr_keys_d,
+                x_min=bbox["x_min"], x_max=bbox["x_max"],
+                y_min=bbox["y_min"], y_max=bbox["y_max"],
+                n_x_min=bbox["n_x_min"], n_x_max=bbox["n_x_max"],
+                n_y_min=bbox["n_y_min"], n_y_max=bbox["n_y_max"],
+                per_net=bbox["per_net"],
+                net_weights=weights_d,
+            )
+        return accel.HpwlArrays(
+            num_nets=self._netlist.num_nets,
+            incidence=self._incidence,
+            csr_keys=self._csr_keys,
+            x_min=self._x_min, x_max=self._x_max,
+            y_min=self._y_min, y_max=self._y_max,
+            n_x_min=self._n_x_min, n_x_max=self._n_x_max,
+            n_y_min=self._n_y_min, n_y_max=self._n_y_max,
+            per_net=self._per_net,
+            net_weights=self._netlist.net_weights,
+        )
 
     # ------------------------------------------------------------------ #
     # snapshot / restore (used by the search loop to try candidates cheaply)
@@ -288,6 +391,8 @@ class WirelengthState:
         self._n_x_max = n_x_max.copy()
         self._n_y_min = n_y_min.copy()
         self._n_y_max = n_y_max.copy()
+        if self._xb.is_cuda:  # pragma: no cover - cupy only
+            self._device_sync()
 
     # ------------------------------------------------------------------ #
     # batched trial evaluation — the hot kernel
@@ -312,6 +417,14 @@ class WirelengthState:
            multiplicities;
         4. re-reduce only the items where the moved pin was the sole support
            of an edge it leaves (a single ``reduceat`` over those segments).
+
+        Step 1 (the CSR expansion) runs on the host; steps 2–4 are
+        :func:`repro.accel.kernels.hpwl_batch_deltas`, the xp-generic kernel
+        shared with the cuda backend.  Under NumPy it executes the identical
+        operations in the identical order as the direct kernel it replaced
+        (pinned bit-identical against :func:`deltas_for_swaps_reference`);
+        the segment-reduce fallback of step 4 always reduces on the host
+        (cupy has no ``reduceat``) — it is rare by construction.
         """
         a = np.atleast_1d(np.asarray(cells_a, dtype=np.int64))
         b = np.atleast_1d(np.asarray(cells_b, dtype=np.int64))
@@ -345,7 +458,7 @@ class WirelengthState:
         if net.size == 0:
             return out
 
-        # --- step 2: neutralise self-swaps and shared nets ----------------- #
+        # --- steps 2-4: the xp-generic batch kernel ------------------------ #
         # An item is inactive when the pair is a self-swap or when the swap
         # partner sits on the same net (the swap permutes that net's pins).
         # Inactive items are *not* filtered out — they flow through the O(1)
@@ -355,40 +468,26 @@ class WirelengthState:
         # and needs no sort to find the duplicates.
         active = (a != b)[pair]
         other = np.concatenate([np.repeat(b, deg_a), np.repeat(a, deg_b)])
-        if self._incidence is not None:
-            active &= ~self._incidence[other, net]
-        else:  # sparse path: binary search of the sorted incidence keys
-            keys = other * np.int64(self._netlist.num_nets) + net
-            active &= ~_kernels.shared_net_mask(self._csr_keys, keys)
-        if not active.any():
-            return out
-
-        # --- step 3: O(1) bbox-edge updates from the cache ----------------- #
-        new_x_min, fb_x_min = _shrink_min(self._x_min[net], self._n_x_min[net], from_x, to_x)
-        new_x_max, fb_x_max = _shrink_max(self._x_max[net], self._n_x_max[net], from_x, to_x)
-        new_y_min, fb_y_min = _shrink_min(self._y_min[net], self._n_y_min[net], from_y, to_y)
-        new_y_max, fb_y_max = _shrink_max(self._y_max[net], self._n_y_max[net], from_y, to_y)
-
-        # --- step 4: segment-reduce fallback for vacated edges ------------- #
-        # inactive items are excluded: their contribution is zeroed below, so
-        # re-reducing their members would be pure waste
-        fallback = (fb_x_min | fb_x_max | fb_y_min | fb_y_max) & active
-        if fallback.any():
-            idx = np.flatnonzero(fallback)
-            members, counts = netlist.net_members_of(net[idx])
-            fb_x_lo, fb_x_hi, fb_y_lo, fb_y_hi = _kernels.fallback_bbox_reduce(
-                members, counts, moved[idx], to_x[idx], to_y[idx], cts, slot_x, slot_y
-            )
-            new_x_min[idx] = fb_x_lo
-            new_x_max[idx] = fb_x_hi
-            new_y_min[idx] = fb_y_lo
-            new_y_max[idx] = fb_y_hi
-
-        new_hpwl = (new_x_max - new_x_min) + (new_y_max - new_y_min)
-        per_item = netlist.net_weights[net] * (new_hpwl - self._per_net[net])
-        per_item *= active  # zero the contributions of masked items
-        out[:] = np.bincount(pair, weights=per_item, minlength=num_pairs)
-        return out
+        return accel.hpwl_batch_deltas(
+            self._xb,
+            self._hpwl_arrays(),
+            num_pairs=num_pairs,
+            pair=pair,
+            net=net,
+            other=other,
+            moved=moved,
+            from_x=from_x,
+            from_y=from_y,
+            to_x=to_x,
+            to_y=to_y,
+            active=active,
+            cts=cts,
+            slot_x=slot_x,
+            slot_y=slot_y,
+            gather_members=netlist.net_members_of,
+            shared_mask_cpu=_kernels.shared_net_mask,
+            bbox_reduce_cpu=_kernels.fallback_bbox_reduce,
+        )
 
     def delta_for_swap(self, cell_a: int, cell_b: int) -> float:
         """Weighted-HPWL change if ``cell_a`` and ``cell_b`` swapped slots.
@@ -507,6 +606,8 @@ class WirelengthState:
             self._n_y_min[net] = n_y_min
             self._n_y_max[net] = n_y_max
         self._total += float(total_delta)
+        if self._xb.is_cuda:  # pragma: no cover - cupy only
+            self._device_sync(np.asarray(affected, dtype=np.int64))
 
     def recompute_cells(self, cells: np.ndarray) -> None:
         """Refresh every net touching any of ``cells`` from the placement.
@@ -568,3 +669,88 @@ class WirelengthState:
         self._n_x_max[nets] = n_x_max
         self._n_y_min[nets] = n_y_min
         self._n_y_max[nets] = n_y_max
+        if self._xb.is_cuda:  # pragma: no cover - cupy only
+            self._device_sync(nets)
+
+
+# ---------------------------------------------------------------------- #
+# frozen reference kernel
+# ---------------------------------------------------------------------- #
+def deltas_for_swaps_reference(
+    state: WirelengthState, cells_a, cells_b
+) -> np.ndarray:
+    """The pre-dispatch direct NumPy HPWL batch kernel, frozen verbatim.
+
+    The kernel body :meth:`WirelengthState.deltas_for_swaps` shipped before
+    the accel layer existed, kept as the bit-identity oracle for the
+    backend-parameterised contract battery and as the dispatch-tax baseline
+    of ``benchmarks/bench_gpu_kernels.py``.  Reads the state's host-side
+    caches directly and never touches the accel layer.
+    """
+    a = np.atleast_1d(np.asarray(cells_a, dtype=np.int64))
+    b = np.atleast_1d(np.asarray(cells_b, dtype=np.int64))
+    if a.shape != b.shape:
+        raise ValueError(f"cells_a and cells_b must match, got {a.shape} vs {b.shape}")
+    num_pairs = int(a.size)
+    out = np.zeros(num_pairs, dtype=np.float64)
+    netlist = state._netlist
+    if num_pairs == 0 or netlist.num_nets == 0:
+        return out
+
+    cts = state._placement.cell_to_slot
+    slot_x = state._layout.slot_x
+    slot_y = state._layout.slot_y
+    ax = slot_x[cts[a]]
+    ay = slot_y[cts[a]]
+    bx = slot_x[cts[b]]
+    by = slot_y[cts[b]]
+
+    # --- step 1: flat (pair, net) items for both endpoints ------------- #
+    nets_a, deg_a = netlist.nets_of_cells_flat(a)
+    nets_b, deg_b = netlist.nets_of_cells_flat(b)
+    pair_ids = np.arange(num_pairs, dtype=np.int64)
+    pair = np.concatenate([np.repeat(pair_ids, deg_a), np.repeat(pair_ids, deg_b)])
+    net = np.concatenate([nets_a, nets_b])
+    moved = np.concatenate([np.repeat(a, deg_a), np.repeat(b, deg_b)])
+    from_x = np.concatenate([np.repeat(ax, deg_a), np.repeat(bx, deg_b)])
+    from_y = np.concatenate([np.repeat(ay, deg_a), np.repeat(by, deg_b)])
+    to_x = np.concatenate([np.repeat(bx, deg_a), np.repeat(ax, deg_b)])
+    to_y = np.concatenate([np.repeat(by, deg_a), np.repeat(ay, deg_b)])
+    if net.size == 0:
+        return out
+
+    # --- step 2: neutralise self-swaps and shared nets ----------------- #
+    active = (a != b)[pair]
+    other = np.concatenate([np.repeat(b, deg_a), np.repeat(a, deg_b)])
+    if state._incidence is not None:
+        active &= ~state._incidence[other, net]
+    else:  # sparse path: binary search of the sorted incidence keys
+        keys = other * np.int64(netlist.num_nets) + net
+        active &= ~_kernels.shared_net_mask(state._csr_keys, keys)
+    if not active.any():
+        return out
+
+    # --- step 3: O(1) bbox-edge updates from the cache ----------------- #
+    new_x_min, fb_x_min = _shrink_min(state._x_min[net], state._n_x_min[net], from_x, to_x)
+    new_x_max, fb_x_max = _shrink_max(state._x_max[net], state._n_x_max[net], from_x, to_x)
+    new_y_min, fb_y_min = _shrink_min(state._y_min[net], state._n_y_min[net], from_y, to_y)
+    new_y_max, fb_y_max = _shrink_max(state._y_max[net], state._n_y_max[net], from_y, to_y)
+
+    # --- step 4: segment-reduce fallback for vacated edges ------------- #
+    fallback = (fb_x_min | fb_x_max | fb_y_min | fb_y_max) & active
+    if fallback.any():
+        idx = np.flatnonzero(fallback)
+        members, counts = netlist.net_members_of(net[idx])
+        fb_x_lo, fb_x_hi, fb_y_lo, fb_y_hi = _kernels.fallback_bbox_reduce(
+            members, counts, moved[idx], to_x[idx], to_y[idx], cts, slot_x, slot_y
+        )
+        new_x_min[idx] = fb_x_lo
+        new_x_max[idx] = fb_x_hi
+        new_y_min[idx] = fb_y_lo
+        new_y_max[idx] = fb_y_hi
+
+    new_hpwl = (new_x_max - new_x_min) + (new_y_max - new_y_min)
+    per_item = netlist.net_weights[net] * (new_hpwl - state._per_net[net])
+    per_item *= active  # zero the contributions of masked items
+    out[:] = np.bincount(pair, weights=per_item, minlength=num_pairs)
+    return out

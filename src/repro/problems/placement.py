@@ -79,14 +79,18 @@ class PlacementProblem:
         """Number of cells in the circuit."""
         return self.netlist.num_cells
 
-    def make_evaluator(self, cell_to_slot: np.ndarray) -> CostEvaluator:
+    def make_evaluator(
+        self, cell_to_slot: np.ndarray, *, device: str | None = None
+    ) -> CostEvaluator:
         """Build a private evaluator for a worker, bound to ``cell_to_slot``.
 
         Every worker calls this once at start-up; afterwards new solutions are
         installed through :meth:`CostEvaluator.install_solution`.
         """
         placement = Placement(self.layout, np.asarray(cell_to_slot, dtype=np.int64))
-        return CostEvaluator(placement, self.cost_params, reference=self.reference)
+        return CostEvaluator(
+            placement, self.cost_params, reference=self.reference, device=device
+        )
 
     def random_solution(self, seed: int) -> np.ndarray:
         """A random initial assignment (used by the master)."""

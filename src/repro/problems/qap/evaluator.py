@@ -34,14 +34,17 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from ... import accel
 from ..._rng import make_rng
 from ...errors import ReproError
+from ...metrics.trace import TransferStats
 from .instance import QAPInstance
 
 __all__ = [
     "QAPObjectives",
     "QAPEvaluator",
     "QAPProblem",
+    "deltas_for_swaps_reference",
     "restore_shared_qap",
 ]
 
@@ -77,6 +80,13 @@ class QAPEvaluator:
     reference_cost:
         Raw cost anchoring the normalised scalar cost; all workers of one
         run must share it.  Defaults to the initial assignment's cost.
+    device:
+        Where the batch kernel executes: ``"cpu"``, ``"cuda"`` or ``None``
+        (defer to ``REPRO_DEVICE`` / the capability probe — see
+        :mod:`repro.accel`).  On cuda the flow/distance matrices and the
+        assignment live device-resident; per-call traffic is the sampled
+        pair indices up and the batch deltas down (counted in
+        :meth:`transfer_stats`).
     """
 
     def __init__(
@@ -85,6 +95,7 @@ class QAPEvaluator:
         assignment: np.ndarray,
         *,
         reference_cost: Optional[float] = None,
+        device: Optional[str] = None,
     ) -> None:
         self._instance = instance
         self._symmetric = instance.is_symmetric
@@ -93,12 +104,19 @@ class QAPEvaluator:
         reference = self._raw if reference_cost is None else float(reference_cost)
         self._scale = 1.0 / max(reference, 1e-9)
         self._reference_cost = reference
-        # Reusable (m, n) scratch buffers for the batch delta kernel, keyed
-        # by batch size: the driver alternates between a handful of sizes
-        # (pairs_per_step and 1), so a tiny cache removes the per-call
-        # gather/temporary churn — at n = 256 and m = 256 that is ~2 MB of
-        # allocations per call otherwise.
-        self._batch_scratch: Dict[int, Tuple[np.ndarray, ...]] = {}
+        # The batch kernel runs through the accel dispatch layer: one
+        # resolved backend holding the (m, n) scratch packs — keyed by batch
+        # size, the driver only alternates between a handful of sizes — and,
+        # on cuda, the device-resident problem state.
+        self._xb = accel.ArrayBackend(device)
+        if self._xb.is_cuda:  # pragma: no cover - exercised only with a GPU
+            self._dev_flow = self._xb.to_device(instance.flow)
+            self._dev_dist = self._xb.to_device(instance.distance)
+            self._dev_assignment = self._xb.to_device(self._assignment)
+        else:
+            self._dev_flow = instance.flow
+            self._dev_dist = instance.distance
+            self._dev_assignment = self._assignment
         #: Number of swap evaluations performed (trials + commits); the
         #: simulated cluster charges this as the work a process consumed.
         self.evaluations: int = 0
@@ -175,17 +193,44 @@ class QAPEvaluator:
     def _scratch_for(self, batch_size: int) -> Tuple[np.ndarray, ...]:
         """Four reusable float64 ``(batch_size, n)`` buffers for the kernel.
 
-        Cached per batch size; the cache is tiny (the driver only ever uses
-        a handful of sizes) and is dropped wholesale if it somehow grows.
+        One pooled ``(4, m, n)`` block per batch size from the backend's
+        scratch pool (the driver only ever uses a handful of sizes), sliced
+        into the four named buffers — on cuda the block is device memory,
+        so steady-state evaluation allocates nothing on either side.
         """
-        buffers = self._batch_scratch.get(batch_size)
-        if buffers is None:
-            if len(self._batch_scratch) >= 4:
-                self._batch_scratch.clear()
-            shape = (batch_size, self._instance.n)
-            buffers = tuple(np.empty(shape, dtype=np.float64) for _ in range(4))
-            self._batch_scratch[batch_size] = buffers
-        return buffers
+        block = self._xb.scratch(
+            ("qap-deltas", batch_size), (4, batch_size, self._instance.n)
+        )
+        return block[0], block[1], block[2], block[3]
+
+    def _sync_device_assignment(self, cells=None) -> None:
+        """Refresh the backend-space assignment after a host-side mutation.
+
+        On the CPU backend the device array *is* the host array — only a
+        rebind (``install_solution``) needs re-aliasing.  On cuda, pass the
+        mutated ``cells`` to scatter just those entries (the accepted swap
+        is the only per-iteration upload); ``None`` re-ships the whole
+        permutation (installs, restores).
+        """
+        if not self._xb.is_cuda:
+            self._dev_assignment = self._assignment
+            return
+        if cells is not None:  # pragma: no cover - cupy only
+            idx = self._xb.to_device(np.asarray(cells, dtype=np.int64))
+            self._dev_assignment[idx] = self._xb.to_device(
+                self._assignment[np.asarray(cells, dtype=np.int64)]
+            )
+        else:  # pragma: no cover - cupy only
+            self._dev_assignment = self._xb.to_device(self._assignment)
+
+    def transfer_stats(self) -> TransferStats:
+        """Host↔device traffic this evaluator has caused (all-zero on CPU)."""
+        return self._xb.transfer_stats()
+
+    @property
+    def device(self) -> str:
+        """Resolved execution device of the batch kernel (``cpu``/``cuda``)."""
+        return self._xb.device
 
     def deltas_for_swaps(self, cells_a: np.ndarray, cells_b: np.ndarray) -> np.ndarray:
         """Raw-cost deltas of swapping each ``(cells_a[i], cells_b[i])`` pair.
@@ -200,67 +245,36 @@ class QAPEvaluator:
                     + \\text{corner terms for } i,j \\in \\{a, b\\}
 
         Each pair costs O(n); the whole batch runs as a handful of ``(m, n)``
-        array operations (no ``n x n`` intermediate, so a single-pair call
-        from ``commit_swap`` really is O(n)).  The symmetric row-sum path
-        stages every gather through reusable scratch buffers
-        (:meth:`_scratch_for`), so steady-state evaluation allocates only
-        the O(m) outputs; the asymmetric column-sum branch still allocates
-        its gathers (no paper instance is asymmetric — not worth the extra
-        buffers).  For symmetric instances the column sums mirror the row
-        sums term-by-term and are skipped outright (half the gathers).
-        Self-pairs get a zero delta.
+        array operations in :func:`repro.accel.kernels.qap_swap_deltas` —
+        the xp-generic kernel shared with the cuda backend, staged through
+        the backend's pooled scratch packs (:meth:`_scratch_for`).  Under
+        NumPy the operations and reduction order are exactly the direct
+        kernel's, pinned bit-identical against
+        :func:`deltas_for_swaps_reference`; on cuda only the sampled pair
+        indices go up and the O(m) deltas come down.  Self-pairs get a
+        zero delta.
         """
         a = np.asarray(cells_a, dtype=np.int64)
         b = np.asarray(cells_b, dtype=np.int64)
         if a.size == 0:
             return np.zeros(0, dtype=np.float64)
-        flow = self._instance.flow
-        dist = self._instance.distance
         p = self._assignment
         ra = p[a]
         rb = p[b]
-
-        # row sums: sum_k (F[a,k] - F[b,k]) * (D[rb,p(k)] - D[ra,p(k)]),
-        # staged through reusable scratch buffers (same values, same
-        # reduction order as the expression form — bit-identical deltas)
-        buf0, buf1, buf2, buf3 = self._scratch_for(int(a.size))
-        np.take(flow, a, axis=0, out=buf0)
-        np.take(flow, b, axis=0, out=buf1)
-        np.subtract(buf0, buf1, out=buf0)                            # flow rows
-        np.take(dist, rb, axis=0, out=buf1)
-        np.take(buf1, p, axis=1, out=buf2)
-        np.take(dist, ra, axis=0, out=buf1)
-        np.take(buf1, p, axis=1, out=buf3)
-        np.subtract(buf2, buf3, out=buf2)                            # dist rows
-        row_sum = np.einsum("ij,ij->i", buf0, buf2)
-        if self._symmetric:
-            # F = F^T and D = D^T make the column sums (and their k = a, b
-            # corrections below) equal to the row sums term-by-term — same
-            # values reduced in the same order, so bit-identical
-            col_sum = row_sum.copy()
-        else:
-            # column sums: sum_k (F[k,a] - F[k,b]) * (D[p(k),rb] - D[p(k),ra])
-            flow_cols = (flow[:, a] - flow[:, b]).T                      # (m, n)
-            dist_cols = (dist[np.ix_(p, rb)] - dist[np.ix_(p, ra)]).T    # (m, n)
-            col_sum = np.einsum("ij,ij->i", flow_cols, dist_cols)
-
-        # the k = a and k = b terms do not belong in the sums above ...
-        f_aa, f_ab = flow[a, a], flow[a, b]
-        f_ba, f_bb = flow[b, a], flow[b, b]
-        d_aa, d_ab = dist[ra, ra], dist[ra, rb]
-        d_ba, d_bb = dist[rb, ra], dist[rb, rb]
-        row_sum -= (f_aa - f_ba) * (d_ba - d_aa) + (f_ab - f_bb) * (d_bb - d_ab)
-        col_sum -= (f_aa - f_ab) * (d_ab - d_aa) + (f_ba - f_bb) * (d_bb - d_ba)
-        # ... they enter exactly once as the four corner terms instead
-        corners = (
-            f_aa * (d_bb - d_aa)
-            + f_bb * (d_aa - d_bb)
-            + f_ab * (d_ba - d_ab)
-            + f_ba * (d_ab - d_ba)
+        xb = self._xb
+        deltas = accel.qap_swap_deltas(
+            xb,
+            self._dev_flow,
+            self._dev_dist,
+            self._dev_assignment,
+            xb.to_device(a),
+            xb.to_device(b),
+            xb.to_device(ra),
+            xb.to_device(rb),
+            symmetric=self._symmetric,
+            scratch=self._scratch_for(int(a.size)),
         )
-        deltas = row_sum + col_sum + corners
-        deltas[a == b] = 0.0
-        return deltas
+        return xb.to_host(deltas)
 
     def evaluate_swaps_batch(self, pairs) -> np.ndarray:
         """Costs the solution would have under each candidate swap of a batch.
@@ -305,6 +319,8 @@ class QAPEvaluator:
         )
         assignment = self._assignment
         assignment[cell_a], assignment[cell_b] = assignment[cell_b], assignment[cell_a]
+        if self._xb.is_cuda:  # pragma: no cover - cupy only
+            self._sync_device_assignment((cell_a, cell_b))
         return self.cost()
 
     def apply_swaps(self, pairs, *, exact_timing: bool = False) -> float:
@@ -336,6 +352,8 @@ class QAPEvaluator:
                     )[0]
                 )
             assignment[cell_a], assignment[cell_b] = assignment[cell_b], assignment[cell_a]
+            if self._xb.is_cuda:  # pragma: no cover - cupy only
+                self._sync_device_assignment((cell_a, cell_b))
         if exact_timing:
             self._raw = self._instance.cost_of(self._assignment)
         return self.cost()
@@ -359,6 +377,7 @@ class QAPEvaluator:
         """Adopt a whole new assignment (e.g. received from another worker)."""
         self._assignment = self._validated(assignment)
         self._raw = self._instance.cost_of(self._assignment)
+        self._sync_device_assignment()
         return self.cost()
 
     def rebuild(self) -> None:
@@ -382,6 +401,8 @@ class QAPEvaluator:
         """Rewind to a :meth:`save_state` snapshot (``evaluations`` stays)."""
         self._assignment[:] = state.assignment
         self._raw = state.raw_cost
+        if self._xb.is_cuda:  # pragma: no cover - cupy only
+            self._sync_device_assignment()
 
     # ------------------------------------------------------------------ #
     # neighbourhood hooks / self-checks
@@ -444,10 +465,15 @@ class QAPProblem:
         """Number of swappable items (facilities)."""
         return self.instance.n
 
-    def make_evaluator(self, assignment: np.ndarray) -> QAPEvaluator:
+    def make_evaluator(
+        self, assignment: np.ndarray, *, device: Optional[str] = None
+    ) -> QAPEvaluator:
         """Build a private evaluator for a worker, bound to ``assignment``."""
         return QAPEvaluator(
-            self.instance, assignment, reference_cost=self.reference_cost
+            self.instance,
+            assignment,
+            reference_cost=self.reference_cost,
+            device=device,
         )
 
     def random_solution(self, seed: int) -> np.ndarray:
@@ -493,3 +519,76 @@ def restore_shared_qap(arrays, meta) -> QAPProblem:
 def _random_assignment(instance: QAPInstance, *, seed: int) -> np.ndarray:
     rng = make_rng(seed, "qap-initial", instance.name)
     return rng.permutation(instance.n).astype(np.int64)
+
+
+# ---------------------------------------------------------------------- #
+# frozen reference kernel
+# ---------------------------------------------------------------------- #
+def deltas_for_swaps_reference(
+    evaluator: QAPEvaluator,
+    cells_a: np.ndarray,
+    cells_b: np.ndarray,
+    scratch: Optional[Tuple[np.ndarray, ...]] = None,
+) -> np.ndarray:
+    """The pre-dispatch direct NumPy swap-delta kernel, frozen verbatim.
+
+    This is the kernel body :meth:`QAPEvaluator.deltas_for_swaps` shipped
+    before the accel layer existed, kept as the bit-identity oracle: the
+    backend-parameterised contract battery pins the xp-generic kernel
+    against it under NumPy, and ``benchmarks/bench_gpu_kernels.py`` uses it
+    as the dispatch-tax baseline.  It reads the evaluator's host-side state
+    directly and never touches the accel layer.  Pass ``scratch`` (four
+    ``(m, n)`` float64 buffers) to measure steady-state cost; omitted, the
+    buffers are allocated fresh.
+    """
+    a = np.asarray(cells_a, dtype=np.int64)
+    b = np.asarray(cells_b, dtype=np.int64)
+    if a.size == 0:
+        return np.zeros(0, dtype=np.float64)
+    flow = evaluator.instance.flow
+    dist = evaluator.instance.distance
+    p = evaluator.assignment
+    ra = p[a]
+    rb = p[b]
+
+    if scratch is None:
+        shape = (int(a.size), evaluator.instance.n)
+        scratch = tuple(np.empty(shape, dtype=np.float64) for _ in range(4))
+    buf0, buf1, buf2, buf3 = scratch
+    # row sums: sum_k (F[a,k] - F[b,k]) * (D[rb,p(k)] - D[ra,p(k)])
+    np.take(flow, a, axis=0, out=buf0)
+    np.take(flow, b, axis=0, out=buf1)
+    np.subtract(buf0, buf1, out=buf0)                            # flow rows
+    np.take(dist, rb, axis=0, out=buf1)
+    np.take(buf1, p, axis=1, out=buf2)
+    np.take(dist, ra, axis=0, out=buf1)
+    np.take(buf1, p, axis=1, out=buf3)
+    np.subtract(buf2, buf3, out=buf2)                            # dist rows
+    row_sum = np.einsum("ij,ij->i", buf0, buf2)
+    if evaluator._symmetric:
+        # F = F^T and D = D^T make the column sums equal to the row sums
+        # term-by-term — same values reduced in the same order
+        col_sum = row_sum.copy()
+    else:
+        # column sums: sum_k (F[k,a] - F[k,b]) * (D[p(k),rb] - D[p(k),ra])
+        flow_cols = (flow[:, a] - flow[:, b]).T                      # (m, n)
+        dist_cols = (dist[np.ix_(p, rb)] - dist[np.ix_(p, ra)]).T    # (m, n)
+        col_sum = np.einsum("ij,ij->i", flow_cols, dist_cols)
+
+    # the k = a and k = b terms do not belong in the sums above ...
+    f_aa, f_ab = flow[a, a], flow[a, b]
+    f_ba, f_bb = flow[b, a], flow[b, b]
+    d_aa, d_ab = dist[ra, ra], dist[ra, rb]
+    d_ba, d_bb = dist[rb, ra], dist[rb, rb]
+    row_sum -= (f_aa - f_ba) * (d_ba - d_aa) + (f_ab - f_bb) * (d_bb - d_ab)
+    col_sum -= (f_aa - f_ab) * (d_ab - d_aa) + (f_ba - f_bb) * (d_bb - d_ba)
+    # ... they enter exactly once as the four corner terms instead
+    corners = (
+        f_aa * (d_bb - d_aa)
+        + f_bb * (d_aa - d_bb)
+        + f_ab * (d_ba - d_ab)
+        + f_ba * (d_ab - d_ba)
+    )
+    deltas = row_sum + col_sum + corners
+    deltas[a == b] = 0.0
+    return deltas

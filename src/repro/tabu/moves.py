@@ -26,6 +26,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..accel import masked_argmin
 from ..core.protocols import SwapEvaluator
 from ..errors import TabuSearchError
 from .candidate import CellRange, sample_candidate_pairs_array
@@ -125,7 +126,7 @@ def best_swap_of_candidates(
     if not len(pairs):
         return None
     costs = evaluator.evaluate_swaps_batch(pairs)
-    best_index = int(np.argmin(costs))
+    best_index = masked_argmin(costs)
     cell_a, cell_b = pairs[best_index]
     return SwapMove(cell_a=int(cell_a), cell_b=int(cell_b), cost_after=float(costs[best_index]))
 
@@ -257,10 +258,11 @@ class CompoundMoveBuilder:
         if len(pairs) == 0:  # pragma: no cover - samplers never return empty
             return 0
         mask = self._admissible(pairs, costs) if self._admissible is not None else None
-        if mask is None or not mask.any():
-            best_index = int(np.argmin(costs))
-        else:
-            best_index = int(np.argmin(np.where(mask, costs, np.inf)))
+        # The fused masked-argmin select is an accel kernel: it dispatches on
+        # whatever array module produced the costs, so the same shipped code
+        # serves the NumPy and cupy paths (identical semantics to the old
+        # inline where/argmin — first-minimum tie-break, all-masked fallback).
+        best_index = masked_argmin(costs, mask)
         best = SwapMove(
             cell_a=int(pairs[best_index, 0]),
             cell_b=int(pairs[best_index, 1]),

@@ -43,6 +43,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .._rng import make_rng
+from ..accel import fuse_admissible
 from ..core.protocols import SwapEvaluator
 from ..errors import TabuSearchError
 from .aspiration import (
@@ -388,7 +389,9 @@ class TabuSearch:
                 mask = tabu.is_tabu_mask(pairs, iteration, scheme)
                 if not mask.any():
                     return None
-                return ~mask | aspiration.permits_batch(costs, current_cost, best_cost)
+                return fuse_admissible(
+                    mask, aspiration.permits_batch(costs, current_cost, best_cost)
+                )
         else:
             def admissible(pairs: np.ndarray, costs: np.ndarray) -> Optional[np.ndarray]:
                 mask = tabu.is_tabu_mask(pairs, iteration, scheme)

@@ -1,0 +1,133 @@
+"""Device probing and resolution: knob > environment > capability probe.
+
+Everything here must pass identically with and without cupy installed —
+the cuda-positive branches are exercised only through the probe's *shape*
+(the dataclass fields and report rows), never by assuming a device exists.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accel import (
+    HAVE_CUPY,
+    ArrayBackend,
+    array_module,
+    cuda_available,
+    cuda_unavailable_reason,
+    device_report,
+    module_for,
+    probe_cuda,
+    resolve_device,
+)
+from repro.errors import ReproError
+
+
+class TestProbe:
+    def test_probe_is_cached_and_refreshable(self):
+        first = probe_cuda()
+        assert probe_cuda() is first
+        assert probe_cuda(refresh=True) == first  # same machine, same answer
+
+    def test_probe_fields_are_consistent(self):
+        probe = probe_cuda()
+        if probe.available:
+            assert probe.reason == ""
+            assert probe.device_count >= 1
+        else:
+            assert probe.reason
+            assert cuda_unavailable_reason() == probe.reason
+        assert cuda_available() == probe.available
+
+    @pytest.mark.skipif(HAVE_CUPY, reason="this environment has cupy installed")
+    def test_without_cupy_the_reason_names_the_missing_install(self):
+        assert "cupy is not installed" in cuda_unavailable_reason()
+
+
+class TestResolveDevice:
+    def test_explicit_cpu_always_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DEVICE", "cuda")
+        assert resolve_device("cpu") == "cpu"
+
+    def test_env_cpu_is_the_escape_hatch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DEVICE", "cpu")
+        assert resolve_device() == "cpu"
+        assert resolve_device("auto") == "cpu" or cuda_available()
+
+    def test_auto_matches_the_probe(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DEVICE", raising=False)
+        expected = "cuda" if cuda_available() else "cpu"
+        assert resolve_device() == expected
+        assert resolve_device("auto") == expected
+
+    def test_unknown_knob_value_raises(self):
+        with pytest.raises(ReproError, match="device must be one of"):
+            resolve_device("tpu")
+
+    def test_unknown_env_value_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DEVICE", "tpu")
+        with pytest.raises(ReproError, match="REPRO_DEVICE must be one of"):
+            resolve_device()
+
+    @pytest.mark.skipif(cuda_available(), reason="cuda actually works here")
+    def test_explicit_cuda_fails_loudly_with_reason_and_remedy(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DEVICE", raising=False)
+        with pytest.raises(ReproError) as err:
+            resolve_device("cuda")
+        message = str(err.value)
+        assert cuda_unavailable_reason() in message
+        assert "pip install .[gpu]" in message
+        # the same request via the environment fails the same way
+        monkeypatch.setenv("REPRO_DEVICE", "cuda")
+        with pytest.raises(ReproError):
+            resolve_device()
+
+
+class TestArrayModule:
+    def test_cpu_module_is_numpy(self):
+        assert array_module("cpu") is np
+
+    def test_module_for_host_arrays_is_numpy(self):
+        assert module_for(np.zeros(3)) is np
+
+    @pytest.mark.skipif(cuda_available(), reason="cuda actually works here")
+    def test_cuda_module_unavailable_raises(self):
+        with pytest.raises(ReproError, match="unavailable"):
+            array_module("cuda")
+
+    def test_unknown_device_raises(self):
+        with pytest.raises(ReproError, match="unknown device"):
+            array_module("mps")
+
+
+class TestDeviceReport:
+    def test_report_names_the_essentials(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DEVICE", raising=False)
+        rows = dict(device_report())
+        assert rows["numpy"] == np.__version__
+        assert "cupy" in rows
+        assert rows["selected device"] in ("cpu", "cuda")
+        if not cuda_available():
+            assert rows["fallback reason"] == cuda_unavailable_reason()
+            assert "unavailable" in rows["cuda"]
+
+    def test_report_surfaces_an_impossible_request(self, monkeypatch):
+        if cuda_available():
+            pytest.skip("cuda actually works here")
+        monkeypatch.setenv("REPRO_DEVICE", "cuda")
+        rows = dict(device_report())
+        assert rows["selected device"].startswith("error:")
+
+
+class TestBackendResolution:
+    def test_backend_defaults_to_the_probe(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DEVICE", raising=False)
+        backend = ArrayBackend()
+        assert backend.device == ("cuda" if cuda_available() else "cpu")
+        assert backend.is_cuda == cuda_available()
+
+    def test_cpu_backend_binds_numpy(self):
+        backend = ArrayBackend("cpu")
+        assert backend.xp is np
+        assert not backend.is_cuda

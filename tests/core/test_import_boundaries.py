@@ -15,6 +15,12 @@ Two sanctioned exceptions keep legacy import paths alive:
 * ``repro.parallel.__init__`` — a lazy ``__getattr__`` re-export of the
   same legacy name (``from repro.parallel import PlacementProblem``), so
   the domain module is only touched when the alias is actually used.
+
+The accelerator dispatch layer (``repro.accel``) is engine code too — it
+may not import problem domains (domain callables are passed *into* its
+kernels) — and it is the **only** package in the whole tree allowed to
+import ``cupy``: everything else goes through the ``ArrayBackend`` / probe
+surface, which is what keeps the optional GPU dependency optional.
 """
 
 from __future__ import annotations
@@ -27,7 +33,7 @@ import pytest
 import repro
 
 SRC_ROOT = Path(repro.__file__).resolve().parent.parent  # .../src
-ENGINE_PACKAGES = ("repro/tabu", "repro/parallel", "repro/session")
+ENGINE_PACKAGES = ("repro/tabu", "repro/parallel", "repro/session", "repro/accel")
 #: Module prefixes the engine must not import (domain implementations).
 FORBIDDEN_PREFIXES = ("repro.placement", "repro.problems")
 #: The compatibility shims keep old import paths alive by design.
@@ -86,4 +92,44 @@ def test_the_suite_actually_sees_the_engine_modules():
     assert {"search.py", "master.py", "tsw.py", "clw.py", "runner.py"} <= names
     # the session layer is part of the engine surface
     assert {"session.py", "state.py", "pool.py", "worker_loop.py"} <= names
-    assert len(paths) >= 19
+    # the accelerator dispatch layer is engine code as well
+    assert {"device.py", "backend.py", "kernels.py"} <= names
+    assert len(paths) >= 22
+
+
+def all_repro_modules():
+    for path in sorted((SRC_ROOT / "repro").rglob("*.py")):
+        yield path
+
+
+@pytest.mark.parametrize(
+    "path", list(all_repro_modules()), ids=lambda p: str(p.relative_to(SRC_ROOT))
+)
+def test_only_the_accel_layer_imports_cupy(path):
+    """``cupy`` is quarantined behind :mod:`repro.accel`.
+
+    Domain packages and engine layers reach the GPU only through the
+    ``ArrayBackend`` surface; a direct ``import cupy`` anywhere else would
+    make the optional dependency load-bearing (and unguarded — accel's own
+    import sits in a try/except probe).
+    """
+    offenders = [
+        module
+        for module in resolved_imports(path)
+        if module == "cupy" or module.startswith("cupy.")
+    ]
+    if str(path.relative_to(SRC_ROOT)).startswith("repro/accel/"):
+        return  # the sanctioned (guarded) import site
+    assert not offenders, (
+        f"{path.relative_to(SRC_ROOT)} imports cupy directly {offenders}; "
+        "only repro.accel may touch cupy — use an ArrayBackend"
+    )
+
+
+def test_cupy_quarantine_suite_sees_the_sanctioned_import():
+    """The cupy scan must actually detect accel's guarded import site."""
+    device = SRC_ROOT / "repro" / "accel" / "device.py"
+    assert any(
+        module == "cupy" or module.startswith("cupy.")
+        for module in resolved_imports(device)
+    )

@@ -19,6 +19,19 @@ QAP).  The contract is exactly what the engine layers rely on:
 * **snapshots** — ``save_state``/``restore_state`` round-trips;
 * **seeded determinism** — identically-seeded runs (serial and parallel on
   the simulated backend) produce identical trajectories.
+
+The whole battery is additionally parameterized over the kernel *backend*:
+
+* ``numpy-direct`` — the shipped evaluator with the frozen pre-dispatch
+  reference kernel injected (the oracle);
+* ``xp-numpy`` — the shipped xp-generic kernels forced onto the NumPy
+  backend (``device="cpu"``), which must be bit-identical to the oracle;
+* ``xp-cupy`` — the same shipped kernels on a CUDA device (skipped when no
+  usable cupy install is present).
+
+Because ``xp-numpy`` and ``numpy-direct`` run the identical battery, any
+behavioural drift introduced by the dispatch layer fails twice over — once
+against the frozen kernel's results, once against the contract itself.
 """
 
 from __future__ import annotations
@@ -35,6 +48,7 @@ from repro import (
     TerminationCriteria,
     run_parallel_search,
 )
+from repro.accel import cuda_available
 from repro.core import get_domain
 from repro.core.protocols import SearchProblem, SwapEvaluator, ensure_search_problem
 from repro.parallel.delta import swap_list_between
@@ -56,6 +70,43 @@ SPECS = [
     DomainSpec(domain="qap", instance="rand32", scratch_atol=1e-9),
 ]
 
+BACKENDS = [
+    "numpy-direct",
+    "xp-numpy",
+    pytest.param(
+        "xp-cupy",
+        marks=pytest.mark.skipif(
+            not cuda_available(), reason="cupy/CUDA device not available"
+        ),
+    ),
+]
+
+
+def _inject_reference_kernel(evaluator, domain: str) -> None:
+    """Route the evaluator's batch deltas through the frozen direct kernel."""
+    if domain == "qap":
+        from repro.problems.qap.evaluator import deltas_for_swaps_reference
+
+        evaluator.deltas_for_swaps = (
+            lambda a, b: deltas_for_swaps_reference(evaluator, a, b)
+        )
+    else:
+        from repro.placement.wirelength import deltas_for_swaps_reference
+
+        state = evaluator._wirelength
+        state.deltas_for_swaps = (
+            lambda a, b: deltas_for_swaps_reference(state, a, b)
+        )
+
+
+def make_backend_evaluator(problem, domain: str, backend: str, *, seed: int = 3):
+    """An evaluator for ``problem`` running its kernels on ``backend``."""
+    device = "cuda" if backend == "xp-cupy" else "cpu"
+    evaluator = problem.make_evaluator(problem.random_solution(seed=seed), device=device)
+    if backend == "numpy-direct":
+        _inject_reference_kernel(evaluator, domain)
+    return evaluator
+
 
 @pytest.fixture(scope="module", params=SPECS, ids=lambda spec: spec.domain)
 def spec(request):
@@ -67,9 +118,14 @@ def problem(spec):
     return get_domain(spec.domain).build_problem(spec.instance, reference_seed=0)
 
 
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return request.param
+
+
 @pytest.fixture
-def evaluator(problem):
-    return problem.make_evaluator(problem.random_solution(seed=3))
+def evaluator(problem, spec, backend):
+    return make_backend_evaluator(problem, spec.domain, backend)
 
 
 class TestProtocolSurface:
@@ -356,6 +412,116 @@ class TestMaskAwareBatchContract:
         builder.step(np.random.default_rng(42))
         move = builder.finalize()
         assert move.swaps[0].cost_after == seen["worst"]
+
+
+class TestBackendKernelParity:
+    """The shipped xp-generic kernels against the frozen direct kernels."""
+
+    def _pairs(self, n: int, count: int, seed: int) -> np.ndarray:
+        rng = np.random.default_rng(seed)
+        pairs = rng.integers(0, n, size=(count, 2))
+        pairs[::17, 1] = pairs[::17, 0]  # sprinkle self-pairs
+        return pairs
+
+    def test_xp_numpy_batch_is_bit_identical_to_reference(self, problem, spec):
+        shipped = make_backend_evaluator(problem, spec.domain, "xp-numpy")
+        oracle = make_backend_evaluator(problem, spec.domain, "numpy-direct")
+        pairs = self._pairs(shipped.num_cells, 300, seed=91)
+        assert np.array_equal(
+            shipped.evaluate_swaps_batch(pairs), oracle.evaluate_swaps_batch(pairs)
+        )
+
+    def test_parity_holds_along_a_committed_walk(self, problem, spec):
+        """Identity must survive cache mutation, not just the fresh state."""
+        shipped = make_backend_evaluator(problem, spec.domain, "xp-numpy")
+        oracle = make_backend_evaluator(problem, spec.domain, "numpy-direct")
+        rng = np.random.default_rng(92)
+        n = shipped.num_cells
+        for step in range(12):
+            pairs = self._pairs(n, 40, seed=100 + step)
+            assert np.array_equal(
+                shipped.evaluate_swaps_batch(pairs),
+                oracle.evaluate_swaps_batch(pairs),
+            )
+            a, b = (int(x) for x in rng.integers(0, n, 2))
+            assert shipped.commit_swap(a, b) == oracle.commit_swap(a, b)
+        shipped.verify_consistency()
+        oracle.verify_consistency()
+
+    @pytest.mark.skipif(not cuda_available(), reason="cupy/CUDA device not available")
+    def test_xp_cupy_batch_matches_reference(self, problem, spec):
+        shipped = make_backend_evaluator(problem, spec.domain, "xp-cupy")
+        oracle = make_backend_evaluator(problem, spec.domain, "numpy-direct")
+        pairs = self._pairs(shipped.num_cells, 300, seed=91)
+        np.testing.assert_allclose(
+            shipped.evaluate_swaps_batch(pairs),
+            oracle.evaluate_swaps_batch(pairs),
+            atol=spec.scratch_atol,
+            rtol=0.0,
+        )
+
+
+class TestScratchPoolAndTransferAccounting:
+    """Steady-state allocation/transfer pins for the accel-backed evaluators."""
+
+    def _array_backend(self, evaluator, domain: str):
+        return evaluator._xb if domain == "qap" else evaluator._wirelength._xb
+
+    def test_steady_state_adds_no_pool_entries(self, problem, spec):
+        """After one warm-up pass over the driver's batch sizes, further
+        iterations must reuse pooled buffers — no new keys, bounded pool."""
+        evaluator = make_backend_evaluator(problem, spec.domain, "xp-numpy")
+        xb = self._array_backend(evaluator, spec.domain)
+        rng = np.random.default_rng(93)
+        n = evaluator.num_cells
+        sizes = (3, 5, 8)  # a driver alternates between a handful of sizes
+        batches = {m: rng.integers(0, n, size=(m, 2)) for m in sizes}
+        for m in sizes:  # warm-up
+            evaluator.evaluate_swaps_batch(batches[m])
+        warm = xb.pool_size()
+        for _ in range(10):  # steady state
+            for m in sizes:
+                evaluator.evaluate_swaps_batch(batches[m])
+        assert xb.pool_size() == warm
+        assert warm <= xb.MAX_POOL_KEYS
+
+    def test_qap_scratch_block_identity_is_stable(self, problem, spec):
+        """Same batch size → views over the very same pooled block (no
+        re-allocation); a different size gets its own block."""
+        if spec.domain != "qap":
+            pytest.skip("QAP is the scratch-pack consumer")
+        evaluator = make_backend_evaluator(problem, spec.domain, "xp-numpy")
+        first = evaluator._scratch_for(6)
+        again = evaluator._scratch_for(6)
+        assert all(np.shares_memory(a, b) for a, b in zip(first, again))
+        other = evaluator._scratch_for(9)
+        assert not np.shares_memory(first[0], other[0])
+
+    def test_cpu_backend_moves_zero_bytes(self, problem, spec, backend):
+        """On the CPU paths to_device/to_host are identities — the counters
+        prove the NumPy pipeline never copies across a fake boundary."""
+        if backend == "xp-cupy":
+            pytest.skip("cuda path transfers by design")
+        evaluator = make_backend_evaluator(problem, spec.domain, backend)
+        rng = np.random.default_rng(94)
+        pairs = rng.integers(0, evaluator.num_cells, size=(50, 2))
+        evaluator.evaluate_swaps_batch(pairs)
+        evaluator.commit_swap(int(pairs[0, 0]), int(pairs[0, 1]))
+        stats = evaluator.transfer_stats()
+        assert stats.total_bytes == 0
+        assert stats.transfers_to_device == 0
+        assert stats.transfers_to_host == 0
+        assert stats.seconds == 0.0
+
+    @pytest.mark.skipif(not cuda_available(), reason="cupy/CUDA device not available")
+    def test_cuda_backend_counts_its_traffic(self, problem, spec):
+        evaluator = make_backend_evaluator(problem, spec.domain, "xp-cupy")
+        rng = np.random.default_rng(95)
+        pairs = rng.integers(0, evaluator.num_cells, size=(50, 2))
+        evaluator.evaluate_swaps_batch(pairs)
+        stats = evaluator.transfer_stats()
+        assert stats.bytes_to_device > 0
+        assert stats.bytes_to_host > 0
 
 
 class TestDiversificationHook:
