@@ -80,9 +80,11 @@ from .session import (
 )
 from .pvm import (
     ClusterSpec,
+    DrainWorker,
     FaultPlan,
     KillWorker,
     MessageFaults,
+    SpawnWorker,
     ThrottleMachine,
     ProcessKernel,
     SimKernel,
@@ -140,6 +142,8 @@ __all__ = [
     "homogeneous_cluster",
     "FaultPlan",
     "KillWorker",
+    "SpawnWorker",
+    "DrainWorker",
     "ThrottleMachine",
     "MessageFaults",
     # parallel

@@ -168,7 +168,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sessions_parser.add_argument(
         "checkpoints", nargs="+", metavar="FILE",
-        help="checkpoint files written by 'repro run --checkpoint'",
+        help="checkpoint files written by 'repro run --checkpoint'; prefix "
+             "with 'inspect' to report each checkpoint's topology history "
+             "(workers admitted, drained, dead and respawned, with virtual "
+             "timestamps)",
     )
 
     # devices -------------------------------------------------------------------
@@ -372,7 +375,51 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sessions_inspect(paths: Sequence[str]) -> int:
+    """Report the topology history stored in each checkpoint artifact."""
+    if not paths:
+        raise ReproError("sessions inspect: give at least one checkpoint FILE")
+    for path in paths:
+        state = SessionState.load(path)
+        run_state = state.run_state
+        workers = (
+            int(getattr(run_state, "num_workers", 0) or 0)
+            if run_state is not None
+            else 0
+        ) or int(state.params.num_tsws)
+        drained = tuple(getattr(run_state, "drained_workers", ()) or ()) if run_state else ()
+        print(f"{path}: {state.problem.name} [{state.backend}]")
+        print(
+            f"  topology: {workers} worker slot(s), "
+            f"{len(drained)} drained{' ' + str(list(drained)) if drained else ''}, "
+            f"rounds {state.rounds_done}/{state.params.global_iterations}"
+        )
+        events = tuple(state.topology_events)
+        if not events:
+            print("  topology history: (no admissions, deaths or drains recorded)")
+            continue
+        rows = [
+            (
+                f"{float(event.time):.3f}",
+                event.kind,
+                "-" if event.worker in ("tsw-1", "-1", "") else str(event.worker),
+                event.detail,
+            )
+            for event in events
+        ]
+        print(
+            format_table(
+                ["time (s)", "event", "worker", "detail"],
+                rows,
+                title="Topology history",
+            )
+        )
+    return 0
+
+
 def _command_sessions(args: argparse.Namespace) -> int:
+    if args.checkpoints and args.checkpoints[0] == "inspect":
+        return _sessions_inspect(args.checkpoints[1:])
     rows = []
     for path in args.checkpoints:
         state = SessionState.load(path)

@@ -61,8 +61,13 @@ class ProcessError(ReproError):
     """Error raised by or about a simulated PVM process."""
 
 
-class SimulationError(ReproError):
-    """Discrete-event simulator invariant violation (time going backwards, deadlock, ...)."""
+class SimulationError(ReproError, ValueError):
+    """Discrete-event simulator invariant violation (time going backwards, deadlock, ...).
+
+    Also a :class:`ValueError`: fault plans are user-supplied configuration
+    (JSON files on the CLI surface), so malformed plans must be catchable by
+    callers that only know stdlib exception types.
+    """
 
 
 class ParallelSearchError(ReproError):

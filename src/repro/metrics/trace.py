@@ -73,8 +73,8 @@ class FaultEvent:
     Recorded by the fault-tolerant master (and the session layer for pool
     repairs) so a run's recovery trajectory is inspectable next to its cost
     trace.  ``kind`` is one of ``"worker-dead"``, ``"deadline-resend"``,
-    ``"limplock"``, ``"range-reassigned"``, ``"worker-respawned"`` or
-    ``"all-workers-dead"``.
+    ``"limplock"``, ``"range-reassigned"``, ``"worker-respawned"``,
+    ``"worker-admitted"``, ``"worker-drained"`` or ``"all-workers-dead"``.
     """
 
     time: float

@@ -40,6 +40,10 @@ class WorkerHealth:
     rounds_reported: int = 0
     slow_streak: int = 0
     limplocked: bool = False
+    #: Gracefully retired (no strike): not alive, but not dead either —
+    #: ``dead_keys`` excludes drained workers and ``install_state(revive=True)``
+    #: does not resurrect them.
+    drained: bool = False
 
 
 class HealthLedger:
@@ -91,13 +95,34 @@ class HealthLedger:
         return [key for key in sorted(self._workers) if self._workers[key].alive]
 
     def dead_keys(self) -> List[int]:
-        return [key for key in sorted(self._workers) if not self._workers[key].alive]
+        """Keys of workers that died (drained workers are *not* dead)."""
+        return [
+            key
+            for key in sorted(self._workers)
+            if not self._workers[key].alive and not self._workers[key].drained
+        ]
+
+    def drained_keys(self) -> List[int]:
+        return [key for key in sorted(self._workers) if self._workers[key].drained]
 
     def is_alive(self, key: int) -> bool:
         return self._workers[key].alive
 
     def mark_dead(self, key: int) -> None:
         self._workers[key].alive = False
+
+    def mark_drained(self, key: int) -> None:
+        """Gracefully retire a worker: off the roster, but without a strike."""
+        worker = self._workers[key]
+        worker.alive = False
+        worker.drained = True
+
+    def add_worker(self, key: int, *, speed_hint: Optional[float] = None) -> None:
+        """Register a mid-run admitted worker (no-op if already tracked)."""
+        if key not in self._workers:
+            self._workers[key] = WorkerHealth(key=key)
+        if speed_hint is not None:
+            self.set_speed_hint(key, speed_hint)
 
     def register_miss(self, key: int) -> bool:
         """Record a missed deadline; returns True when the worker struck out."""
@@ -207,7 +232,11 @@ class HealthLedger:
         return max(floor, min(base_iterations, scaled))
 
     # -- checkpointing --------------------------------------------------- #
-    def export_state(self) -> Tuple[Tuple[int, bool, int, Optional[float], int, int, int, bool], ...]:
+    def export_hints(self) -> Dict[int, float]:
+        """Current speed hints (config, not observations) for persistence."""
+        return dict(self._hints)
+
+    def export_state(self) -> Tuple[Tuple[int, bool, int, Optional[float], int, int, int, bool, bool], ...]:
         """Plain-tuple snapshot (stable field order; pickles byte-stably)."""
         return tuple(
             (
@@ -219,6 +248,7 @@ class HealthLedger:
                 w.rounds_reported,
                 w.slow_streak,
                 w.limplocked,
+                w.drained,
             )
             for _, w in sorted(self._workers.items())
         )
@@ -226,9 +256,11 @@ class HealthLedger:
     def install_state(self, state, *, revive: bool = True) -> None:
         """Restore a snapshot from a checkpoint.
 
-        ``revive`` resets every worker to alive: deaths are per-epoch facts
-        (a cold resume respawns all workers; a pool resume repairs dead
-        loops first), while throughput history is worth keeping.
+        ``revive`` resets every non-drained worker to alive: deaths are
+        per-epoch facts (a cold resume respawns all workers; a pool resume
+        repairs dead loops first), while throughput history — and graceful
+        retirements — are worth keeping.  Accepts the pre-elasticity
+        8-element rows (no ``drained`` flag) for old checkpoints.
         """
         for row in state:
             key = row[0]
@@ -244,7 +276,8 @@ class HealthLedger:
                 worker.rounds_reported,
                 worker.slow_streak,
                 worker.limplocked,
-            ) = row
+            ) = row[:8]
+            worker.drained = bool(row[8]) if len(row) > 8 else False
             if revive:
-                worker.alive = True
+                worker.alive = not worker.drained
                 worker.missed_deadlines = 0

@@ -96,6 +96,21 @@ class MasterRunState:
     #: Fault incidents of the epoch that produced this state (observability;
     #: the session layer accumulates events across epochs).
     fault_events: List[FaultEvent] = field(default_factory=list)
+    # --- elasticity (PR 10) -------------------------------------------------
+    #: Total worker indices ever allocated (initial topology + mid-run
+    #: admissions).  ``0`` on pre-elasticity checkpoints means "use
+    #: ``params.num_tsws``".
+    num_workers: int = 0
+    #: Live range assignment at pause, keyed by ``tsw_index``.  A resume of a
+    #: grown/drained topology must restore these exactly — re-deriving them
+    #: from worker counts would diverge from the admission-time re-partition.
+    assigned_ranges: Optional[Dict[int, Any]] = None
+    #: Indices gracefully retired before the pause; a resume does not respawn
+    #: them.
+    drained_workers: Tuple[int, ...] = ()
+    #: Speed hints in effect at pause (config extended by admission-time
+    #: hints), keyed by ``tsw_index``.
+    speed_hints: Optional[Dict[int, float]] = None
 
 
 @dataclass
@@ -130,6 +145,16 @@ class MasterResult:
     fault_events: List[FaultEvent] = field(default_factory=list)
     #: Worker names (``"tsw<i>"``) declared dead during the run.
     dead_workers: Tuple[str, ...] = ()
+    #: Worker names admitted mid-run (``WorkerPool.grow`` or a seeded
+    #: ``SpawnWorker`` plan entry), in admission order.
+    admitted_workers: Tuple[str, ...] = ()
+    #: Worker names gracefully drained during the run (no strike).
+    drained_workers: Tuple[str, ...] = ()
+    #: Total worker indices ever part of the run (initial + admitted).
+    num_workers: int = 0
+    #: Final ``HealthLedger.export_state()`` rows (fault mode only) — lets
+    #: callers check that admitted workers actually contributed evaluations.
+    health: Optional[tuple] = None
 
 
 def master_process(
@@ -201,26 +226,65 @@ def master_process(
         time_offset = max(0.0, float(resume_state.clock_base) - float(resume_start))
 
     # ---- worker topology ---------------------------------------------------
-    tsw_ranges = partition_cells(
-        num_cells, params.num_tsws, scheme=params.tsw_partition_scheme, label_prefix="tsw"
-    )
+    # The roster can have *grown* (mid-run admissions) or *shrunk* (graceful
+    # drains) before a pause: the resume state records the total index space,
+    # the retired indices, and the live range assignment, which must be
+    # restored exactly — re-deriving ranges from worker counts would diverge
+    # from the admission-time re-partition.
+    initial_workers = params.num_tsws
+    drained_indices: Set[int] = set()
+    if resume_state is not None:
+        initial_workers = int(getattr(resume_state, "num_workers", 0) or params.num_tsws)
+        drained_indices = {
+            int(index) for index in (getattr(resume_state, "drained_workers", ()) or ())
+        }
     clw_ranges = partition_cells(
         num_cells, params.clws_per_tsw, scheme=params.clw_partition_scheme, label_prefix="clw"
     )
+    saved_ranges = (
+        getattr(resume_state, "assigned_ranges", None) if resume_state is not None else None
+    )
+    if saved_ranges:
+        assigned_range: Dict[int, Any] = {int(k): v for k, v in saved_ranges.items()}
+    else:
+        # fresh start, or a pre-elasticity checkpoint: positional partition
+        assigned_range = dict(
+            enumerate(
+                partition_cells(
+                    num_cells,
+                    initial_workers,
+                    scheme=params.tsw_partition_scheme,
+                    label_prefix="tsw",
+                )
+            )
+        )
+    for index in drained_indices:
+        assigned_range.pop(index, None)
+    shipped_range: Dict[int, Any] = dict(assigned_range)  # shipped at startup
+
     worker_states_by_index: Dict[int, TswWorkerState] = {}
     if resume_state is not None:
         worker_states_by_index = {s.tsw_index: s for s in resume_state.worker_states}
 
-    if pool_pids is not None:
-        # Warm pool: the TSW loops are already alive — ship each a SETUP and
-        # wait for every ack before any run traffic (the explicit handshake
-        # beats the simulated network's size-dependent message latency).
-        if len(pool_pids) != params.num_tsws:
-            raise ValueError(
-                f"pool provides {len(pool_pids)} TSW loops, params want {params.num_tsws}"
-            )
-        tsw_pids = list(pool_pids)
-        for tsw_index, pid in enumerate(tsw_pids):
+    spawn_indices = [i for i in range(initial_workers) if i not in drained_indices]
+    # A grown pool may hold more loops than the base topology (the extras
+    # idle until admitted or resumed into a grown roster) — only *too few*
+    # loops is a misconfiguration.
+    if pool_pids is not None and resume_state is None and len(pool_pids) < params.num_tsws:
+        raise ValueError(
+            f"pool provides {len(pool_pids)} TSW loops, params want {params.num_tsws}"
+        )
+    pool_loop_pids = list(pool_pids) if pool_pids is not None else []
+    tsw_pids: List[int] = []
+    pid_of_index: Dict[int, int] = {}
+    index_of_pid: Dict[int, int] = {}
+    setup_sent: Set[int] = set()
+    for slot, tsw_index in enumerate(spawn_indices):
+        if slot < len(pool_loop_pids):
+            # Warm pool loop: ship a SETUP and wait for the ack before any
+            # run traffic (the explicit handshake beats the simulated
+            # network's size-dependent message latency).
+            pid = pool_loop_pids[slot]
             yield ctx.send(
                 pid,
                 Tags.SETUP,
@@ -228,45 +292,55 @@ def master_process(
                     problem=problem,
                     params=params,
                     tsw_index=tsw_index,
-                    tsw_range=tsw_ranges[tsw_index],
+                    tsw_range=assigned_range[tsw_index],
                     clw_ranges=tuple(clw_ranges),
                     seed=derive_seed(params.seed, "tsw", tsw_index),
                     initial_state=worker_states_by_index.get(tsw_index),
                 ),
             )
-        awaiting_acks = True  # collected below, once fault bookkeeping exists
-    else:
-        awaiting_acks = False
-        tsw_pids = []
-        for tsw_index in range(params.num_tsws):
+            setup_sent.add(pid)
+        else:
+            # Cold spawn — also the overflow path when a resumed roster has
+            # grown past the pool's loop count.
             pid = yield ctx.spawn(
                 tsw_process,
                 problem,
                 params,
                 tsw_index,
-                tsw_ranges[tsw_index],
+                assigned_range[tsw_index],
                 list(clw_ranges),
                 derive_seed(params.seed, "tsw", tsw_index),
                 name=f"tsw{tsw_index}",
                 initial_state=worker_states_by_index.get(tsw_index),
             )
-            tsw_pids.append(pid)
-    index_of_pid = {pid: index for index, pid in enumerate(tsw_pids)}
+        tsw_pids.append(pid)
+        pid_of_index[tsw_index] = pid
+        index_of_pid[pid] = tsw_index
+    awaiting_acks = bool(setup_sent)
 
-    # ---- fault mode: health ledger and elastic range bookkeeping -----------
+    # ---- fault mode: health ledger and elastic topology bookkeeping --------
     fault = params.fault if params.fault_enabled else None
     fault_events: List[FaultEvent] = []
     dead_pids: Set[int] = set()
+    retired_pids: Set[int] = set()
+    admitted_indices: List[int] = []
+    drained_this_run: List[int] = []
+    pending_admits: List[Any] = []
+    pending_drains: List[Any] = []
+    next_worker_index = initial_workers
     ledger: Optional[HealthLedger] = None
-    # current range assignment per tsw_index vs what each worker last got
-    assigned_range: Dict[int, Any] = dict(enumerate(tsw_ranges))
-    shipped_range: Dict[int, Any] = dict(assigned_range)  # shipped at startup
     if fault is not None:
         hints = getattr(params, "worker_speed_hints", None)
+        hint_map: Dict[int, float] = dict(enumerate(hints)) if hints is not None else {}
+        saved_hints = (
+            getattr(resume_state, "speed_hints", None) if resume_state is not None else None
+        )
+        if saved_hints:
+            hint_map.update({int(k): float(v) for k, v in saved_hints.items()})
         ledger = HealthLedger(
             fault,
-            list(range(params.num_tsws)),
-            speed_hints=dict(enumerate(hints)) if hints is not None else None,
+            list(range(initial_workers)),
+            speed_hints=hint_map or None,
         )
         if resume_state is not None and getattr(resume_state, "health", None) is not None:
             ledger.install_state(resume_state.health, revive=True)
@@ -283,7 +357,9 @@ def master_process(
         ledger.mark_dead(index)
         encoder.invalidate(pid)
         _note_event("worker-dead", index, reason, at)
-        survivors = [index_of_pid[p] for p in tsw_pids if p not in dead_pids]
+        survivors = [
+            index_of_pid[p] for p in tsw_pids if p not in dead_pids and p not in retired_pids
+        ]
         if not survivors:
             return
         weights = ledger.throughput_weights(survivors) if fault.rebalance else None
@@ -318,9 +394,9 @@ def master_process(
     if resume_state is not None:
         encoder.install_residents(
             {
-                tsw_pids[index]: entry
+                pid_of_index[int(index)]: entry
                 for index, entry in resume_state.master_residents.items()
-                if 0 <= int(index) < len(tsw_pids)
+                if int(index) in pid_of_index
             }
         )
 
@@ -331,7 +407,7 @@ def master_process(
         # message latency).
         acked: Set[int] = set()
         if fault is None:
-            while len(acked) < len(tsw_pids):
+            while len(acked) < len(setup_sent):
                 ack = yield ctx.recv(tag=Tags.SETUP_ACK)
                 acked.add(ack.src)
         else:
@@ -339,11 +415,11 @@ def master_process(
             # give the ack round one deadline and strike silent loops out up
             # front, so the run starts degraded instead of never starting.
             ack_deadline = float((yield ctx.now())) + fault.round_deadline
-            while len(acked | dead_pids) < len(tsw_pids):
+            while setup_sent - acked - dead_pids:
                 now = yield ctx.now()
                 remaining = ack_deadline - float(now)
                 if remaining <= 0:
-                    for pid in sorted(set(tsw_pids) - acked - dead_pids):
+                    for pid in sorted(setup_sent - acked - dead_pids):
                         _declare_dead(pid, "no setup ack", float(now) + time_offset)
                     break
                 reply = yield ctx.recv_timeout(remaining)
@@ -360,6 +436,10 @@ def master_process(
                 elif reply.tag == Tags.CANCEL:
                     # honoured at the first global-iteration boundary
                     cancel_seen = True
+                elif reply.tag == Tags.ADMIT:
+                    pending_admits.append(reply.payload)
+                elif reply.tag == Tags.DRAIN:
+                    pending_drains.append(reply.payload)
 
     # ---- global iterations --------------------------------------------------
     stop_round = params.global_iterations
@@ -373,8 +453,189 @@ def master_process(
         if cancel is not None or cancel_seen:
             cancelled = True
             break
-        participants = [pid for pid in tsw_pids if pid not in dead_pids]
-        if fault is not None and not participants:
+
+        # ---- elasticity boundary: drains, admissions, one re-partition ----
+        # Requests arrive asynchronously (a seeded SpawnWorker/DrainWorker
+        # replay, or WorkerPool.grow/drain on a live backend) but are only
+        # *processed* here, at the global-iteration boundary, where every
+        # worker is idle and its last report is already folded in — that is
+        # what makes the grown topology deterministic under the simulator.
+        while True:
+            request = yield ctx.probe(tag=Tags.DRAIN)
+            if request is None:
+                break
+            pending_drains.append(request.payload)
+        while True:
+            request = yield ctx.probe(tag=Tags.ADMIT)
+            if request is None:
+                break
+            pending_admits.append(request.payload)
+        if pending_drains or pending_admits:
+            boundary_at = yield ctx.now()
+            boundary_at = float(boundary_at) + time_offset
+            by_name = {f"tsw{index}": index for index in pid_of_index}
+            for spec in pending_drains:
+                index = by_name.get(getattr(spec, "name", ""))
+                if index is None:
+                    continue
+                pid = pid_of_index[index]
+                if pid in dead_pids or pid in retired_pids:
+                    continue
+                # Graceful retirement: the worker's current range is finished
+                # (boundary semantics — its report for the previous round is
+                # already adopted), so harvest is complete; no strike.
+                retired_pids.add(pid)
+                drained_indices.add(index)
+                drained_this_run.append(index)
+                if ledger is not None:
+                    ledger.mark_drained(index)
+                encoder.invalidate(pid)
+                assigned_range.pop(index, None)
+                shipped_range.pop(index, None)
+                _note_event(
+                    "worker-drained", index, "graceful drain (no strike)", boundary_at
+                )
+                yield ctx.send(pid, Tags.STOP)
+            # (index, pool loop pid or None, speed hint, machine pin)
+            new_workers: List[Tuple[int, Optional[int], Optional[float], Optional[int]]] = []
+            for spec in pending_admits:
+                admit_pids = list(getattr(spec, "pids", ()) or ())
+                if admit_pids:
+                    admit_hints = list(getattr(spec, "speed_hints", ()) or ())
+                    admit_hints += [None] * (len(admit_pids) - len(admit_hints))
+                    for loop_pid, hint in zip(admit_pids, admit_hints):
+                        new_workers.append((next_worker_index, loop_pid, hint, None))
+                        next_worker_index += 1
+                else:
+                    count = max(1, int(getattr(spec, "count", 1) or 1))
+                    hint = getattr(spec, "speed_hint", None)
+                    machine = getattr(spec, "machine", None)
+                    for _ in range(count):
+                        new_workers.append((next_worker_index, None, hint, machine))
+                        next_worker_index += 1
+            pending_admits = []
+            pending_drains = []
+            for index, _loop_pid, hint, _machine in new_workers:
+                if ledger is not None:
+                    ledger.add_worker(index, speed_hint=hint)
+            # One re-partition over the final roster (survivors + admitted).
+            # Admitted workers have no throughput observations yet, so the
+            # weighted split only kicks in once everyone has reported.
+            survivors = sorted(
+                index_of_pid[p]
+                for p in tsw_pids
+                if p not in dead_pids and p not in retired_pids
+            )
+            roster = survivors + [entry[0] for entry in new_workers]
+            if roster:
+                weights = (
+                    ledger.throughput_weights(roster)
+                    if ledger is not None and fault.rebalance
+                    else None
+                )
+                if weights is not None:
+                    new_ranges = partition_cells_weighted(
+                        num_cells,
+                        weights,
+                        scheme=params.tsw_partition_scheme,
+                        label_prefix="tsw",
+                    )
+                else:
+                    new_ranges = partition_cells(
+                        num_cells,
+                        len(roster),
+                        scheme=params.tsw_partition_scheme,
+                        label_prefix="tsw",
+                    )
+                for new_range, index in zip(new_ranges, roster):
+                    assigned_range[index] = new_range
+                _note_event(
+                    "range-reassigned",
+                    -1,
+                    f"ranges re-partitioned over {len(roster)} worker(s)",
+                    boundary_at,
+                )
+            admit_acks_expected: Set[int] = set()
+            for index, loop_pid, hint, machine in new_workers:
+                if loop_pid is not None:
+                    yield ctx.send(
+                        loop_pid,
+                        Tags.SETUP,
+                        TswSetup(
+                            problem=problem,
+                            params=params,
+                            tsw_index=index,
+                            tsw_range=assigned_range[index],
+                            clw_ranges=tuple(clw_ranges),
+                            seed=derive_seed(params.seed, "tsw", index),
+                            initial_state=None,
+                        ),
+                    )
+                    admit_acks_expected.add(loop_pid)
+                    pid = loop_pid
+                else:
+                    pid = yield ctx.spawn(
+                        tsw_process,
+                        problem,
+                        params,
+                        index,
+                        assigned_range[index],
+                        list(clw_ranges),
+                        derive_seed(params.seed, "tsw", index),
+                        name=f"tsw{index}",
+                        machine_index=machine,
+                        initial_state=None,
+                    )
+                tsw_pids.append(pid)
+                pid_of_index[index] = pid
+                index_of_pid[pid] = index
+                shipped_range[index] = assigned_range[index]
+                admitted_indices.append(index)
+                detail = "admitted mid-run"
+                if hint is not None:
+                    detail += f" (speed hint {float(hint):g})"
+                _note_event("worker-admitted", index, detail, boundary_at)
+            if admit_acks_expected:
+                # SETUP/SETUP_ACK handshake with the pool-grown loops, fault-
+                # aware like the startup handshake.
+                acked_new: Set[int] = set()
+                if fault is None:
+                    while len(acked_new) < len(admit_acks_expected):
+                        ack = yield ctx.recv(tag=Tags.SETUP_ACK)
+                        acked_new.add(ack.src)
+                else:
+                    ack_deadline = float((yield ctx.now())) + fault.round_deadline
+                    while admit_acks_expected - acked_new - dead_pids:
+                        now = yield ctx.now()
+                        remaining = ack_deadline - float(now)
+                        if remaining <= 0:
+                            for pid in sorted(admit_acks_expected - acked_new - dead_pids):
+                                _declare_dead(pid, "no setup ack", float(now) + time_offset)
+                            break
+                        reply = yield ctx.recv_timeout(remaining)
+                        if reply is None:
+                            continue
+                        if reply.tag == Tags.SETUP_ACK:
+                            acked_new.add(reply.src)
+                        elif reply.tag == Tags.WORKER_DOWN:
+                            down_pid = getattr(reply.payload, "pid", None)
+                            if down_pid in index_of_pid and down_pid not in dead_pids:
+                                at = yield ctx.now()
+                                reason = (
+                                    getattr(reply.payload, "reason", "") or "backend obituary"
+                                )
+                                _declare_dead(down_pid, reason, float(at) + time_offset)
+                        elif reply.tag == Tags.CANCEL:
+                            cancel_seen = True
+                        elif reply.tag == Tags.ADMIT:
+                            pending_admits.append(reply.payload)
+                        elif reply.tag == Tags.DRAIN:
+                            pending_drains.append(reply.payload)
+
+        participants = [
+            pid for pid in tsw_pids if pid not in dead_pids and pid not in retired_pids
+        ]
+        if not participants:
             now = yield ctx.now()
             _note_event(
                 "all-workers-dead", -1, "no survivors left", float(now) + time_offset
@@ -384,12 +645,15 @@ def master_process(
         broadcast_solution = best_solution.copy()
         for pid in participants:
             payload = encoder.encode(pid, broadcast_solution, version=global_iteration)
+            index = index_of_pid[pid]
             range_update = None
             budget_update = None
+            # Re-partitions (deaths, drains, admissions) must reach the
+            # survivors whatever the mode — identity check, so an unchanged
+            # range ships nothing.
+            if assigned_range[index] is not shipped_range[index]:
+                range_update = assigned_range[index]
             if fault is not None:
-                index = index_of_pid[pid]
-                if assigned_range[index] is not shipped_range[index]:
-                    range_update = assigned_range[index]
                 budget = ledger.iteration_budget(index, params.tabu.local_iterations)
                 if budget != params.tabu.local_iterations:
                     budget_update = budget
@@ -473,6 +737,14 @@ def master_process(
                     # scooped by the untagged receive — honoured at the next
                     # global-iteration boundary, like the probe
                     cancel_seen = True
+                    continue
+                if reply.tag == Tags.ADMIT:
+                    # scooped by the untagged receive — processed at the next
+                    # global-iteration boundary
+                    pending_admits.append(reply.payload)
+                    continue
+                if reply.tag == Tags.DRAIN:
+                    pending_drains.append(reply.payload)
                     continue
                 if reply.tag != Tags.TSW_RESULT:
                     continue
@@ -628,16 +900,22 @@ def master_process(
         # at the top of its receive loop, no run traffic is in flight.
         harvested: Dict[int, TswWorkerState] = {}
         if fault is None:
-            for pid in tsw_pids:
+            # retired (drained) loops already got their STOP and are parked
+            # idle — a STATE_REQUEST to them would be consumed and ignored,
+            # wedging this loop
+            active = [pid for pid in tsw_pids if pid not in retired_pids]
+            for pid in active:
                 yield ctx.send(pid, Tags.STATE_REQUEST)
-            while len(harvested) < len(tsw_pids):
+            while len(harvested) < len(active):
                 reply = yield ctx.recv(tag=Tags.STATE_REPLY)
                 tsw_state: TswWorkerState = reply.payload
                 harvested[tsw_state.tsw_index] = tsw_state
         else:
             # harvest only the survivors, and survive a worker dying during
             # the harvest itself (a resume revives it from the others)
-            awaiting = {pid for pid in tsw_pids if pid not in dead_pids}
+            awaiting = {
+                pid for pid in tsw_pids if pid not in dead_pids and pid not in retired_pids
+            }
             for pid in sorted(awaiting):
                 yield ctx.send(pid, Tags.STATE_REQUEST)
             while awaiting:
@@ -682,13 +960,19 @@ def master_process(
             clock_base=float(pause_time) + time_offset,
             health=(ledger.export_state() if ledger is not None else None),
             fault_events=list(fault_events),
+            num_workers=next_worker_index,
+            assigned_ranges=dict(assigned_range),
+            drained_workers=tuple(sorted(drained_indices)),
+            speed_hints=(ledger.export_hints() or None) if ledger is not None else None,
         )
 
     # ---- shutdown ------------------------------------------------------------
     # Under a warm pool the STOP only ends the *inner* worker bodies; the
-    # persistent loops return to idle and await the next SETUP.
+    # persistent loops return to idle and await the next SETUP.  Drained
+    # workers were already stopped at their retirement boundary.
     for pid in tsw_pids:
-        yield ctx.send(pid, Tags.STOP)
+        if pid not in retired_pids:
+            yield ctx.send(pid, Tags.STOP)
 
     if complete:
         # exact objectives of the final best solution
@@ -719,4 +1003,8 @@ def master_process(
         dead_workers=tuple(
             f"tsw{index}" for index in sorted(index_of_pid[pid] for pid in dead_pids)
         ),
+        admitted_workers=tuple(f"tsw{index}" for index in admitted_indices),
+        drained_workers=tuple(f"tsw{index}" for index in drained_this_run),
+        num_workers=next_worker_index,
+        health=(ledger.export_state() if ledger is not None else None),
     )

@@ -23,12 +23,21 @@ from typing import Any, Dict, Optional, Tuple, Union
 
 import numpy as np
 
-from ..pvm.faults import WORKER_DOWN_TAG, WorkerDown
+from ..pvm.faults import (
+    WORKER_ADMIT_TAG,
+    WORKER_DOWN_TAG,
+    WORKER_DRAIN_TAG,
+    AdmitWorkers,
+    DrainWorker,
+    WorkerDown,
+)
 from .delta import SolutionPayload
 
 __all__ = [
     "Tags",
     "WorkerDown",
+    "AdmitWorkers",
+    "DrainWorker",
     "GlobalStart",
     "ReportNow",
     "TswResult",
@@ -71,6 +80,15 @@ class Tags:
     #: literal lives in :mod:`repro.pvm.faults` (the kernels cannot import
     #: this module); the payload is :class:`~repro.pvm.faults.WorkerDown`.
     WORKER_DOWN = WORKER_DOWN_TAG
+    # --- elasticity (PR 10) -----------------------------------------------
+    #: Kernel (seeded ``SpawnWorker`` replay) or ``WorkerPool.grow`` → master:
+    #: admit new TSW workers into the running search.  Payload is
+    #: :class:`~repro.pvm.faults.AdmitWorkers`.
+    ADMIT = WORKER_ADMIT_TAG
+    #: Kernel (seeded ``DrainWorker`` replay) or ``WorkerPool.drain`` → master:
+    #: gracefully retire the named worker at the next boundary, no strike.
+    #: Payload is :class:`~repro.pvm.faults.DrainWorker`.
+    DRAIN = WORKER_DRAIN_TAG
 
 
 @dataclass

@@ -10,10 +10,15 @@ for true multi-core wall-clock speedups.
 
 from .cluster import ClusterSpec, heterogeneous_cluster, homogeneous_cluster, paper_cluster
 from .faults import (
+    WORKER_ADMIT_TAG,
     WORKER_DOWN_TAG,
+    WORKER_DRAIN_TAG,
+    AdmitWorkers,
+    DrainWorker,
     FaultPlan,
     KillWorker,
     MessageFaults,
+    SpawnWorker,
     ThrottleMachine,
     WorkerDown,
 )
@@ -59,8 +64,13 @@ __all__ = [
     "ThreadKernel",
     "ProcessKernel",
     "WORKER_DOWN_TAG",
+    "WORKER_ADMIT_TAG",
+    "WORKER_DRAIN_TAG",
     "FaultPlan",
     "KillWorker",
+    "SpawnWorker",
+    "DrainWorker",
+    "AdmitWorkers",
     "ThrottleMachine",
     "MessageFaults",
     "WorkerDown",

@@ -24,8 +24,13 @@ from ..errors import SimulationError
 
 __all__ = [
     "WORKER_DOWN_TAG",
+    "WORKER_ADMIT_TAG",
+    "WORKER_DRAIN_TAG",
     "WorkerDown",
+    "AdmitWorkers",
     "KillWorker",
+    "SpawnWorker",
+    "DrainWorker",
     "ThrottleMachine",
     "MessageFaults",
     "FaultPlan",
@@ -34,6 +39,15 @@ __all__ = [
 #: Tag of a death notice.  ``repro.parallel.messages.Tags.WORKER_DOWN`` uses
 #: the same literal so the two layers agree without importing each other.
 WORKER_DOWN_TAG = "worker_down"
+
+#: Tag of a mid-run admission request (``Tags.ADMIT`` uses the same literal):
+#: the kernel (replaying a :class:`SpawnWorker` plan entry) or a driver-side
+#: ``WorkerPool.grow`` asks the running master to fold new TSWs into the run.
+WORKER_ADMIT_TAG = "worker_admit"
+
+#: Tag of a graceful drain request (``Tags.DRAIN`` uses the same literal):
+#: the named worker finishes its current range, then retires without a strike.
+WORKER_DRAIN_TAG = "worker_drain"
 
 #: Tags that message-level faults never touch by default: dropping lifecycle
 #: or obituary traffic does not model a lossy network, it wedges the harness.
@@ -45,6 +59,8 @@ DEFAULT_PROTECTED_TAGS: Tuple[str, ...] = (
     "state_request",
     "state_reply",
     WORKER_DOWN_TAG,
+    WORKER_ADMIT_TAG,
+    WORKER_DRAIN_TAG,
 )
 
 
@@ -55,6 +71,28 @@ class WorkerDown:
     pid: int
     name: str
     reason: str = ""
+
+
+@dataclass(frozen=True)
+class AdmitWorkers:
+    """Payload of a ``worker_admit`` request delivered to a running master.
+
+    Two shapes, by origin:
+
+    * **count-based** (simulated :class:`SpawnWorker` plan entries): the
+      master spawns ``count`` fresh TSW subtrees itself, optionally pinned to
+      ``machine``, with ``speed_hint`` fed to the health ledger;
+    * **pid-based** (``WorkerPool.grow`` on the real backends): the pool
+      already spawned persistent worker loops — ``pids`` names them and the
+      master SETUP/SETUP_ACK-handshakes them into the run.  ``speed_hints``
+      aligns with ``pids`` (``None`` entries mean no hint).
+    """
+
+    count: int = 1
+    machine: Optional[int] = None
+    speed_hint: Optional[float] = None
+    pids: Tuple[int, ...] = ()
+    speed_hints: Tuple[Optional[float], ...] = ()
 
 
 def _require_time(label: str, value: float) -> float:
@@ -85,6 +123,58 @@ class KillWorker:
             raise SimulationError("KillWorker needs a name and/or machine selector")
         if self.machine is not None and self.machine < 0:
             raise SimulationError(f"KillWorker.machine must be >= 0, got {self.machine}")
+
+
+@dataclass(frozen=True)
+class SpawnWorker:
+    """Admit ``count`` fresh TSW workers into the running search at ``at``.
+
+    The kernel delivers a :class:`AdmitWorkers` request to the registered
+    fault listener (the fault-tolerant master); the master spawns the new
+    subtrees itself, registers them in its health ledger (with
+    ``speed_hint``, if given) and folds them into the next range
+    re-partition.  Because the request is an ordinary event on the one
+    global queue, the grown topology replays bit-identically.
+    """
+
+    at: float
+    count: int = 1
+    machine: Optional[int] = None
+    speed_hint: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        _require_time("SpawnWorker.at", self.at)
+        if int(self.count) < 1:
+            raise SimulationError(f"SpawnWorker.count must be >= 1, got {self.count}")
+        if self.machine is not None and self.machine < 0:
+            raise SimulationError(
+                f"SpawnWorker.machine must be >= 0, got {self.machine}"
+            )
+        if self.speed_hint is not None:
+            hint = float(self.speed_hint)
+            if not math.isfinite(hint) or hint <= 0:
+                raise SimulationError(
+                    f"SpawnWorker.speed_hint must be finite and positive, got {self.speed_hint}"
+                )
+
+
+@dataclass(frozen=True)
+class DrainWorker:
+    """Gracefully retire the worker named ``name`` at time ``at``.
+
+    The master lets the worker finish its current range (it drains at the
+    next global-iteration boundary, after the worker's report was folded
+    in), re-partitions its range over the remaining workers and stops it —
+    without a strike: a drained worker is not a dead worker.
+    """
+
+    at: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        _require_time("DrainWorker.at", self.at)
+        if not isinstance(self.name, str) or not self.name:
+            raise SimulationError("DrainWorker.name must be a non-empty worker name")
 
 
 @dataclass(frozen=True)
@@ -151,6 +241,35 @@ class MessageFaults:
         return self.stop is None or time < self.stop
 
 
+def _load_entry(label: str, raw: Any, kind: type) -> Any:
+    """Construct one plan entry, localizing errors to ``label`` and field."""
+    if not isinstance(raw, dict):
+        raise SimulationError(
+            f"malformed fault plan: {label} must be a JSON object, got {type(raw).__name__}"
+        )
+    valid = set(getattr(kind, "__dataclass_fields__", {}))
+    bogus = sorted(set(raw) - valid)
+    if bogus:
+        raise SimulationError(
+            f"malformed fault plan: {label}: unknown field(s) {', '.join(bogus)} "
+            f"(valid: {', '.join(sorted(valid))})"
+        )
+    try:
+        return kind(**raw)
+    except (TypeError, SimulationError) as error:
+        raise SimulationError(f"malformed fault plan: {label}: {error}") from error
+
+
+def _load_entries(label: str, raw: Any, kind: type) -> Tuple[Any, ...]:
+    if not isinstance(raw, (list, tuple)):
+        raise SimulationError(
+            f"malformed fault plan: {label} must be a list, got {type(raw).__name__}"
+        )
+    return tuple(
+        _load_entry(f"{label}[{index}]", entry, kind) for index, entry in enumerate(raw)
+    )
+
+
 @dataclass(frozen=True)
 class FaultPlan:
     """A complete, seeded failure schedule for one simulated run."""
@@ -159,36 +278,50 @@ class FaultPlan:
     kills: Tuple[KillWorker, ...] = ()
     throttles: Tuple[ThrottleMachine, ...] = ()
     message_faults: Optional[MessageFaults] = None
+    spawns: Tuple[SpawnWorker, ...] = ()
+    drains: Tuple[DrainWorker, ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "kills", tuple(self.kills))
         object.__setattr__(self, "throttles", tuple(self.throttles))
+        object.__setattr__(self, "spawns", tuple(self.spawns))
+        object.__setattr__(self, "drains", tuple(self.drains))
 
     @property
     def empty(self) -> bool:
-        return not self.kills and not self.throttles and self.message_faults is None
+        return (
+            not self.kills
+            and not self.throttles
+            and self.message_faults is None
+            and not self.spawns
+            and not self.drains
+        )
 
     # -- JSON loading (CLI surface) ------------------------------------- #
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
         if not isinstance(data, dict):
             raise SimulationError(f"fault plan must be a JSON object, got {type(data).__name__}")
-        known = {"seed", "kills", "throttles", "message_faults"}
+        known = {"seed", "kills", "throttles", "message_faults", "spawns", "drains"}
         unknown = sorted(set(data) - known)
         if unknown:
             raise SimulationError(f"unknown fault-plan keys: {', '.join(unknown)}")
-        try:
-            kills = tuple(KillWorker(**k) for k in data.get("kills", ()))
-            throttles = tuple(ThrottleMachine(**t) for t in data.get("throttles", ()))
-            mf = data.get("message_faults")
-            message_faults = MessageFaults(**mf) if mf is not None else None
-        except TypeError as error:
-            raise SimulationError(f"malformed fault plan: {error}") from error
+        kills = _load_entries("kills", data.get("kills", ()), KillWorker)
+        throttles = _load_entries("throttles", data.get("throttles", ()), ThrottleMachine)
+        spawns = _load_entries("spawns", data.get("spawns", ()), SpawnWorker)
+        drains = _load_entries("drains", data.get("drains", ()), DrainWorker)
+        mf = data.get("message_faults")
+        if mf is None:
+            message_faults = None
+        else:
+            message_faults = _load_entry("message_faults", mf, MessageFaults)
         return cls(
             seed=int(data.get("seed", 0)),
             kills=kills,
             throttles=throttles,
             message_faults=message_faults,
+            spawns=spawns,
+            drains=drains,
         )
 
     @classmethod

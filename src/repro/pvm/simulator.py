@@ -44,7 +44,18 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..errors import ProcessError, SimulationError
 from .cluster import ClusterSpec
-from .faults import WORKER_DOWN_TAG, FaultPlan, KillWorker, ThrottleMachine, WorkerDown
+from .faults import (
+    WORKER_ADMIT_TAG,
+    WORKER_DOWN_TAG,
+    WORKER_DRAIN_TAG,
+    AdmitWorkers,
+    DrainWorker,
+    FaultPlan,
+    KillWorker,
+    SpawnWorker,
+    ThrottleMachine,
+    WorkerDown,
+)
 from .message import Message, estimate_payload_bytes
 from .process import (
     Compute,
@@ -175,6 +186,10 @@ class SimKernel:
                 self._schedule(throttle.at, _FAULT, ("throttle_on", throttle))
                 if throttle.until is not None:
                     self._schedule(throttle.until, _FAULT, ("throttle_off", throttle))
+            for spawn in fault_plan.spawns:
+                self._schedule(spawn.at, _FAULT, ("admit", spawn))
+            for drain in fault_plan.drains:
+                self._schedule(drain.at, _FAULT, ("drain", drain))
 
     # ------------------------------------------------------------------ #
     # public API
@@ -561,6 +576,13 @@ class SimKernel:
             self._machine_scale[machine] = spec.factor
         elif action == "throttle_off":
             self._machine_scale.pop(spec.machine % self._cluster.num_machines, None)
+        elif action == "admit":
+            payload = AdmitWorkers(
+                count=spec.count, machine=spec.machine, speed_hint=spec.speed_hint
+            )
+            self._post_to_listener(WORKER_ADMIT_TAG, payload, at_time)
+        elif action == "drain":
+            self._post_to_listener(WORKER_DRAIN_TAG, spec, at_time)
         else:  # pragma: no cover - defensive
             raise SimulationError(f"unknown fault action {action!r}")
 
@@ -615,6 +637,33 @@ class SimKernel:
         rec.pending_recv = None
         rec.recv_token += 1  # invalidate any pending receive timeout
         killed.append(rec)
+
+    def _post_to_listener(self, tag: str, payload: Any, at_time: float) -> None:
+        """Deliver a fault-plan lifecycle request to the death listener.
+
+        Admission and drain requests have no victim process to route from, so
+        they only make sense with a registered listener (the fault-tolerant
+        master); without one — or once it has exited — they are dropped.
+        """
+        target = self._death_listener
+        if target is None or target not in self._procs:
+            return
+        if self._procs[target].state in _DEAD_STATES:
+            return
+        arrival = at_time + self._cluster.message_latency
+        self._schedule(
+            arrival,
+            _DELIVER,
+            Message(
+                src=0,
+                dst=target,
+                tag=tag,
+                payload=payload,
+                size_bytes=estimate_payload_bytes(payload),
+                send_time=at_time,
+                arrival_time=arrival,
+            ),
+        )
 
     def _post_obituary(self, rec: _ProcessRecord, at_time: float, dead_pids: set) -> None:
         targets = []

@@ -24,7 +24,7 @@ from ..parallel.master import MasterResult, MasterRunState, master_process
 from ..parallel.messages import Tags
 from ..parallel.worker_loop import tsw_worker_loop
 from ..pvm.cluster import ClusterSpec, paper_cluster
-from ..pvm.faults import FaultPlan
+from ..pvm.faults import AdmitWorkers, DrainWorker, FaultPlan
 from ..pvm.process_backend import ProcessKernel
 from ..pvm.simulator import ProcessState, SimKernel, SimStats
 from ..pvm.threads_backend import ThreadKernel
@@ -82,11 +82,14 @@ class WorkerPool:
         self.num_tsws = int(num_tsws)
         self.clws_per_tsw = int(clws_per_tsw)
         self.cluster = cluster or paper_cluster()
+        self.fault_plan = fault_plan
         self.kernel = make_kernel(backend, self.cluster, fault_plan=fault_plan)
         self._closed = False
         self._lock = threading.Lock()
         self._active_master_pid: Optional[int] = None
         self._runs_served = 0
+        self._next_worker_index = self.num_tsws
+        self._pending_repair_events: List[FaultEvent] = []
         self._tsw_pids: List[int] = [
             self.kernel.spawn(tsw_worker_loop, self.clws_per_tsw, name=f"tsw{i}")
             for i in range(self.num_tsws)
@@ -128,14 +131,17 @@ class WorkerPool:
         Returns the indices that were respawned.  A respawned loop starts
         cold (its CLW loops included) and is re-``SETUP`` by the next warm
         master run — resident-solution state is recovered through the
-        delta/NACK path.
+        delta/NACK path.  Each respawn is stamped into the pool's repair
+        history, which the *next* ``run_master`` (fault mode or not) folds
+        into its result's ``fault_events`` as ``worker-respawned`` — so a
+        manual repair between runs stays visible to operators.
         """
         if self._closed:
             raise SessionError("worker pool is closed")
         respawned: List[int] = []
         reap = getattr(self.kernel, "reap_worker", None)
         terminate = getattr(self.kernel, "terminate_worker", None)
-        for index in range(self.num_tsws):
+        for index in range(len(self._tsw_pids)):
             if not self.worker_dead(index):
                 continue
             dead_pid = self._tsw_pids[index]
@@ -161,10 +167,98 @@ class WorkerPool:
                 tsw_worker_loop, self.clws_per_tsw, name=f"tsw{index}"
             )
             respawned.append(index)
+            self._pending_repair_events.append(
+                FaultEvent(
+                    time=float(self.kernel.now),
+                    kind="worker-respawned",
+                    worker=f"tsw{index}",
+                    detail="pool loop respawned in-slot",
+                )
+            )
         if respawned and self.is_simulated:
             # let the fresh loops spawn their CLW loops and park
             self.kernel.run(allow_blocked=True)
         return respawned
+
+    # ------------------------------------------------------------------ #
+    def grow(
+        self,
+        count: int = 1,
+        *,
+        machines: Optional[List[Optional[int]]] = None,
+        speed_hints: Optional[List[Optional[float]]] = None,
+    ) -> List[int]:
+        """Spawn ``count`` additional persistent TSW loops into the pool.
+
+        If a master run is in flight on a real backend, the new loops are
+        handed to it immediately (``ADMIT``): the master SETUP-handshakes
+        them, full-provisions their resident state through the delta path,
+        registers them in its health ledger (with ``speed_hints``) and folds
+        them into the next boundary's range re-partition.  Otherwise the
+        loops idle until the next (fresh or resumed) run admits them.  On
+        the simulated backend mid-run admission is driven by seeded
+        ``SpawnWorker`` plan entries instead — a single-threaded kernel has
+        no outside to call :meth:`grow` from while a run is stepping.
+
+        Returns the new loops' pids (also appended to :attr:`tsw_pids`).
+        """
+        if self._closed:
+            raise SessionError("worker pool is closed")
+        count = int(count)
+        if count < 1:
+            raise SessionError(f"grow needs count >= 1, got {count}")
+        machine_list = list(machines) if machines is not None else [None] * count
+        hint_list = list(speed_hints) if speed_hints is not None else [None] * count
+        if len(machine_list) != count:
+            raise SessionError(
+                f"grow got {len(machine_list)} machine pins for {count} workers"
+            )
+        if len(hint_list) != count:
+            raise SessionError(
+                f"grow got {len(hint_list)} speed hints for {count} workers"
+            )
+        new_pids: List[int] = []
+        for machine, _hint in zip(machine_list, hint_list):
+            index = self._next_worker_index
+            self._next_worker_index += 1
+            kwargs = {"name": f"tsw{index}", "machine_index": machine}
+            if self.is_simulated:
+                kwargs["start_time"] = self.kernel.now
+            pid = self.kernel.spawn(tsw_worker_loop, self.clws_per_tsw, **kwargs)
+            self._tsw_pids.append(pid)
+            new_pids.append(pid)
+        if self.is_simulated:
+            # let the new loops spawn their CLW loops and park in their recv
+            self.kernel.run(allow_blocked=True)
+        with self._lock:
+            master = self._active_master_pid
+        if master is not None and hasattr(self.kernel, "post"):
+            self.kernel.post(
+                master,
+                Tags.ADMIT,
+                AdmitWorkers(pids=tuple(new_pids), speed_hints=tuple(hint_list)),
+            )
+        return new_pids
+
+    def drain(self, index: int) -> bool:
+        """Ask the in-flight master to gracefully retire TSW ``index``.
+
+        The worker finishes its current range, its last report is folded in
+        at the global-iteration boundary, its range is re-partitioned over
+        the remaining workers, and it retires without a strike (its loop
+        parks idle, reusable by a later run or admission).  Returns whether
+        a running master was signalled — on the simulated backend (or with
+        no run in flight) use a seeded ``DrainWorker`` plan entry instead.
+        """
+        index = int(index)
+        if not 0 <= index < len(self._tsw_pids):
+            raise SessionError(f"drain: no TSW loop with index {index}")
+        with self._lock:
+            master = self._active_master_pid
+        if master is None or not hasattr(self.kernel, "post"):
+            return False
+        self.kernel.post(master, Tags.DRAIN, DrainWorker(at=0.0, name=f"tsw{index}"))
+        return True
 
     # ------------------------------------------------------------------ #
     def run_master(
@@ -188,19 +282,16 @@ class WorkerPool:
                 f"pool topology ({self.num_tsws} TSWs x {self.clws_per_tsw} CLWs) "
                 f"does not match params ({params.num_tsws} x {params.clws_per_tsw})"
             )
-        repair_events: List[FaultEvent] = []
         if params.fault_enabled:
             # dead loops (killed by a fault plan, crashed, or OS-terminated)
-            # are respawned and re-SETUP before any run traffic
-            for index in self.repair():
-                repair_events.append(
-                    FaultEvent(
-                        time=float(self.kernel.now),
-                        kind="worker-respawned",
-                        worker=f"tsw{index}",
-                        detail="pool loop respawned before warm run",
-                    )
-                )
+            # are respawned and re-SETUP before any run traffic; repair()
+            # stamps the respawns into the pool's pending repair history
+            self.repair()
+        # repair history (this repair and any earlier manual repair()) is
+        # surfaced through this run's fault events
+        repair_events = list(self._pending_repair_events)
+        self._pending_repair_events.clear()
+        fault_listening = params.fault_enabled or self.fault_plan is not None
         if self.is_simulated:
             pid = self.kernel.spawn(
                 master_process,
@@ -213,10 +304,12 @@ class WorkerPool:
                 max_rounds=max_rounds,
                 pool_pids=list(self._tsw_pids),
             )
-            if params.fault_enabled:
+            if fault_listening:
+                # the listener also receives seeded admit/drain requests, so
+                # arm it whenever a plan is loaded, not only in fault mode
                 self.kernel.notify_deaths_to(pid)
             stats = self.kernel.run(allow_blocked=True)
-            if params.fault_enabled:
+            if fault_listening:
                 self.kernel.notify_deaths_to(None)
             self._runs_served += 1
             result = self.kernel.result_of(pid)
@@ -232,7 +325,7 @@ class WorkerPool:
             max_rounds=max_rounds,
             pool_pids=list(self._tsw_pids),
         )
-        if params.fault_enabled:
+        if fault_listening:
             self.kernel.notify_deaths_to(pid)
         with self._lock:
             self._active_master_pid = pid
@@ -242,7 +335,7 @@ class WorkerPool:
         finally:
             with self._lock:
                 self._active_master_pid = None
-            if params.fault_enabled:
+            if fault_listening:
                 self.kernel.notify_deaths_to(None)
         self._runs_served += 1
         result = self.kernel.result_of(pid)

@@ -43,7 +43,17 @@ from ..pvm.simulator import ProcessInfo, SimStats
 from .pool import WorkerPool, make_kernel
 from .state import SessionState
 
-__all__ = ["ProgressEvent", "SessionStatus", "SearchSession"]
+__all__ = ["ProgressEvent", "SessionStatus", "SearchSession", "TOPOLOGY_KINDS"]
+
+#: Fault-event kinds that change the worker roster — the session accumulates
+#: these across epochs into the topology history that checkpoints carry and
+#: ``sessions inspect`` reports.
+TOPOLOGY_KINDS = (
+    "worker-admitted",
+    "worker-dead",
+    "worker-drained",
+    "worker-respawned",
+)
 
 
 @dataclass(frozen=True)
@@ -144,6 +154,7 @@ class SearchSession:
         self._sim_stats: Optional[SimStats] = None
         self._process_infos: List[ProcessInfo] = []
         self._fault_events: List[Any] = []
+        self._topology_events: List[Any] = []
         self._driver: Optional[threading.Thread] = None
         self._driver_error: Optional[BaseException] = None
         self._active: Optional[Tuple[Any, int]] = None  # (kernel, master pid)
@@ -283,7 +294,11 @@ class SearchSession:
             self._complete = master_result.complete
             self._sim_stats = stats
             self._process_infos = process_infos
-            self._fault_events.extend(getattr(master_result, "fault_events", ()) or ())
+            epoch_events = getattr(master_result, "fault_events", ()) or ()
+            self._fault_events.extend(epoch_events)
+            self._topology_events.extend(
+                event for event in epoch_events if event.kind in TOPOLOGY_KINDS
+            )
             # the master stitches resumed trace points onto the session
             # timeline, so the trace end bounds the session's virtual span
             session_end = (
@@ -424,6 +439,7 @@ class SearchSession:
                 backend=self.backend,
                 run_state=self._run_state,
                 complete=self._complete,
+                topology_events=tuple(self._topology_events),
             )
         if path is not None:
             state.save(path)
@@ -440,11 +456,16 @@ class SearchSession:
         pool: Optional[WorkerPool] = None,
         master_machine: int = 0,
         join_timeout: float = 3600.0,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> "SearchSession":
         """Rebuild a session from a checkpoint (state object or file path).
 
         The continued trajectory is bit-identical to the uninterrupted run
         under ``sync_mode="homogeneous"`` — on any backend, warm or cold.
+        A resumed grown/drained topology is restored exactly (roster, range
+        assignment, ledger state).  ``fault_plan`` arms the resumed epochs
+        with a (simulated-backend) failure schedule — its times are on the
+        *fresh kernel's* clock, which restarts at zero on resume.
         """
         state = source if isinstance(source, SessionState) else SessionState.load(source)
         session = cls(
@@ -455,9 +476,11 @@ class SearchSession:
             pool=pool,
             master_machine=master_machine,
             join_timeout=join_timeout,
+            fault_plan=fault_plan,
         )
         session._run_state = state.run_state
         session._complete = state.complete
+        session._topology_events = list(state.topology_events)
         return session
 
     # ------------------------------------------------------------------ #

@@ -62,6 +62,12 @@ class SessionState:
     #: ``None`` when checkpointed before the first epoch (a fresh session).
     run_state: Optional[MasterRunState]
     complete: bool = False
+    #: Topology history of the session so far: the worker-admitted /
+    #: worker-dead / worker-drained / worker-respawned
+    #: :class:`~repro.metrics.trace.FaultEvent` tuples accumulated across
+    #: epochs, so ``sessions inspect`` can report who joined and left (and
+    #: when) from the artifact alone.
+    topology_events: tuple = ()
 
     @property
     def rounds_done(self) -> int:
@@ -86,6 +92,7 @@ class SessionState:
             "backend": self.backend,
             "run_state": self.run_state,
             "complete": self.complete,
+            "topology_events": tuple(self.topology_events),
         }
         return _HEADER.pack(MAGIC, SCHEMA_VERSION) + pickle.dumps(payload, protocol=4)
 
@@ -111,6 +118,8 @@ class SessionState:
             backend=payload["backend"],
             run_state=payload["run_state"],
             complete=bool(payload["complete"]),
+            # absent on pre-elasticity artifacts (same schema version)
+            topology_events=tuple(payload.get("topology_events", ())),
         )
 
     def save(self, path: Union[str, Path]) -> Path:

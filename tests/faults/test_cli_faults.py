@@ -49,3 +49,50 @@ class TestFaultFlags:
         code = main(["run", "--resume", str(ckpt), "--fault-tolerant"])
         assert code != 0
         assert "fault" in capsys.readouterr().err
+
+
+class TestSessionsInspect:
+    def test_inspect_reports_topology_history(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text(
+            json.dumps(
+                {
+                    "spawns": [{"at": 0.05, "count": 1}],
+                    "kills": [{"at": 0.16, "name": "tsw1"}],
+                }
+            )
+        )
+        ckpt = tmp_path / "run.rtss"
+        assert main(
+            RUN_QUICK
+            + [
+                "--global-iterations", "5",
+                "--fault-plan", str(plan),
+                "--pause-after", "4",
+                "--checkpoint", str(ckpt),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(["sessions", "inspect", str(ckpt)]) == 0
+        out = capsys.readouterr().out
+        assert "Topology history" in out
+        assert "worker-admitted" in out
+        assert "worker-dead" in out
+        assert "4 worker slot(s)" in out
+
+    def test_inspect_without_elastic_events_prints_a_clean_sheet(
+        self, tmp_path, capsys
+    ):
+        ckpt = tmp_path / "run.rtss"
+        assert main(
+            RUN_QUICK + ["--pause-after", "1", "--checkpoint", str(ckpt)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["sessions", "inspect", str(ckpt)]) == 0
+        out = capsys.readouterr().out
+        assert "no admissions" in out
+
+    def test_inspect_needs_a_file(self, capsys):
+        code = main(["sessions", "inspect"])
+        assert code != 0
+        assert "checkpoint" in capsys.readouterr().err

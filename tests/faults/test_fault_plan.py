@@ -7,8 +7,20 @@ import json
 import pytest
 
 from repro.errors import SimulationError
-from repro.pvm import FaultPlan, KillWorker, MessageFaults, ThrottleMachine
-from repro.pvm.faults import DEFAULT_PROTECTED_TAGS, WORKER_DOWN_TAG
+from repro.pvm import (
+    DrainWorker,
+    FaultPlan,
+    KillWorker,
+    MessageFaults,
+    SpawnWorker,
+    ThrottleMachine,
+)
+from repro.pvm.faults import (
+    DEFAULT_PROTECTED_TAGS,
+    WORKER_ADMIT_TAG,
+    WORKER_DOWN_TAG,
+    WORKER_DRAIN_TAG,
+)
 
 
 class TestKillWorker:
@@ -61,7 +73,47 @@ class TestMessageFaults:
     def test_lifecycle_tags_protected_by_default(self):
         faults = MessageFaults(loss_probability=0.1)
         assert WORKER_DOWN_TAG in faults.protect_tags
+        assert WORKER_ADMIT_TAG in faults.protect_tags
+        assert WORKER_DRAIN_TAG in faults.protect_tags
         assert set(DEFAULT_PROTECTED_TAGS) <= set(faults.protect_tags)
+
+
+class TestSpawnWorker:
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError, match="time"):
+            SpawnWorker(at=-1.0)
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(SimulationError, match="count"):
+            SpawnWorker(at=1.0, count=0)
+
+    def test_negative_machine_rejected(self):
+        with pytest.raises(SimulationError, match="machine"):
+            SpawnWorker(at=1.0, machine=-2)
+
+    def test_bad_speed_hint_rejected(self):
+        with pytest.raises(SimulationError, match="speed_hint"):
+            SpawnWorker(at=1.0, speed_hint=0.0)
+
+    def test_valid_spawn_accepted(self):
+        spawn = SpawnWorker(at=0.5, count=2, machine=1, speed_hint=2.0)
+        assert spawn.count == 2
+
+    def test_errors_are_value_errors(self):
+        # fault plans are user-supplied config: callers that only know
+        # stdlib exceptions can still catch the validation failure
+        with pytest.raises(ValueError):
+            SpawnWorker(at=1.0, count=0)
+
+
+class TestDrainWorker:
+    def test_needs_a_name(self):
+        with pytest.raises(SimulationError, match="name"):
+            DrainWorker(at=1.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError, match="time"):
+            DrainWorker(at=-0.5, name="tsw1")
 
 
 class TestFaultPlan:
@@ -90,6 +142,47 @@ class TestFaultPlan:
     def test_from_dict_rejects_malformed_entries(self):
         with pytest.raises(SimulationError, match="malformed"):
             FaultPlan.from_dict({"kills": [{"when": 1.0}]})
+
+    def test_from_dict_loads_spawns_and_drains(self):
+        plan = FaultPlan.from_dict(
+            {
+                "spawns": [{"at": 0.5, "count": 2, "speed_hint": 2.0}],
+                "drains": [{"at": 1.0, "name": "tsw1"}],
+            }
+        )
+        assert plan.spawns[0].count == 2
+        assert plan.drains[0].name == "tsw1"
+        assert not plan.empty
+
+    def test_errors_name_the_offending_entry_and_field(self):
+        with pytest.raises(SimulationError, match=r"kills\[1\].*at"):
+            FaultPlan.from_dict(
+                {"kills": [{"at": 1.0, "name": "tsw0"}, {"at": -1.0, "name": "tsw1"}]}
+            )
+        with pytest.raises(SimulationError, match=r"spawns\[0\].*count"):
+            FaultPlan.from_dict({"spawns": [{"at": 1.0, "count": 0}]})
+        with pytest.raises(SimulationError, match=r"drains\[2\].*name"):
+            FaultPlan.from_dict(
+                {
+                    "drains": [
+                        {"at": 0.1, "name": "tsw0"},
+                        {"at": 0.2, "name": "tsw1"},
+                        {"at": 0.3},
+                    ]
+                }
+            )
+
+    def test_unknown_entry_fields_are_named(self):
+        with pytest.raises(SimulationError, match=r"spawns\[0\].*speed"):
+            FaultPlan.from_dict({"spawns": [{"at": 1.0, "speed": 2.0}]})
+
+    def test_non_list_entry_collections_rejected(self):
+        with pytest.raises(SimulationError, match=r"spawns must be a list"):
+            FaultPlan.from_dict({"spawns": {"at": 1.0}})
+
+    def test_plan_errors_are_value_errors(self):
+        with pytest.raises(ValueError):
+            FaultPlan.from_dict({"spawns": [{"at": 1.0, "count": 0}]})
 
     def test_from_file(self, tmp_path):
         path = tmp_path / "plan.json"

@@ -110,3 +110,60 @@ class TestCheckpointing:
         fresh.install_state(ledger.export_state(), revive=True)
         assert fresh.alive_keys() == [0, 1, 2]
         assert fresh.rate_of(0) == pytest.approx(500.0)
+
+
+class TestElasticity:
+    def test_drained_is_not_dead(self):
+        ledger = make_ledger()
+        ledger.mark_drained(1)
+        assert ledger.alive_keys() == [0, 2]
+        assert ledger.dead_keys() == []
+        assert ledger.drained_keys() == [1]
+
+    def test_add_worker_registers_and_hints(self):
+        ledger = make_ledger()
+        ledger.add_worker(3, speed_hint=4.0)
+        assert ledger.alive_keys() == [0, 1, 2, 3]
+        assert ledger.export_hints() == {3: 4.0}
+        # no-op on an already-tracked key, but the hint still lands
+        ledger.record_report(0, evaluations_total=100, elapsed=1.0)
+        ledger.add_worker(0, speed_hint=2.0)
+        assert ledger.rate_of(0) == pytest.approx(100.0)
+        assert ledger.export_hints() == {0: 2.0, 3: 4.0}
+
+    def test_admitted_worker_blocks_weighted_split_until_observed(self):
+        ledger = make_ledger()
+        ledger.record_report(0, evaluations_total=100, elapsed=1.0)
+        ledger.record_report(1, evaluations_total=100, elapsed=1.0)
+        ledger.record_report(2, evaluations_total=100, elapsed=1.0)
+        ledger.add_worker(3)
+        assert ledger.throughput_weights([0, 1, 2, 3]) is None
+        ledger.record_report(3, evaluations_total=50, elapsed=1.0)
+        assert ledger.throughput_weights([0, 1, 2, 3]) is not None
+
+    def test_revive_does_not_resurrect_drained_workers(self):
+        ledger = make_ledger()
+        ledger.mark_dead(0)
+        ledger.mark_drained(1)
+        fresh = make_ledger()
+        fresh.install_state(ledger.export_state(), revive=True)
+        assert fresh.alive_keys() == [0, 2]  # the dead worker revives...
+        assert fresh.drained_keys() == [1]  # ...the drained one stays retired
+
+    def test_drained_flag_round_trips(self):
+        ledger = make_ledger()
+        ledger.mark_drained(2)
+        state = ledger.export_state()
+        assert state[2][8] is True
+        fresh = make_ledger()
+        fresh.install_state(state, revive=False)
+        assert fresh.drained_keys() == [2]
+        assert fresh.export_state() == state
+
+    def test_install_accepts_pre_elasticity_eight_element_rows(self):
+        # checkpoints written before the drained flag existed have 8-tuples
+        old_rows = tuple(row[:8] for row in make_ledger().export_state())
+        fresh = make_ledger()
+        fresh.install_state(old_rows, revive=False)
+        assert fresh.drained_keys() == []
+        assert fresh.alive_keys() == [0, 1, 2]
